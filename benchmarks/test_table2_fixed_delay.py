@@ -1,0 +1,128 @@
+"""Table II — transition delay computation, fixed (unit) gate delays.
+
+Regenerates the paper's Table II rows (val, l.d., f.d., #check, CPU, t.d.)
+for the ISCAS stand-ins and the FSM controllers.  Reproduction targets:
+
+* ``t.d. <= f.d. <= l.d.`` on every circuit;
+* ``t.d. == f.d.`` on the combinational set (the paper found no gap);
+* ``f.d. < l.d.`` on the circuits whose stand-ins embed carry-skip cores
+  (the paper's C1908/C2670/C3540/C5315/C6288/C7552 rows);
+* the crafted ``sticky`` controller shows the FSM drop ``t.d. = f.d. - 1``
+  (the paper's planet/sand/scf behaviour; our *synthetic* FSM tables do
+  not exhibit a drop — recorded honestly in EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.circuits import iscas, mcnc
+
+from .common import HEAVY, table2_row, render_rows, write_result
+
+LIGHT_COMBINATIONAL = ["c17", "c432", "c499", "c880", "c1908", "c1355"]
+HEAVY_COMBINATIONAL = ["c2670", "c3540", "c5315", "c7552"]
+FSM_SET = ["planet", "sand", "styr", "scf"]
+
+_rows = []
+
+
+@pytest.mark.parametrize("name", LIGHT_COMBINATIONAL)
+def test_combinational_light(benchmark, name):
+    circuit = iscas.build(name)
+    row = benchmark.pedantic(
+        table2_row, args=(name, circuit), rounds=1, iterations=1
+    )
+    _rows.append(row)
+    __, __, ld, fd, __, __, td = row
+    assert td <= fd <= ld
+    assert td == fd  # combinational benchmarks: no gap (paper Sec. VI)
+
+
+@pytest.mark.parametrize("name", HEAVY_COMBINATIONAL)
+def test_combinational_heavy(benchmark, name):
+    circuit = iscas.build(name)
+    row = benchmark.pedantic(
+        table2_row, args=(name, circuit), rounds=1, iterations=1
+    )
+    _rows.append(row)
+    __, __, ld, fd, __, __, td = row
+    assert td <= fd <= ld
+    if name in ("c1908", "c2670", "c3540", "c7552"):
+        assert fd < ld, "carry-skip stand-in must show a false-path gap"
+
+
+def test_c6288_multiplier(benchmark):
+    """The 16x16 multiplier defeats the exact pure-Python computation
+    (the final refutation is a hard CDCL instance — the paper spent 812
+    SUN-4 seconds in C), so its row is *bracketed*: a witnessed
+    simulation lower bound against the topological upper bound.  Set
+    REPRO_BENCH_HEAVY=1 to attempt the exact run."""
+    import time
+
+    from repro.core import transition_delay_lower_bound
+
+    circuit = iscas.build("c6288")
+    if HEAVY:
+        row = benchmark.pedantic(
+            table2_row, args=("c6288", circuit), rounds=1, iterations=1
+        )
+        _rows.append(row)
+        return
+
+    def bracketed():
+        start = time.process_time()
+        bound = transition_delay_lower_bound(
+            circuit, random_pairs=32, climbs=4, climb_steps=150
+        )
+        cpu = time.process_time() - start
+        return [
+            "c6288",
+            "-",
+            circuit.topological_delay(),
+            "<=l.d.",
+            "-",
+            f"{cpu:.2f}",
+            f">={bound.delay}",
+        ], bound
+
+    row, bound = benchmark.pedantic(bracketed, rounds=1, iterations=1)
+    _rows.append(row)
+    assert bound.delay >= circuit.topological_delay() // 2
+    assert bound.pair is not None
+
+
+@pytest.mark.parametrize("name", FSM_SET)
+def test_fsm_controllers(benchmark, name):
+    logic = mcnc.build(name, fanin_limit=2)
+    row = benchmark.pedantic(
+        table2_row,
+        args=(name, logic.circuit),
+        kwargs={"logic": logic},
+        rounds=1,
+        iterations=1,
+    )
+    _rows.append(row)
+    __, __, ld, fd, __, __, td = row
+    assert td <= fd <= ld
+
+
+def test_sticky_controller_drop(benchmark):
+    logic = mcnc.sticky_bit_controller(chain_len=6)
+    row = benchmark.pedantic(
+        table2_row,
+        args=("sticky", logic.circuit),
+        kwargs={"logic": logic},
+        rounds=1,
+        iterations=1,
+    )
+    _rows.append(row)
+    __, __, __, fd, __, __, td = row
+    assert td == fd - 1  # the paper's FSM-row phenomenon
+
+
+def test_zzz_write_table(benchmark):
+    """Runs last (collection order within the file): dump every collected
+    row.  Uses the benchmark fixture trivially so --benchmark-only keeps
+    it."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert _rows
+    write_result("table2_fixed_delay", render_rows("Table II", _rows))

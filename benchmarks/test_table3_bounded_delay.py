@@ -1,0 +1,63 @@
+"""Table III — transition delay under bounded gate delays [0, d].
+
+The paper's monotone-speedup run: "we have been able to obtain vector pairs
+that validate the floating delay for all the ISCAS-85 benchmark circuits
+under the bounded gate delay model" — i.e. bounded t.d. == f.d. on the
+combinational set.  The FSM rows keep the Sec. VI pair restriction.
+"""
+
+import pytest
+
+from repro.circuits import iscas, mcnc
+
+from .common import HEAVY, render_rows, table3_row, write_result
+
+LIGHT = ["c17", "c432", "c499", "c880"]
+MEDIUM = ["c1908", "c1355", "c2670", "c3540", "c5315", "c7552"]
+FSM_SET = ["planet", "sand", "styr", "scf"]
+
+_rows = []
+
+
+@pytest.mark.parametrize("name", LIGHT)
+def test_bounded_light(benchmark, name):
+    circuit = iscas.build(name)
+    row = benchmark.pedantic(
+        table3_row, args=(name, circuit), rounds=1, iterations=1
+    )
+    _rows.append(row)
+    __, __, ld, fd, __, __, td = row
+    assert td == fd, "bounded pairs validate the floating delay"
+    assert fd <= ld
+
+
+@pytest.mark.parametrize("name", MEDIUM)
+def test_bounded_medium(benchmark, name):
+    circuit = iscas.build(name)
+    row = benchmark.pedantic(
+        table3_row, args=(name, circuit), rounds=1, iterations=1
+    )
+    _rows.append(row)
+    __, __, ld, fd, __, __, td = row
+    assert td == fd <= ld
+
+
+@pytest.mark.parametrize("name", FSM_SET)
+def test_bounded_fsm(benchmark, name):
+    logic = mcnc.build(name, fanin_limit=2)
+    row = benchmark.pedantic(
+        table3_row,
+        args=(name, logic.circuit),
+        kwargs={"logic": logic},
+        rounds=1,
+        iterations=1,
+    )
+    _rows.append(row)
+    __, __, ld, fd, __, __, td = row
+    assert td <= ld
+
+
+def test_zzz_write_table(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert _rows
+    write_result("table3_bounded_delay", render_rows("Table III", _rows))

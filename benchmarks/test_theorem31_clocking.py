@@ -1,0 +1,59 @@
+"""Theorem 3.1 — clock-period validity from the transition delay.
+
+Checks the theorem's bound empirically across circuits: every certified
+period latches correctly on random vector sequences, and Fig. 2's period 4
+(below the floating delay 5) is valid.
+"""
+
+from repro.core import (
+    compute_transition_delay,
+    smallest_empirical_period,
+    theorem31_min_period,
+    validate_period_by_simulation,
+)
+from repro.circuits import carry_skip_adder, fig2_circuit, iscas
+
+from .common import render_rows, write_result
+
+
+def analyse():
+    rows = []
+    cases = {
+        "c17": iscas.c17(),
+        "csa8": carry_skip_adder(8, 4),
+        "fig2": fig2_circuit(),
+    }
+    for name, circuit in cases.items():
+        cert = compute_transition_delay(circuit)
+        tau = theorem31_min_period(circuit, cert.delay)
+        validation = validate_period_by_simulation(
+            circuit, tau, num_vectors=40
+        )
+        empirical = smallest_empirical_period(circuit, num_vectors=40)
+        rows.append(
+            [
+                name,
+                circuit.topological_delay(),
+                cert.delay,
+                tau,
+                validation.ok,
+                empirical,
+            ]
+        )
+    return rows
+
+
+def test_theorem31(benchmark):
+    rows = benchmark.pedantic(analyse, rounds=1, iterations=1)
+    write_result(
+        "theorem31_clocking",
+        render_rows(
+            "Theorem 3.1 validation",
+            rows,
+            ["EX", "omega", "t.d.", "certified tau", "valid", "empirical min"],
+        ),
+    )
+    for __, omega, td, tau, ok, empirical in rows:
+        assert ok
+        assert tau >= td and 2 * tau > omega
+        assert empirical <= tau

@@ -1,0 +1,102 @@
+"""TrueD — certified timing verification and the transition delay of logic
+circuits.
+
+A from-scratch Python reproduction of S. Devadas, K. Keutzer, S. Malik and
+A. Wang, "Certified Timing Verification and the Transition Delay of a Logic
+Circuit" (DAC 1992; IEEE TVLSI 2(3), 1994).
+
+Quick tour::
+
+    from repro import carry_skip_adder, certify
+
+    circuit = carry_skip_adder(8, block_size=4)
+    report = certify(circuit)
+    print(report.describe())
+
+Packages:
+
+* :mod:`repro.core` — floating delay, transition delay (symbolic vector-pair
+  simulation), bounded delays, Theorem 3.1 clocking, Sec. VII certification,
+  statistical follow-up.
+* :mod:`repro.network` — the circuit model, paths, transforms, netlist I/O.
+* :mod:`repro.boolfn` — ROBDDs, AIGs, CNF, a CDCL SAT solver, SOP logic.
+* :mod:`repro.sim` — zero-delay, event-driven and ternary simulation.
+* :mod:`repro.sta` — the longest-path static-timing baseline.
+* :mod:`repro.fsm` — KISS2 controllers, synthesis, Sec. VI restrictions.
+* :mod:`repro.circuits` — figure circuits, generators, benchmark stand-ins.
+"""
+
+from .core import (
+    CertificationReport,
+    DelayCertificate,
+    TransitionAnalysis,
+    VectorPair,
+    Verdict,
+    certify,
+    collect_certification_pairs,
+    compute_bounded_transition_delay,
+    compute_floating_delay,
+    compute_transition_delay,
+    is_certified_period,
+    monte_carlo_delay,
+    theorem31_min_period,
+    validate_period_by_simulation,
+)
+from .network import (
+    Circuit,
+    CircuitBuilder,
+    GateType,
+    load_bench,
+    load_blif,
+    loads_bench,
+    loads_blif,
+)
+from .sim import EventSimulator
+from .sta import analyze, timing_report, topological_delay
+from .circuits import (
+    array_multiplier,
+    carry_skip_adder,
+    fig1_circuit,
+    fig2_circuit,
+    fig3_circuit,
+    fig5_circuit,
+    ripple_carry_adder,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "certify",
+    "CertificationReport",
+    "Verdict",
+    "compute_floating_delay",
+    "compute_transition_delay",
+    "compute_bounded_transition_delay",
+    "collect_certification_pairs",
+    "TransitionAnalysis",
+    "DelayCertificate",
+    "VectorPair",
+    "theorem31_min_period",
+    "is_certified_period",
+    "validate_period_by_simulation",
+    "monte_carlo_delay",
+    "Circuit",
+    "CircuitBuilder",
+    "GateType",
+    "loads_bench",
+    "load_bench",
+    "loads_blif",
+    "load_blif",
+    "EventSimulator",
+    "analyze",
+    "topological_delay",
+    "timing_report",
+    "ripple_carry_adder",
+    "carry_skip_adder",
+    "array_multiplier",
+    "fig1_circuit",
+    "fig2_circuit",
+    "fig3_circuit",
+    "fig5_circuit",
+    "__version__",
+]

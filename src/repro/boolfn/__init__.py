@@ -1,0 +1,30 @@
+"""Boolean-function substrate: AIG, ROBDD, CNF, CDCL SAT, and SOP logic."""
+
+from .aig import Aig, CONST0, CONST1
+from .bdd import BddManager, BddOverflow, FALSE, TRUE
+from .cnf import Cnf
+from .interface import AUTO_BDD_GATE_LIMIT, BddEngine, SatEngine, make_engine
+from .sat import SatSolver, luby, solve_cnf
+from .sop import Cube, Sop, minterms_of, quine_mccluskey
+
+__all__ = [
+    "Aig",
+    "CONST0",
+    "CONST1",
+    "BddManager",
+    "BddOverflow",
+    "FALSE",
+    "TRUE",
+    "Cnf",
+    "SatSolver",
+    "luby",
+    "solve_cnf",
+    "Cube",
+    "Sop",
+    "minterms_of",
+    "quine_mccluskey",
+    "BddEngine",
+    "SatEngine",
+    "make_engine",
+    "AUTO_BDD_GATE_LIMIT",
+]

@@ -1,0 +1,325 @@
+"""Reduced, ordered binary decision diagrams (Bryant [4]).
+
+One of the two Boolean-function engines used by the symbolic delay
+computations (Sec. V-G of the paper): "we could have used reduced, ordered
+Binary Decision Diagram representations for these functions".  The manager
+uses a unique table for canonicity, an ``ite`` core with memoisation, and
+raises :class:`BddOverflow` past a configurable node budget so the caller can
+fall back to the SAT engine (the paper's multiplier pragmatics).
+
+Nodes are small integers: ``0`` is FALSE, ``1`` is TRUE; internal nodes index
+parallel arrays.  Variable order is creation order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+FALSE = 0
+TRUE = 1
+
+
+class BddOverflow(Exception):
+    """Raised when the manager exceeds its node budget."""
+
+
+class BddManager:
+    """A shared-node ROBDD manager."""
+
+    def __init__(self, max_nodes: Optional[int] = None):
+        # Parallel node arrays; entries 0/1 are the terminals (level = inf).
+        self._var: List[int] = [-1, -1]
+        self._lo: List[int] = [FALSE, TRUE]
+        self._hi: List[int] = [FALSE, TRUE]
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        self._ite_cache: Dict[Tuple[int, int, int], int] = {}
+        self._names: List[str] = []
+        self._name_to_index: Dict[str, int] = {}
+        self.max_nodes = max_nodes
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self._var)
+
+    @property
+    def num_vars(self) -> int:
+        return len(self._names)
+
+    def var(self, name: str) -> int:
+        """The function of a single variable, creating it on first use."""
+        if name in self._name_to_index:
+            index = self._name_to_index[name]
+        else:
+            index = len(self._names)
+            self._names.append(name)
+            self._name_to_index[name] = index
+        return self._mk(index, FALSE, TRUE)
+
+    def var_name(self, index: int) -> str:
+        return self._names[index]
+
+    def has_var(self, name: str) -> bool:
+        return name in self._name_to_index
+
+    def _level(self, node: int) -> int:
+        var = self._var[node]
+        return len(self._names) + 1 if var < 0 else var
+
+    def _mk(self, var: int, lo: int, hi: int) -> int:
+        if lo == hi:
+            return lo
+        key = (var, lo, hi)
+        node = self._unique.get(key)
+        if node is not None:
+            return node
+        if self.max_nodes is not None and len(self._var) >= self.max_nodes:
+            raise BddOverflow(f"BDD node budget of {self.max_nodes} exceeded")
+        node = len(self._var)
+        self._var.append(var)
+        self._lo.append(lo)
+        self._hi.append(hi)
+        self._unique[key] = node
+        return node
+
+    # ------------------------------------------------------------------
+    # ITE core and derived operators
+    # ------------------------------------------------------------------
+    def ite(self, f: int, g: int, h: int) -> int:
+        """If-then-else: f·g + f'·h."""
+        if f == TRUE:
+            return g
+        if f == FALSE:
+            return h
+        if g == h:
+            return g
+        if g == TRUE and h == FALSE:
+            return f
+        key = (f, g, h)
+        cached = self._ite_cache.get(key)
+        if cached is not None:
+            return cached
+        top = min(self._level(f), self._level(g), self._level(h))
+        f_lo, f_hi = self._cofactors(f, top)
+        g_lo, g_hi = self._cofactors(g, top)
+        h_lo, h_hi = self._cofactors(h, top)
+        lo = self.ite(f_lo, g_lo, h_lo)
+        hi = self.ite(f_hi, g_hi, h_hi)
+        result = self._mk(top, lo, hi)
+        self._ite_cache[key] = result
+        return result
+
+    def _cofactors(self, node: int, level: int) -> Tuple[int, int]:
+        if self._level(node) != level:
+            return node, node
+        return self._lo[node], self._hi[node]
+
+    def not_(self, f: int) -> int:
+        return self.ite(f, FALSE, TRUE)
+
+    def and_(self, f: int, g: int) -> int:
+        return self.ite(f, g, FALSE)
+
+    def or_(self, f: int, g: int) -> int:
+        return self.ite(f, TRUE, g)
+
+    def xor_(self, f: int, g: int) -> int:
+        return self.ite(f, self.not_(g), g)
+
+    def xnor_(self, f: int, g: int) -> int:
+        return self.ite(f, g, self.not_(g))
+
+    def implies(self, f: int, g: int) -> int:
+        return self.ite(f, g, TRUE)
+
+    def and_many(self, fs) -> int:
+        result = TRUE
+        for f in fs:
+            result = self.and_(result, f)
+            if result == FALSE:
+                break
+        return result
+
+    def or_many(self, fs) -> int:
+        result = FALSE
+        for f in fs:
+            result = self.or_(result, f)
+            if result == TRUE:
+                break
+        return result
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def is_tautology(self, f: int) -> bool:
+        return f == TRUE
+
+    def is_unsat(self, f: int) -> bool:
+        return f == FALSE
+
+    def equiv(self, f: int, g: int) -> bool:
+        """Canonical form makes equivalence a pointer comparison."""
+        return f == g
+
+    def evaluate(self, f: int, assignment: Dict[str, bool]) -> bool:
+        """Evaluate under a total assignment of the support variables."""
+        node = f
+        while node > TRUE:
+            name = self._names[self._var[node]]
+            node = self._hi[node] if assignment[name] else self._lo[node]
+        return node == TRUE
+
+    def sat_one(self, f: int) -> Optional[Dict[str, bool]]:
+        """One satisfying assignment (over the variables on the chosen path),
+        or None if ``f`` is FALSE."""
+        if f == FALSE:
+            return None
+        assignment: Dict[str, bool] = {}
+        node = f
+        while node > TRUE:
+            name = self._names[self._var[node]]
+            if self._hi[node] != FALSE:
+                assignment[name] = True
+                node = self._hi[node]
+            else:
+                assignment[name] = False
+                node = self._lo[node]
+        return assignment
+
+    def sat_count(self, f: int, num_vars: Optional[int] = None) -> int:
+        """Number of satisfying assignments over ``num_vars`` total variables
+        (default: all variables known to the manager)."""
+        if num_vars is None:
+            num_vars = len(self._names)
+        cache: Dict[int, int] = {}
+
+        def count(node: int) -> int:
+            # Solutions over variables at levels >= node's level, given node.
+            if node == FALSE:
+                return 0
+            if node == TRUE:
+                return 1
+            if node in cache:
+                return cache[node]
+            level = self._var[node]
+            lo, hi = self._lo[node], self._hi[node]
+            result = count(lo) * (1 << (self._gap(node, lo, num_vars))) + count(
+                hi
+            ) * (1 << (self._gap(node, hi, num_vars)))
+            cache[node] = result
+            return result
+
+        top_gap = self._level(f) if f > TRUE else num_vars
+        scale = 1 << min(top_gap, num_vars)
+        if f == TRUE:
+            return 1 << num_vars
+        if f == FALSE:
+            return 0
+        return count(f) * scale
+
+    def _gap(self, parent: int, child: int, num_vars: int) -> int:
+        parent_level = self._var[parent]
+        child_level = self._var[child] if child > TRUE else num_vars
+        return child_level - parent_level - 1
+
+    def support(self, f: int) -> List[str]:
+        """Variable names the function structurally depends on."""
+        seen = set()
+        names = set()
+        stack = [f]
+        while stack:
+            node = stack.pop()
+            if node <= TRUE or node in seen:
+                continue
+            seen.add(node)
+            names.add(self._names[self._var[node]])
+            stack.append(self._lo[node])
+            stack.append(self._hi[node])
+        return sorted(names)
+
+    def size(self, f: int) -> int:
+        """Number of internal nodes in the (shared) graph rooted at ``f``."""
+        seen = set()
+        stack = [f]
+        while stack:
+            node = stack.pop()
+            if node <= TRUE or node in seen:
+                continue
+            seen.add(node)
+            stack.append(self._lo[node])
+            stack.append(self._hi[node])
+        return len(seen)
+
+    # ------------------------------------------------------------------
+    # Substitution / quantification
+    # ------------------------------------------------------------------
+    def restrict(self, f: int, name: str, value: bool) -> int:
+        """Cofactor with respect to variable ``name``."""
+        if name not in self._name_to_index:
+            return f
+        target = self._name_to_index[name]
+        cache: Dict[int, int] = {}
+
+        def walk(node: int) -> int:
+            if node <= TRUE or self._var[node] > target:
+                return node
+            if node in cache:
+                return cache[node]
+            if self._var[node] == target:
+                result = self._hi[node] if value else self._lo[node]
+            else:
+                result = self._mk(
+                    self._var[node], walk(self._lo[node]), walk(self._hi[node])
+                )
+            cache[node] = result
+            return result
+
+        return walk(f)
+
+    def exists(self, f: int, names) -> int:
+        """Existential quantification over an iterable of variable names."""
+        result = f
+        for name in names:
+            lo = self.restrict(result, name, False)
+            hi = self.restrict(result, name, True)
+            result = self.or_(lo, hi)
+        return result
+
+    def forall(self, f: int, names) -> int:
+        result = f
+        for name in names:
+            lo = self.restrict(result, name, False)
+            hi = self.restrict(result, name, True)
+            result = self.and_(lo, hi)
+        return result
+
+    def compose(self, f: int, name: str, g: int) -> int:
+        """Substitute function ``g`` for variable ``name`` in ``f``."""
+        var_node = self.var(name)
+        lo = self.restrict(f, name, False)
+        hi = self.restrict(f, name, True)
+        del var_node
+        return self.ite(g, hi, lo)
+
+    # ------------------------------------------------------------------
+    # Enumeration
+    # ------------------------------------------------------------------
+    def cubes(self, f: int) -> Iterator[Dict[str, bool]]:
+        """Iterate the cubes (paths to TRUE) of ``f``."""
+
+        def walk(node: int, partial: Dict[str, bool]) -> Iterator[Dict[str, bool]]:
+            if node == FALSE:
+                return
+            if node == TRUE:
+                yield dict(partial)
+                return
+            name = self._names[self._var[node]]
+            partial[name] = False
+            yield from walk(self._lo[node], partial)
+            partial[name] = True
+            yield from walk(self._hi[node], partial)
+            del partial[name]
+
+        yield from walk(f, {})

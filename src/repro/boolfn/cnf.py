@@ -1,0 +1,94 @@
+"""Conjunctive-normal-form containers.
+
+Variables are positive integers ``1..num_vars`` and literals are signed
+integers in the DIMACS convention: ``v`` for the variable, ``-v`` for its
+negation.  :class:`Cnf` is the interchange format between the AIG Tseitin
+encoder (:mod:`repro.boolfn.aig`) and the CDCL solver
+(:mod:`repro.boolfn.sat`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+
+class Cnf:
+    """A growable CNF formula."""
+
+    def __init__(self, num_vars: int = 0):
+        if num_vars < 0:
+            raise ValueError("num_vars must be non-negative")
+        self.num_vars = num_vars
+        self.clauses: List[Tuple[int, ...]] = []
+
+    def new_var(self) -> int:
+        """Allocate and return a fresh variable."""
+        self.num_vars += 1
+        return self.num_vars
+
+    def add_clause(self, lits: Iterable[int]) -> None:
+        """Add a clause; literals must reference allocated variables."""
+        clause = tuple(lits)
+        for lit in clause:
+            if lit == 0:
+                raise ValueError("0 is not a valid literal")
+            if abs(lit) > self.num_vars:
+                raise ValueError(f"literal {lit} references unallocated variable")
+        self.clauses.append(clause)
+
+    def add_clauses(self, clauses: Iterable[Iterable[int]]) -> None:
+        for clause in clauses:
+            self.add_clause(clause)
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    def evaluate(self, assignment: Sequence[bool]) -> bool:
+        """Evaluate under ``assignment`` (index 0 unused, index v = value of v)."""
+        if len(assignment) < self.num_vars + 1:
+            raise ValueError("assignment too short")
+        for clause in self.clauses:
+            if not any(
+                assignment[lit] if lit > 0 else not assignment[-lit]
+                for lit in clause
+            ):
+                return False
+        return True
+
+    def to_dimacs(self) -> str:
+        """Render in DIMACS cnf format."""
+        lines = [f"p cnf {self.num_vars} {len(self.clauses)}"]
+        for clause in self.clauses:
+            lines.append(" ".join(str(lit) for lit in clause) + " 0")
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_dimacs(cls, text: str) -> "Cnf":
+        """Parse DIMACS cnf text (comments and the problem line are honoured)."""
+        cnf = cls()
+        declared_vars = 0
+        pending: List[int] = []
+        for raw in text.splitlines():
+            line = raw.strip()
+            if not line or line.startswith("c"):
+                continue
+            if line.startswith("p"):
+                parts = line.split()
+                if len(parts) != 4 or parts[1] != "cnf":
+                    raise ValueError(f"bad problem line: {line!r}")
+                declared_vars = int(parts[2])
+                cnf.num_vars = max(cnf.num_vars, declared_vars)
+                continue
+            for tok in line.split():
+                lit = int(tok)
+                if lit == 0:
+                    cnf.num_vars = max(
+                        cnf.num_vars, max((abs(x) for x in pending), default=0)
+                    )
+                    cnf.clauses.append(tuple(pending))
+                    pending = []
+                else:
+                    pending.append(lit)
+        if pending:
+            raise ValueError("trailing clause without terminating 0")
+        return cnf

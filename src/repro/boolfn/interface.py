@@ -1,0 +1,173 @@
+"""A common facade over the two Boolean-function engines.
+
+Sec. V-G of the paper: functions may be kept either as ROBDDs or as
+multilevel networks checked with a satisfiability procedure; multipliers make
+ROBDDs infeasible.  The delay algorithms in :mod:`repro.core` are written
+against this facade so either engine (or the size-based ``auto`` policy) can
+be plugged in.  Function handles are opaque ints.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from .aig import Aig
+from .bdd import BddManager, BddOverflow, FALSE, TRUE
+
+
+class BddEngine:
+    """ROBDD-backed engine (canonical; equivalence is pointer equality)."""
+
+    name = "bdd"
+    #: Canonical representation makes per-function checks O(1); folding
+    #: many predicates into one disjunction only builds larger BDDs.
+    prefers_batching = False
+
+    def __init__(self, max_nodes: Optional[int] = None):
+        self._mgr = BddManager(max_nodes=max_nodes)
+        self.const0 = FALSE
+        self.const1 = TRUE
+        self.num_sat_checks = 0
+
+    @property
+    def manager(self) -> BddManager:
+        return self._mgr
+
+    def var(self, name: str) -> int:
+        return self._mgr.var(name)
+
+    def not_(self, f: int) -> int:
+        return self._mgr.not_(f)
+
+    def and_(self, a: int, b: int) -> int:
+        return self._mgr.and_(a, b)
+
+    def or_(self, a: int, b: int) -> int:
+        return self._mgr.or_(a, b)
+
+    def xor_(self, a: int, b: int) -> int:
+        return self._mgr.xor_(a, b)
+
+    def and_many(self, fs: Iterable[int]) -> int:
+        return self._mgr.and_many(fs)
+
+    def or_many(self, fs: Iterable[int]) -> int:
+        return self._mgr.or_many(fs)
+
+    def evaluate(self, f: int, assignment: Dict[str, bool]) -> bool:
+        return self._mgr.evaluate(f, assignment)
+
+    def sat_one(self, f: int) -> Optional[Dict[str, bool]]:
+        self.num_sat_checks += 1
+        return self._mgr.sat_one(f)
+
+    def is_tautology(self, f: int) -> bool:
+        self.num_sat_checks += 1
+        return f == TRUE
+
+    def equiv(self, a: int, b: int) -> bool:
+        return a == b
+
+    def support(self, f: int) -> List[str]:
+        return self._mgr.support(f)
+
+    def size(self, f: int) -> int:
+        return self._mgr.size(f)
+
+
+class SatEngine:
+    """AIG + CDCL-SAT backed engine (Larrabee-style, scales to multipliers)."""
+
+    name = "sat"
+    #: Each satisfiability call pays a full CDCL run, so one check per time
+    #: point over the disjunction of all outputs wins.
+    prefers_batching = True
+
+    def __init__(self, sig_seed: int = 0xC0FFEE):
+        self._aig = Aig(sig_seed=sig_seed)
+        self.const0 = 0
+        self.const1 = 1
+        self.num_sat_checks = 0
+
+    @property
+    def manager(self) -> Aig:
+        return self._aig
+
+    def var(self, name: str) -> int:
+        return self._aig.var(name)
+
+    def not_(self, f: int) -> int:
+        return self._aig.not_(f)
+
+    def and_(self, a: int, b: int) -> int:
+        return self._aig.and_(a, b)
+
+    def or_(self, a: int, b: int) -> int:
+        return self._aig.or_(a, b)
+
+    def xor_(self, a: int, b: int) -> int:
+        return self._aig.xor_(a, b)
+
+    def and_many(self, fs: Iterable[int]) -> int:
+        return self._aig.and_many(list(fs))
+
+    def or_many(self, fs: Iterable[int]) -> int:
+        return self._aig.or_many(list(fs))
+
+    def evaluate(self, f: int, assignment: Dict[str, bool]) -> bool:
+        return self._aig.evaluate(f, assignment)
+
+    def sat_one(self, f: int) -> Optional[Dict[str, bool]]:
+        self.num_sat_checks += 1
+        return self._aig.sat_one(f)
+
+    def is_tautology(self, f: int) -> bool:
+        self.num_sat_checks += 1
+        return self._aig.sat_one(f ^ 1) is None
+
+    def equiv(self, a: int, b: int) -> bool:
+        if a == b:
+            return True
+        if self._aig.lit_sig(a) != self._aig.lit_sig(b):
+            return False
+        self.num_sat_checks += 1
+        return self._aig.sat_one(self._aig.xor_(a, b)) is None
+
+    def support(self, f: int) -> List[str]:
+        return self._aig.support(f)
+
+    def size(self, f: int) -> int:
+        return self._aig.cone_size(f)
+
+
+# The auto policy switches to SAT past this many circuit gates; BDDs on the
+# stand-in benchmarks below this size stay comfortably small.
+AUTO_BDD_GATE_LIMIT = 700
+
+
+def make_engine(engine: str = "auto", circuit_size: int = 0,
+                max_bdd_nodes: Optional[int] = 2_000_000):
+    """Instantiate a function engine.
+
+    ``engine`` is one of ``"bdd"``, ``"sat"``, ``"auto"``.  ``auto`` picks
+    BDDs for circuits up to :data:`AUTO_BDD_GATE_LIMIT` gates and the SAT
+    engine beyond that (the paper's multiplier pragmatics, Sec. V-G).
+    """
+    if engine == "bdd":
+        return BddEngine(max_nodes=max_bdd_nodes)
+    if engine == "sat":
+        return SatEngine()
+    if engine == "auto":
+        if circuit_size and circuit_size > AUTO_BDD_GATE_LIMIT:
+            return SatEngine()
+        return BddEngine(max_nodes=max_bdd_nodes)
+    raise ValueError(f"unknown engine {engine!r} (expected bdd/sat/auto)")
+
+
+__all__ = [
+    "BddEngine",
+    "SatEngine",
+    "BddOverflow",
+    "make_engine",
+    "AUTO_BDD_GATE_LIMIT",
+]

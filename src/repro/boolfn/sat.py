@@ -1,0 +1,408 @@
+"""A CDCL satisfiability solver (Larrabee-style engine for TrueD).
+
+The paper (Sec. V-G) keeps the symbolic functions as multilevel networks and
+checks satisfiability with Larrabee's Boolean-satisfiability procedure when
+ROBDDs are infeasible (e.g. multipliers).  This module provides the modern
+equivalent: a conflict-driven clause-learning solver with two-literal
+watching, 1UIP learning, VSIDS-style activities, phase saving and Luby
+restarts.  It is deliberately self-contained pure Python.
+
+Variables are external positive integers (1-based, DIMACS convention), as in
+:class:`repro.boolfn.cnf.Cnf`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .cnf import Cnf
+
+_UNASSIGNED = -1
+
+
+def luby(i: int) -> int:
+    """The i-th element (1-based) of the Luby restart sequence
+    1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, ..."""
+    if i < 1:
+        raise ValueError("luby is 1-based")
+    x = i - 1
+    size, seq = 1, 0
+    while size < x + 1:
+        seq += 1
+        size = 2 * size + 1
+    while size - 1 != x:
+        size = (size - 1) // 2
+        seq -= 1
+        x %= size
+    return 1 << seq
+
+
+class SatSolver:
+    """CDCL solver over an incrementally grown clause database.
+
+    Typical use::
+
+        solver = SatSolver()
+        a, b = solver.new_var(), solver.new_var()
+        solver.add_clause([a, b])
+        solver.add_clause([-a, b])
+        assert solver.solve()
+        model = solver.model()        # {1: ..., 2: True}
+
+    ``solve(assumptions=...)`` answers the query under temporary unit
+    assumptions, which is how delay queries re-use one solver instance.
+    """
+
+    def __init__(self):
+        self._num_vars = 0
+        # Per-variable state (index = internal var, 0-based).
+        self._value: List[int] = []      # _UNASSIGNED / 0 / 1
+        self._level: List[int] = []
+        self._reason: List[Optional[List[int]]] = []
+        self._activity: List[float] = []
+        self._phase: List[int] = []      # saved phase per var
+        # Watches indexed by internal literal (2v / 2v+1).
+        self._watches: List[List[List[int]]] = []
+        self._clauses: List[List[int]] = []
+        self._learned: List[List[int]] = []
+        self._trail: List[int] = []      # internal literals, assignment order
+        self._trail_lim: List[int] = []
+        self._qhead = 0
+        self._var_inc = 1.0
+        self._var_decay = 0.95
+        self._heap: List[tuple] = []     # lazy max-activity heap of (-act, var)
+        self._ok = True                  # False once root-level conflict found
+        self.num_conflicts = 0
+        self.num_decisions = 0
+        self.num_propagations = 0
+
+    # ------------------------------------------------------------------
+    # Problem construction
+    # ------------------------------------------------------------------
+    def new_var(self) -> int:
+        """Allocate a fresh variable; returns the external (1-based) index."""
+        self._num_vars += 1
+        self._value.append(_UNASSIGNED)
+        self._level.append(0)
+        self._reason.append(None)
+        self._activity.append(0.0)
+        self._phase.append(0)
+        self._watches.append([])
+        self._watches.append([])
+        heapq.heappush(self._heap, (0.0, self._num_vars - 1))
+        return self._num_vars
+
+    def ensure_vars(self, n: int) -> None:
+        """Allocate variables until ``n`` external variables exist."""
+        while self._num_vars < n:
+            self.new_var()
+
+    @staticmethod
+    def _to_internal(lit: int) -> int:
+        var = abs(lit) - 1
+        return 2 * var + (1 if lit < 0 else 0)
+
+    @staticmethod
+    def _to_external(ilit: int) -> int:
+        var = (ilit >> 1) + 1
+        return -var if ilit & 1 else var
+
+    def add_clause(self, lits: Iterable[int]) -> bool:
+        """Add a clause (external literals). Returns False if the database
+        became unsatisfiable at the root level."""
+        if not self._ok:
+            return False
+        seen: Dict[int, None] = {}
+        internal: List[int] = []
+        for lit in lits:
+            if lit == 0:
+                raise ValueError("0 is not a valid literal")
+            self.ensure_vars(abs(lit))
+            ilit = self._to_internal(lit)
+            if ilit ^ 1 in seen:
+                return True  # tautology: clause always satisfied
+            if ilit in seen:
+                continue
+            seen[ilit] = None
+            internal.append(ilit)
+        # Drop root-level-false literals; detect root-level-satisfied clause.
+        filtered: List[int] = []
+        for ilit in internal:
+            val = self._lit_value(ilit)
+            if val == 1 and self._level[ilit >> 1] == 0:
+                return True
+            if val == 0 and self._level[ilit >> 1] == 0:
+                continue
+            filtered.append(ilit)
+        if not filtered:
+            self._ok = False
+            return False
+        if len(filtered) == 1:
+            if not self._enqueue(filtered[0], None):
+                self._ok = False
+                return False
+            conflict = self._propagate()
+            if conflict is not None:
+                self._ok = False
+                return False
+            return True
+        clause = filtered
+        self._clauses.append(clause)
+        self._attach(clause)
+        return True
+
+    def add_cnf(self, cnf: Cnf) -> bool:
+        """Load every clause of a :class:`Cnf`. Returns False on root conflict."""
+        self.ensure_vars(cnf.num_vars)
+        for clause in cnf.clauses:
+            if not self.add_clause(clause):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Assignment machinery
+    # ------------------------------------------------------------------
+    def _lit_value(self, ilit: int) -> int:
+        val = self._value[ilit >> 1]
+        if val == _UNASSIGNED:
+            return _UNASSIGNED
+        return val ^ (ilit & 1)
+
+    def _attach(self, clause: List[int]) -> None:
+        # watches[l] holds the clauses in which literal l is watched.
+        self._watches[clause[0]].append(clause)
+        self._watches[clause[1]].append(clause)
+
+    def _enqueue(self, ilit: int, reason: Optional[List[int]]) -> bool:
+        val = self._lit_value(ilit)
+        if val == 0:
+            return False
+        if val == 1:
+            return True
+        var = ilit >> 1
+        self._value[var] = 1 - (ilit & 1)
+        self._level[var] = self.decision_level
+        self._reason[var] = reason
+        self._trail.append(ilit)
+        return True
+
+    @property
+    def decision_level(self) -> int:
+        return len(self._trail_lim)
+
+    def _propagate(self) -> Optional[List[int]]:
+        """Unit propagation; returns the conflicting clause or None."""
+        while self._qhead < len(self._trail):
+            p = self._trail[self._qhead]
+            self._qhead += 1
+            self.num_propagations += 1
+            false_lit = p ^ 1
+            watchlist = self._watches[false_lit]
+            new_watchlist: List[List[int]] = []
+            i = 0
+            n = len(watchlist)
+            while i < n:
+                clause = watchlist[i]
+                i += 1
+                if clause[0] == false_lit:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._lit_value(first) == 1:
+                    new_watchlist.append(clause)
+                    continue
+                moved = False
+                for k in range(2, len(clause)):
+                    if self._lit_value(clause[k]) != 0:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        self._watches[clause[1]].append(clause)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                new_watchlist.append(clause)
+                if not self._enqueue(first, clause):
+                    # Conflict: keep the remaining watches and report.
+                    new_watchlist.extend(watchlist[i:])
+                    self._watches[false_lit] = new_watchlist
+                    self._qhead = len(self._trail)
+                    return clause
+            self._watches[false_lit] = new_watchlist
+        return None
+
+    # ------------------------------------------------------------------
+    # Conflict analysis
+    # ------------------------------------------------------------------
+    def _bump(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        if self._activity[var] > 1e100:
+            for v in range(self._num_vars):
+                self._activity[v] *= 1e-100
+            self._var_inc *= 1e-100
+        heapq.heappush(self._heap, (-self._activity[var], var))
+
+    def _analyze(self, conflict: List[int]) -> tuple:
+        """1UIP learning. Returns (learned clause, backtrack level)."""
+        learned: List[int] = [0]  # placeholder for the asserting literal
+        seen = [False] * self._num_vars
+        counter = 0
+        p: Optional[int] = None
+        index = len(self._trail) - 1
+        reason: List[int] = conflict
+        while True:
+            start = 0 if p is None else 1
+            for k in range(start, len(reason)):
+                q = reason[k]
+                var = q >> 1
+                if not seen[var] and self._level[var] > 0:
+                    seen[var] = True
+                    self._bump(var)
+                    if self._level[var] == self.decision_level:
+                        counter += 1
+                    else:
+                        learned.append(q)
+            while True:
+                p = self._trail[index]
+                index -= 1
+                if seen[p >> 1]:
+                    break
+            counter -= 1
+            seen[p >> 1] = False
+            if counter == 0:
+                break
+            reason_clause = self._reason[p >> 1]
+            assert reason_clause is not None
+            # Put p first so the skip (start=1) drops it from resolution.
+            if reason_clause[0] != p:
+                reason_clause = [p] + [l for l in reason_clause if l != p]
+            reason = reason_clause
+        learned[0] = p ^ 1
+        if len(learned) == 1:
+            bt_level = 0
+        else:
+            # Second-highest level among learned literals.
+            max_i = 1
+            for k in range(2, len(learned)):
+                if self._level[learned[k] >> 1] > self._level[learned[max_i] >> 1]:
+                    max_i = k
+            learned[1], learned[max_i] = learned[max_i], learned[1]
+            bt_level = self._level[learned[1] >> 1]
+        self._var_inc /= self._var_decay
+        return learned, bt_level
+
+    def _backtrack(self, level: int) -> None:
+        if self.decision_level <= level:
+            return
+        limit = self._trail_lim[level]
+        for ilit in reversed(self._trail[limit:]):
+            var = ilit >> 1
+            self._phase[var] = self._value[var]
+            self._value[var] = _UNASSIGNED
+            self._reason[var] = None
+            heapq.heappush(self._heap, (-self._activity[var], var))
+        del self._trail[limit:]
+        del self._trail_lim[level:]
+        self._qhead = len(self._trail)
+
+    def _pick_branch_var(self) -> Optional[int]:
+        while self._heap:
+            __, var = heapq.heappop(self._heap)
+            if self._value[var] == _UNASSIGNED:
+                return var
+        for var in range(self._num_vars):
+            if self._value[var] == _UNASSIGNED:
+                return var
+        return None
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def solve(self, assumptions: Sequence[int] = ()) -> bool:
+        """Decide satisfiability under the given external assumption literals."""
+        if not self._ok:
+            return False
+        self._backtrack(0)
+        conflict = self._propagate()
+        if conflict is not None:
+            self._ok = False
+            return False
+        internal_assumptions = []
+        for lit in assumptions:
+            self.ensure_vars(abs(lit))
+            internal_assumptions.append(self._to_internal(lit))
+        restart = 1
+        budget = 100 * luby(restart)
+        conflicts_here = 0
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.num_conflicts += 1
+                conflicts_here += 1
+                if self.decision_level == 0:
+                    self._ok = False
+                    return False
+                if self.decision_level <= len(internal_assumptions):
+                    # Conflict forced by the assumptions alone.
+                    self._backtrack(0)
+                    return False
+                learned, bt_level = self._analyze(conflict)
+                bt_level = max(bt_level, len(internal_assumptions))
+                if bt_level >= self.decision_level:
+                    bt_level = self.decision_level - 1
+                self._backtrack(bt_level)
+                if len(learned) == 1:
+                    self._backtrack(0)
+                    if not self._enqueue(learned[0], None):
+                        self._ok = False
+                        return False
+                else:
+                    self._learned.append(learned)
+                    self._attach(learned)
+                    self._enqueue(learned[0], learned)
+                if conflicts_here >= budget and self.decision_level > len(
+                    internal_assumptions
+                ):
+                    self._backtrack(len(internal_assumptions))
+                    restart += 1
+                    budget = 100 * luby(restart)
+                    conflicts_here = 0
+                continue
+            # Assumption decisions first.
+            if self.decision_level < len(internal_assumptions):
+                ilit = internal_assumptions[self.decision_level]
+                val = self._lit_value(ilit)
+                if val == 0:
+                    self._backtrack(0)
+                    return False
+                self._trail_lim.append(len(self._trail))
+                if val == _UNASSIGNED:
+                    self._enqueue(ilit, None)
+                continue
+            var = self._pick_branch_var()
+            if var is None:
+                return True
+            self.num_decisions += 1
+            self._trail_lim.append(len(self._trail))
+            ilit = 2 * var + (1 if self._phase[var] == 0 else 0)
+            self._enqueue(ilit, None)
+
+    def model(self) -> Dict[int, bool]:
+        """The satisfying assignment found by the last successful solve()."""
+        return {
+            var + 1: bool(self._value[var])
+            for var in range(self._num_vars)
+            if self._value[var] != _UNASSIGNED
+        }
+
+
+def solve_cnf(cnf: Cnf, assumptions: Sequence[int] = ()) -> Optional[Dict[int, bool]]:
+    """One-shot convenience: returns a model dict or None if unsatisfiable."""
+    solver = SatSolver()
+    if not solver.add_cnf(cnf):
+        return None
+    if not solver.solve(assumptions):
+        return None
+    model = solver.model()
+    for var in range(1, cnf.num_vars + 1):
+        model.setdefault(var, False)
+    return model

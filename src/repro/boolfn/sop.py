@@ -1,0 +1,248 @@
+"""Two-level (sum-of-products) logic: cubes, covers, and minimization.
+
+Used by the FSM synthesis path (state-encoded controllers are realised from
+their KISS tables as two-level covers before mapping), by the Table I
+*literals* statistic, and by Fig. 1's "prime and irredundant cover".
+
+A :class:`Cube` maps variable names to 0/1; absent variables are don't-cares.
+A :class:`Sop` is a set of cubes interpreted as their disjunction.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+
+class Cube:
+    """A product term: a partial assignment of variables to 0/1."""
+
+    __slots__ = ("_literals",)
+
+    def __init__(self, literals: Dict[str, bool]):
+        self._literals: FrozenSet[Tuple[str, bool]] = frozenset(literals.items())
+
+    @property
+    def literals(self) -> Dict[str, bool]:
+        return dict(self._literals)
+
+    def __len__(self) -> int:
+        return len(self._literals)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Cube) and self._literals == other._literals
+
+    def __hash__(self) -> int:
+        return hash(self._literals)
+
+    def __repr__(self) -> str:
+        if not self._literals:
+            return "Cube(1)"
+        parts = [
+            name if value else name + "'"
+            for name, value in sorted(self._literals)
+        ]
+        return "Cube(" + "".join(parts) + ")"
+
+    def evaluate(self, assignment: Dict[str, bool]) -> bool:
+        return all(assignment[name] == value for name, value in self._literals)
+
+    def contains(self, other: "Cube") -> bool:
+        """True if this cube covers every minterm of ``other``."""
+        return self._literals <= other._literals
+
+    def merge(self, other: "Cube") -> Optional["Cube"]:
+        """Combine two cubes differing in exactly one literal's polarity."""
+        mine = dict(self._literals)
+        theirs = dict(other._literals)
+        if set(mine) != set(theirs):
+            return None
+        diff = [name for name in mine if mine[name] != theirs[name]]
+        if len(diff) != 1:
+            return None
+        del mine[diff[0]]
+        return Cube(mine)
+
+    def intersects(self, other: "Cube") -> bool:
+        """True if the two cubes share at least one minterm."""
+        theirs = dict(other._literals)
+        return all(
+            theirs.get(name, value) == value for name, value in self._literals
+        )
+
+
+class Sop:
+    """A sum-of-products cover."""
+
+    def __init__(self, cubes: Iterable[Cube] = ()):
+        self.cubes: List[Cube] = list(cubes)
+
+    def __len__(self) -> int:
+        return len(self.cubes)
+
+    def __repr__(self) -> str:
+        return "Sop(" + " + ".join(repr(c) for c in self.cubes) + ")"
+
+    def evaluate(self, assignment: Dict[str, bool]) -> bool:
+        return any(cube.evaluate(assignment) for cube in self.cubes)
+
+    def literal_count(self) -> int:
+        """Total literal count — the paper's Table I 'literals' metric
+        (for two-level covers)."""
+        return sum(len(cube) for cube in self.cubes)
+
+    def support(self) -> List[str]:
+        names = set()
+        for cube in self.cubes:
+            for name, __ in cube._literals:
+                names.add(name)
+        return sorted(names)
+
+    def single_cube_containment(self) -> "Sop":
+        """Drop cubes contained in another single cube."""
+        kept: List[Cube] = []
+        for cube in self.cubes:
+            if any(other is not cube and other.contains(cube) for other in self.cubes):
+                # Keep only the first of exact duplicates.
+                duplicate_before = any(
+                    earlier == cube for earlier in kept
+                )
+                strictly_covered = any(
+                    other != cube and other.contains(cube) for other in self.cubes
+                )
+                if strictly_covered or duplicate_before:
+                    continue
+            if cube in kept:
+                continue
+            kept.append(cube)
+        return Sop(kept)
+
+    def merged(self, passes: int = 4) -> "Sop":
+        """Cheap cube-merging heuristic for wide-support covers where full
+        Quine-McCluskey is too expensive."""
+        cover = self.single_cube_containment()
+        for __ in range(passes):
+            cubes = cover.cubes
+            merged_any = False
+            result: List[Cube] = []
+            used = [False] * len(cubes)
+            for i, j in combinations(range(len(cubes)), 2):
+                if used[i] or used[j]:
+                    continue
+                merged = cubes[i].merge(cubes[j])
+                if merged is not None:
+                    result.append(merged)
+                    used[i] = used[j] = True
+                    merged_any = True
+            result.extend(cube for k, cube in enumerate(cubes) if not used[k])
+            cover = Sop(result).single_cube_containment()
+            if not merged_any:
+                break
+        return cover
+
+
+def minterms_of(sop: Sop, variables: Sequence[str]) -> List[int]:
+    """Enumerate the onset minterms (as bit-indices over ``variables``)."""
+    result = []
+    n = len(variables)
+    for m in range(1 << n):
+        assignment = {
+            variables[i]: bool((m >> (n - 1 - i)) & 1) for i in range(n)
+        }
+        if sop.evaluate(assignment):
+            result.append(m)
+    return result
+
+
+def quine_mccluskey(
+    onset: Iterable[int],
+    variables: Sequence[str],
+    dcset: Iterable[int] = (),
+) -> Sop:
+    """Exact-ish two-level minimization for small supports (<= ~14 vars).
+
+    Computes all prime implicants by iterated merging, then a cover by
+    essential primes plus a greedy completion.  Minterm bit order: the first
+    variable is the most significant bit.
+    """
+    n = len(variables)
+    onset = sorted(set(onset))
+    dcset = sorted(set(dcset))
+    if not onset:
+        return Sop()
+    care_plus_dc = set(onset) | set(dcset)
+    if len(care_plus_dc) == 1 << n:
+        return Sop([Cube({})])
+
+    # Implicants as (value_bits, mask_bits); mask bit 1 = variable present.
+    full_mask = (1 << n) - 1
+    current = {(m, full_mask) for m in care_plus_dc}
+    primes = set()
+    while current:
+        merged_pairs = set()
+        next_level = set()
+        grouped: Dict[int, List[Tuple[int, int]]] = {}
+        for value, mask in current:
+            grouped.setdefault(mask, []).append((value, mask))
+        for mask, group in grouped.items():
+            by_ones: Dict[int, List[int]] = {}
+            for value, __ in group:
+                by_ones.setdefault(bin(value).count("1"), []).append(value)
+            for ones, values in by_ones.items():
+                others = by_ones.get(ones + 1, [])
+                for v1 in values:
+                    for v2 in others:
+                        diff = v1 ^ v2
+                        if diff & (diff - 1) == 0:  # single differing bit
+                            next_level.add((v1 & ~diff, mask & ~diff))
+                            merged_pairs.add((v1, mask))
+                            merged_pairs.add((v2, mask))
+        primes |= current - merged_pairs
+        current = next_level
+
+    def implicant_minterms(value: int, mask: int) -> List[int]:
+        free_bits = [b for b in range(n) if not (mask >> b) & 1]
+        result = []
+        for combo in range(1 << len(free_bits)):
+            m = value
+            for i, bit in enumerate(free_bits):
+                if (combo >> i) & 1:
+                    m |= 1 << bit
+            result.append(m)
+        return result
+
+    # Prime implicant chart over care minterms only.
+    chart: Dict[int, List[Tuple[int, int]]] = {m: [] for m in onset}
+    covers: Dict[Tuple[int, int], List[int]] = {}
+    for prime in primes:
+        mts = [m for m in implicant_minterms(*prime) if m in chart]
+        covers[prime] = mts
+        for m in mts:
+            chart[m].append(prime)
+
+    chosen = set()
+    uncovered = set(onset)
+    # Essential primes.
+    for m, plist in chart.items():
+        if len(plist) == 1:
+            chosen.add(plist[0])
+    for prime in chosen:
+        uncovered -= set(covers[prime])
+    # Greedy completion.
+    while uncovered:
+        best = max(primes - chosen, key=lambda p: len(set(covers[p]) & uncovered))
+        gain = len(set(covers[best]) & uncovered)
+        if gain == 0:
+            raise RuntimeError("QM cover construction failed to progress")
+        chosen.add(best)
+        uncovered -= set(covers[best])
+
+    cubes = []
+    for value, mask in sorted(chosen):
+        literals = {}
+        for i, name in enumerate(variables):
+            bit = n - 1 - i
+            if (mask >> bit) & 1:
+                literals[name] = bool((value >> bit) & 1)
+        cubes.append(Cube(literals))
+    return Sop(cubes)

@@ -1,0 +1,42 @@
+"""Benchmark circuits: generators, figure circuits, ISCAS/MCNC stand-ins."""
+
+from . import iscas, mcnc
+from .figures import (
+    FIG2_CRITICAL_PATH,
+    fig1_circuit,
+    fig1_vector_pair,
+    fig2_circuit,
+    fig3_circuit,
+    fig5_circuit,
+)
+from .generators import (
+    alu,
+    array_multiplier,
+    carry_skip_adder,
+    comparator,
+    decoder,
+    error_corrector,
+    parity_tree,
+    random_logic,
+    ripple_carry_adder,
+)
+
+__all__ = [
+    "iscas",
+    "mcnc",
+    "fig1_circuit",
+    "fig1_vector_pair",
+    "fig2_circuit",
+    "fig3_circuit",
+    "fig5_circuit",
+    "FIG2_CRITICAL_PATH",
+    "ripple_carry_adder",
+    "carry_skip_adder",
+    "array_multiplier",
+    "parity_tree",
+    "error_corrector",
+    "alu",
+    "decoder",
+    "comparator",
+    "random_logic",
+]

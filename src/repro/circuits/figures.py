@@ -1,0 +1,133 @@
+"""The paper's figure circuits (Figs. 1, 2, 3 and 5).
+
+Figs. 1 and 2 are *reconstructed* from the paper's prose (the figures'
+netlists are not printed in the text); the reconstructions reproduce every
+quantitative claim the paper makes about them, which the test-suite locks
+in:
+
+* **Fig. 1** — a two-level prime-and-irredundant cover
+  ``f = a'b + ab' + b'c'd'`` with input inverters/buffers of delays
+  chosen so that, on the vector pair ``<1100, 0000>``, product ``g2``
+  glitches high first (output interval [2,3]), ``g3`` next ([3,4]), and by
+  the time the slow product ``g1`` makes its 0->1 transition (time 4) the
+  output OR is already 1 — the glitch chain masks the floating-critical
+  event, so the *observed* delay of this stimulus (3) is far below the
+  floating delay (5), and a monotone speedup of the ``g2``/``g3`` input
+  buffers makes the glitches settle early and restores the floating-delay
+  event (Sec. IV-B).  The circuit-level strict inequality
+  ``t.d. < f.d.`` (which the paper carries over to Fig. 2 for the
+  speedup-robust case) is locked in by :func:`fig2_circuit`.
+* **Fig. 2** — single input ``a``, buffer chain ``x1-x3``, ``b = NOT(x3)``,
+  ``d = OR(x3, b)``, ``c = NOT(a)``, ``e = OR(d, c)``.  The path
+  ``{a, d, e}`` (through the buffers) has length 5 and is statically
+  sensitizable by ``<a=1>``, so the floating delay is 5 — yet the output
+  never transitions in single-stepping mode (transition delay 0), under
+  *any* monotone speedup (the would-be glitch at ``d`` is instantaneous,
+  Sec. IV-A/IV-C).  The longest graphical path is 6, so Theorem 3.1
+  certifies any clock period above 3 — e.g. 4, below the floating delay.
+* **Fig. 3** — the four-gate multilevel example with delays 1/2/1/4 and the
+  late-arriving input ``i4`` (clocked at t=6); its per-gate possible-
+  transition windows are the waveforms of Fig. 4.
+* **Fig. 5** — the inverter-AND circuit whose symbolic interval functions
+  and transition formulas Sec. V-C derives in closed form.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..network.builder import CircuitBuilder
+from ..network.circuit import Circuit
+
+
+def fig1_circuit() -> Circuit:
+    """Two-level prime-and-irredundant cover ``f = a'b + ab' + b'c'd'``
+    with delayed literals (the primality/irredundancy is verified
+    computationally in ``tests/circuits/test_fig1_cover.py``)."""
+    b = CircuitBuilder("fig1")
+    a, bi, c, d = b.inputs("a", "b", "c", "d")
+    # g2 = a'b : fast inverter on a, slow buffer on b.
+    na1 = b.not_(a, name="na1", delay=1)
+    bbuf2 = b.buf(bi, name="bbuf2", delay=2)
+    g2 = b.and_(na1, bbuf2, name="g2", delay=1)
+    # g3 = ab' : slow buffer on a, medium inverter on b.
+    abuf3 = b.buf(a, name="abuf3", delay=3)
+    nb2 = b.not_(bi, name="nb2", delay=2)
+    g3 = b.and_(abuf3, nb2, name="g3", delay=1)
+    # g1 = b'c'd' : the slow product (inverter chain on b).
+    nb3 = b.not_(bi, name="nb3", delay=3)
+    nc1 = b.not_(c, name="nc1", delay=1)
+    nd1 = b.not_(d, name="nd1", delay=1)
+    g1 = b.and_(nb3, nc1, nd1, name="g1", delay=1)
+    f = b.or_(g1, g2, g3, name="f", delay=1)
+    b.output(f)
+    return b.build()
+
+
+def fig1_vector_pair() -> Tuple[Dict[str, bool], Dict[str, bool]]:
+    """The ``<1100, 0000>`` pair discussed in Sec. IV-B."""
+    prev = {"a": True, "b": True, "c": False, "d": False}
+    nxt = {"a": False, "b": False, "c": False, "d": False}
+    return prev, nxt
+
+
+def fig2_circuit() -> Circuit:
+    """The monotone-speedup counterexample (see module docstring)."""
+    b = CircuitBuilder("fig2")
+    a, = b.inputs("a")
+    x1 = b.buf(a, name="x1")
+    x2 = b.buf(x1, name="x2")
+    x3 = b.buf(x2, name="x3")
+    nb = b.not_(x3, name="b")
+    d = b.or_(x3, nb, name="d")
+    c = b.not_(a, name="c")
+    e = b.or_(d, c, name="e")
+    b.output(e)
+    return b.build()
+
+
+#: The statically sensitizable length-5 path of Fig. 2 (node names).
+FIG2_CRITICAL_PATH = ["a", "x1", "x2", "x3", "d", "e"]
+
+
+def fig3_circuit() -> Tuple[Circuit, Dict[str, int]]:
+    """The Fig. 3 example: returns (circuit, input clock times).
+
+    ``g1`` (delay 1) is fed by ``i1, i2``; ``g2`` (delay 2) by ``i2, i3``;
+    ``g3`` (delay 1) by ``i3`` and ``g2``; the complex gate ``g4``
+    (delay 4) by ``g1, g2, g3, i4``.  Inputs ``i1..i3`` switch between
+    time points 0 and 1 (clock time 1); ``i4`` is late, switching between
+    5 and 6 (clock time 6).  The resulting possible-transition windows are
+    exactly those of Fig. 4:
+
+    * ``e1``: one transition in [1,2];
+    * ``e2``: one in [2,3];
+    * ``e3``: [1,2] and [3,4];
+    * ``e4``: [5,6], [6,7], [7,8] and [9,10].
+    """
+    b = CircuitBuilder("fig3")
+    i1, i2, i3, i4 = b.inputs("i1", "i2", "i3", "i4")
+    g1 = b.nand(i1, i2, name="g1", delay=1)
+    g2 = b.nor(i2, i3, name="g2", delay=2)
+    g3 = b.nand(i3, g2, name="g3", delay=1)
+    # Complex series-parallel AOI gate: NOT(g1*g2 + g3*i4), modelled as a
+    # single 4-input complex gate with delay 4.  The gate is represented
+    # by its NOR-of-ANDs core with the ANDs at delay 0 (internal to the
+    # complex gate) so the whole structure delays by exactly 4.
+    t1 = b.and_(g1, g2, name="g4_and1", delay=0)
+    t2 = b.and_(g3, i4, name="g4_and2", delay=0)
+    g4 = b.nor(t1, t2, name="g4", delay=4)
+    b.output(g4)
+    circuit = b.build()
+    input_times = {"i1": 1, "i2": 1, "i3": 1, "i4": 6}
+    return circuit, input_times
+
+
+def fig5_circuit() -> Circuit:
+    """``g = NOT(a)``, ``f = AND(g, b)`` — the symbolic walkthrough."""
+    b = CircuitBuilder("fig5")
+    a, bb = b.inputs("a", "b")
+    g = b.not_(a, name="g")
+    f = b.and_(g, bb, name="f")
+    b.output(f)
+    return b.build()

@@ -1,0 +1,367 @@
+"""Parametric circuit generators.
+
+The structured building blocks from which the ISCAS-85 stand-ins are
+assembled (see :mod:`repro.circuits.iscas` and the substitution notes in
+DESIGN.md): adders (including carry-skip, the canonical false-path
+structure), array multipliers, parity/error-correction networks, ALUs,
+decoders and seeded random multilevel control logic.  All generators are
+deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from ..network.builder import CircuitBuilder
+from ..network.circuit import Circuit
+from ..network.gates import GateType
+
+
+def _full_adder(
+    b: CircuitBuilder, x: str, y: str, cin: str, tag: str
+) -> Tuple[str, str]:
+    """(sum, carry) of a full adder built from 2-input gates."""
+    p = b.xor_(x, y, name=f"{tag}_p")
+    s = b.xor_(p, cin, name=f"{tag}_s")
+    g1 = b.and_(x, y, name=f"{tag}_g1")
+    g2 = b.and_(p, cin, name=f"{tag}_g2")
+    cout = b.or_(g1, g2, name=f"{tag}_c")
+    return s, cout
+
+
+def ripple_carry_adder(width: int, name: str = "rca") -> Circuit:
+    """``width``-bit ripple-carry adder: inputs a0.., b0.., cin; outputs
+    s0.., cout."""
+    b = CircuitBuilder(name)
+    a_bits = [b.input(f"a{i}") for i in range(width)]
+    b_bits = [b.input(f"b{i}") for i in range(width)]
+    carry = b.input("cin")
+    for i in range(width):
+        s, carry = _full_adder(b, a_bits[i], b_bits[i], carry, f"fa{i}")
+        b.output(s)
+    b.output(carry)
+    return b.build()
+
+
+def carry_skip_adder(
+    width: int, block_size: int = 4, name: str = "csa"
+) -> Circuit:
+    """Carry-skip adder — the canonical circuit whose longest graphical
+    path (the full ripple chain) is *false*: whenever every stage of a
+    block propagates, the skip mux forwards the block's carry-in directly,
+    so the ripple carry can never traverse more than one full block.
+    Its floating delay is therefore strictly below its topological delay.
+    """
+    if width % block_size != 0:
+        raise ValueError("width must be a multiple of block_size")
+    b = CircuitBuilder(name)
+    a_bits = [b.input(f"a{i}") for i in range(width)]
+    b_bits = [b.input(f"b{i}") for i in range(width)]
+    carry = b.input("cin")
+    for base in range(0, width, block_size):
+        block_in = carry
+        propagates: List[str] = []
+        for i in range(base, base + block_size):
+            p = b.xor_(a_bits[i], b_bits[i], name=f"p{i}")
+            propagates.append(p)
+            s = b.xor_(p, carry, name=f"s{i}")
+            g1 = b.and_(a_bits[i], b_bits[i], name=f"g1_{i}")
+            g2 = b.and_(p, carry, name=f"g2_{i}")
+            carry = b.or_(g1, g2, name=f"c{i}")
+            b.output(s)
+        all_p = propagates[0]
+        for k, p in enumerate(propagates[1:], start=1):
+            all_p = b.and_(all_p, p, name=f"P{base}_{k}")
+        skip = b.and_(all_p, block_in, name=f"skip{base}")
+        not_p = b.not_(all_p, name=f"nP{base}")
+        ripple = b.and_(not_p, carry, name=f"rip{base}")
+        carry = b.or_(skip, ripple, name=f"bc{base}")
+    b.output(carry)
+    return b.build()
+
+
+def array_multiplier(width: int, name: str = "mult") -> Circuit:
+    """``width x width`` array multiplier (the C6288 structure): AND
+    partial products reduced by rows of carry-save adders with a final
+    ripple stage."""
+    b = CircuitBuilder(name)
+    a_bits = [b.input(f"a{i}") for i in range(width)]
+    b_bits = [b.input(f"b{i}") for i in range(width)]
+    # Partial products pp[i][j] = a_i * b_j contributes to column i+j.
+    columns: List[List[str]] = [[] for __ in range(2 * width)]
+    for i in range(width):
+        for j in range(width):
+            pp = b.and_(a_bits[i], b_bits[j], name=f"pp{i}_{j}")
+            columns[i + j].append(pp)
+    # Carry-save column compression.
+    counter = 0
+    col = 0
+    while col < 2 * width:
+        while len(columns[col]) > 2:
+            x, y, z = columns[col][:3]
+            del columns[col][:3]
+            s, c = _full_adder(b, x, y, z, f"cs{counter}")
+            counter += 1
+            columns[col].append(s)
+            columns[col + 1].append(c)
+        col += 1
+    # Final ripple over the remaining at-most-two bits per column.
+    carry: Optional[str] = None
+    outputs: List[str] = []
+    for col in range(2 * width):
+        bits = columns[col]
+        terms = list(bits)
+        if carry is not None:
+            terms.append(carry)
+        if not terms:
+            outputs.append(b.const0(name=f"z{col}"))
+            carry = None
+        elif len(terms) == 1:
+            outputs.append(b.buf(terms[0], name=f"z{col}", delay=0))
+            carry = None
+        elif len(terms) == 2:
+            s = b.xor_(terms[0], terms[1], name=f"z{col}")
+            carry = b.and_(terms[0], terms[1], name=f"fc{col}")
+            outputs.append(s)
+        else:
+            s, carry = _full_adder(b, terms[0], terms[1], terms[2], f"fr{col}")
+            outputs.append(b.buf(s, name=f"z{col}", delay=0))
+    for out in outputs:
+        b.output(out)
+    return b.build()
+
+
+def parity_tree(width: int, name: str = "parity") -> Circuit:
+    """Balanced XOR tree over ``width`` inputs."""
+    b = CircuitBuilder(name)
+    layer = [b.input(f"x{i}") for i in range(width)]
+    level = 0
+    while len(layer) > 1:
+        next_layer = []
+        for i in range(0, len(layer) - 1, 2):
+            next_layer.append(
+                b.xor_(layer[i], layer[i + 1], name=f"xt{level}_{i // 2}")
+            )
+        if len(layer) % 2:
+            next_layer.append(layer[-1])
+        layer = next_layer
+        level += 1
+    out = b.buf(layer[0], name="parity_out")
+    b.output(out)
+    return b.build()
+
+
+def error_corrector(
+    data_bits: int = 32,
+    check_bits: int = 9,
+    seed: int = 499,
+    name: str = "ecc",
+    fanin_limit: int = 4,
+) -> Circuit:
+    """A single-error-correcting-style network (the C499/C1355 character):
+    syndrome parity trees over random data subsets XORed with check inputs,
+    a partial syndrome decode, and data outputs corrected by XOR."""
+    rng = random.Random(seed)
+    b = CircuitBuilder(name)
+    data = [b.input(f"d{i}") for i in range(data_bits)]
+    checks = [b.input(f"k{i}") for i in range(check_bits)]
+    # Deterministic random parity subsets (each data bit in ~half of them).
+    membership = [
+        [rng.random() < 0.5 for __ in range(data_bits)]
+        for __ in range(check_bits)
+    ]
+    for j in range(check_bits):
+        if not any(membership[j]):
+            membership[j][j % data_bits] = True
+    for i in range(data_bits):
+        if not any(membership[j][i] for j in range(check_bits)):
+            membership[i % check_bits][i] = True
+    syndromes = []
+    for j in range(check_bits):
+        terms = [data[i] for i in range(data_bits) if membership[j][i]]
+        acc = terms[0]
+        for k, term in enumerate(terms[1:], start=1):
+            acc = b.xor_(acc, term, name=f"sy{j}_{k}")
+        syndromes.append(b.xor_(acc, checks[j], name=f"syn{j}"))
+    # Decode: each data bit's correction = AND of its syndrome signature
+    # (limited to fanin_limit syndrome literals to keep depth realistic).
+    inverted = [b.not_(s, name=f"nsyn{j}") for j, s in enumerate(syndromes)]
+    for i in range(data_bits):
+        # A correction fires only when its bit's syndromes are asserted, so
+        # the signature always starts with a positive syndrome literal — a
+        # clean codeword (zero syndrome) then passes the data unchanged.
+        positives = [
+            syndromes[j] for j in range(check_bits) if membership[j][i]
+        ]
+        negatives = [
+            inverted[j] for j in range(check_bits) if not membership[j][i]
+        ]
+        rest = positives[1:] + negatives
+        rng.shuffle(rest)
+        signature = [positives[0]] + rest[: fanin_limit - 1]
+        correct = signature[0]
+        for k, s in enumerate(signature[1:], start=1):
+            correct = b.and_(correct, s, name=f"dec{i}_{k}")
+        out = b.xor_(data[i], correct, name=f"q{i}")
+        b.output(out)
+    return b.build()
+
+
+def alu(
+    width: int = 8,
+    name: str = "alu",
+    with_carry_skip: bool = False,
+    block_size: int = 4,
+) -> Circuit:
+    """A small ALU (the C880/C3540 character): two operand words, a 2-bit
+    opcode selecting AND/OR/XOR/ADD, producing a result word and carry.
+    ``with_carry_skip`` uses a carry-skip adder core (introducing the
+    false-path structure)."""
+    b = CircuitBuilder(name)
+    a_bits = [b.input(f"a{i}") for i in range(width)]
+    b_bits = [b.input(f"b{i}") for i in range(width)]
+    op0 = b.input("op0")
+    op1 = b.input("op1")
+    cin = b.input("cin")
+    n_op0 = b.not_(op0, name="nop0")
+    n_op1 = b.not_(op1, name="nop1")
+    sel_and = b.and_(n_op1, n_op0, name="sel_and")
+    sel_or = b.and_(n_op1, op0, name="sel_or")
+    sel_xor = b.and_(op1, n_op0, name="sel_xor")
+    sel_add = b.and_(op1, op0, name="sel_add")
+
+    # Adder core.
+    carry = cin
+    sums: List[str] = []
+    if with_carry_skip and width % block_size == 0:
+        for base in range(0, width, block_size):
+            block_in = carry
+            propagates = []
+            for i in range(base, base + block_size):
+                p = b.xor_(a_bits[i], b_bits[i], name=f"ap{i}")
+                propagates.append(p)
+                sums.append(b.xor_(p, carry, name=f"as{i}"))
+                g1 = b.and_(a_bits[i], b_bits[i], name=f"ag{i}")
+                g2 = b.and_(p, carry, name=f"ah{i}")
+                carry = b.or_(g1, g2, name=f"ac{i}")
+            all_p = propagates[0]
+            for k, p in enumerate(propagates[1:], start=1):
+                all_p = b.and_(all_p, p, name=f"aP{base}_{k}")
+            skip = b.and_(all_p, block_in, name=f"askip{base}")
+            not_p = b.not_(all_p, name=f"anP{base}")
+            ripple = b.and_(not_p, carry, name=f"arip{base}")
+            carry = b.or_(skip, ripple, name=f"abc{base}")
+    else:
+        for i in range(width):
+            s, carry = _full_adder(b, a_bits[i], b_bits[i], carry, f"afa{i}")
+            sums.append(s)
+
+    for i in range(width):
+        t_and = b.and_(a_bits[i], b_bits[i], name=f"land{i}")
+        t_or = b.or_(a_bits[i], b_bits[i], name=f"lor{i}")
+        t_xor = b.xor_(a_bits[i], b_bits[i], name=f"lxor{i}")
+        m0 = b.and_(sel_and, t_and, name=f"m0_{i}")
+        m1 = b.and_(sel_or, t_or, name=f"m1_{i}")
+        m2 = b.and_(sel_xor, t_xor, name=f"m2_{i}")
+        m3 = b.and_(sel_add, sums[i], name=f"m3_{i}")
+        r01 = b.or_(m0, m1, name=f"r01_{i}")
+        r23 = b.or_(m2, m3, name=f"r23_{i}")
+        b.output(b.or_(r01, r23, name=f"r{i}"))
+    b.output(b.and_(sel_add, carry, name="alu_cout"))
+    return b.build()
+
+
+def decoder(select_bits: int, name: str = "dec") -> Circuit:
+    """Full ``select_bits``-to-``2**select_bits`` decoder."""
+    b = CircuitBuilder(name)
+    sel = [b.input(f"s{i}") for i in range(select_bits)]
+    inv = [b.not_(s, name=f"ns{i}") for i, s in enumerate(sel)]
+    for value in range(1 << select_bits):
+        literals = [
+            sel[i] if (value >> i) & 1 else inv[i]
+            for i in range(select_bits)
+        ]
+        acc = literals[0]
+        for k, lit in enumerate(literals[1:], start=1):
+            acc = b.and_(acc, lit, name=f"y{value}_{k}")
+        b.output(b.buf(acc, name=f"y{value}", delay=0))
+    return b.build()
+
+
+def comparator(width: int, name: str = "cmp") -> Circuit:
+    """Magnitude comparator: outputs eq and gt."""
+    b = CircuitBuilder(name)
+    a_bits = [b.input(f"a{i}") for i in range(width)]
+    b_bits = [b.input(f"b{i}") for i in range(width)]
+    eq = None
+    gt = None
+    for i in reversed(range(width)):  # MSB first
+        bit_eq = b.xnor(a_bits[i], b_bits[i], name=f"eq{i}")
+        nb = b.not_(b_bits[i], name=f"nb{i}")
+        bit_gt = b.and_(a_bits[i], nb, name=f"gtb{i}")
+        if eq is None:
+            eq, gt = bit_eq, bit_gt
+        else:
+            gt = b.or_(gt, b.and_(eq, bit_gt, name=f"gtp{i}"), name=f"gt{i}")
+            eq = b.and_(eq, bit_eq, name=f"eqa{i}")
+    b.output(b.buf(eq, name="is_eq", delay=0))
+    b.output(b.buf(gt, name="is_gt", delay=0))
+    return b.build()
+
+
+_RANDOM_GATES = [
+    GateType.AND,
+    GateType.NAND,
+    GateType.OR,
+    GateType.NOR,
+    GateType.XOR,
+    GateType.NOT,
+]
+
+
+def random_logic(
+    num_inputs: int,
+    num_outputs: int,
+    num_gates: int,
+    seed: int,
+    max_fanin: int = 3,
+    locality: int = 24,
+    name: str = "rand",
+) -> Circuit:
+    """Seeded random multilevel control logic.
+
+    Gate fanins are drawn with a recency bias (``locality``) so the network
+    develops realistic depth instead of collapsing into two levels; outputs
+    are drawn from the deepest third of the gates.
+    """
+    if num_gates < num_outputs:
+        raise ValueError("need at least as many gates as outputs")
+    rng = random.Random(seed)
+    b = CircuitBuilder(name)
+    nodes = [b.input(f"x{i}") for i in range(num_inputs)]
+    for g in range(num_gates):
+        gate_type = _RANDOM_GATES[rng.randrange(len(_RANDOM_GATES))]
+        if gate_type == GateType.NOT:
+            fanins = [nodes[rng.randrange(len(nodes))]]
+        else:
+            arity = rng.randint(2, max_fanin)
+            pool_start = max(0, len(nodes) - locality)
+            fanins = []
+            for __ in range(arity):
+                if rng.random() < 0.35:
+                    fanins.append(nodes[rng.randrange(len(nodes))])
+                else:
+                    fanins.append(
+                        nodes[rng.randrange(pool_start, len(nodes))]
+                    )
+            fanins = list(dict.fromkeys(fanins))
+            if len(fanins) < 2:
+                fanins.append(nodes[rng.randrange(len(nodes))])
+        nodes.append(b.gate(gate_type, fanins, name=f"n{g}"))
+    gates_only = nodes[num_inputs:]
+    candidates = gates_only[-max(num_outputs, len(gates_only) // 3):]
+    outputs = rng.sample(candidates, num_outputs)
+    for out in outputs:
+        b.output(out)
+    return b.build()

@@ -1,0 +1,317 @@
+"""ISCAS-85 benchmark circuits: the exact C17 plus stand-ins.
+
+The original ISCAS-85 netlists are not redistributable in this offline
+environment, so every circuit except the public six-NAND C17 is a
+*deterministic stand-in* (see DESIGN.md, substitutions): a structured core
+matching the paper's description of the circuit's function (ALU, ECC,
+multiplier, interrupt controller, carry-skip arithmetic for the circuits
+where Table II shows ``f.d. < l.d.``) embedded in seeded random control
+logic, with the primary-input/primary-output counts of Table I matched
+exactly.  Internal sizes are scaled down so the pure-Python symbolic
+engines finish in minutes; our benchmark harness reports the stand-ins'
+own statistics.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..network.builder import CircuitBuilder
+from ..network.circuit import Circuit
+from ..network.gates import GateType
+from .generators import _full_adder, array_multiplier
+
+#: Table I statistics from the paper: name -> (inputs, outputs, literals,
+#: longest path).  Used by the Table I benchmark to print paper-vs-ours.
+PAPER_TABLE1: Dict[str, Tuple[int, int, int, int]] = {
+    "c17": (5, 2, 19, 5),
+    "c432": (36, 7, 405, 19),
+    "c499": (41, 32, 977, 25),
+    "c880": (60, 26, 718, 20),
+    "c1355": (41, 32, 1121, 27),
+    "c1908": (33, 25, 1225, 34),
+    "c2670": (233, 140, 1764, 25),
+    "c3540": (50, 22, 2332, 41),
+    "c5315": (178, 123, 3923, 46),
+    "c6288": (32, 32, 4752, 123),
+    "c7552": (207, 108, 5488, 38),
+}
+
+#: Table II reference rows: name -> (val, l.d., f.d., #check, t.d.).
+PAPER_TABLE2: Dict[str, Tuple[int, int, int, int, int]] = {
+    "c17": (1, 5, 5, 1, 5),
+    "c432": (1, 19, 19, 1, 19),
+    "c499": (1, 25, 25, 1, 25),
+    "c880": (1, 20, 20, 1, 20),
+    "c1355": (1, 27, 27, 1, 27),
+    "c1908": (1, 34, 31, 21, 31),
+    "c2670": (0, 25, 24, 2, 24),
+    "c3540": (0, 41, 39, 10, 39),
+    "c5315": (1, 46, 45, 9, 45),
+    "c6288": (1, 123, 122, 2, 122),
+    "c7552": (1, 38, 37, 9, 37),
+}
+
+C17_BENCH = """
+# c17 — the public six-NAND ISCAS-85 circuit
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+"""
+
+
+def c17() -> Circuit:
+    """The exact ISCAS-85 C17 netlist."""
+    from ..network.bench_io import loads_bench
+
+    return loads_bench(C17_BENCH, "c17")
+
+
+# ----------------------------------------------------------------------
+# Structured cores used inside the stand-ins.
+# ----------------------------------------------------------------------
+def _skip_adder_core(
+    b: CircuitBuilder, a_bits: List[str], b_bits: List[str], cin: str,
+    block_size: int, tag: str
+) -> Tuple[List[str], str]:
+    """Carry-skip adder over existing signals; returns (sums, carry-out).
+    This is the false-path structure that reproduces the ``f.d. < l.d.``
+    rows of Table II."""
+    width = len(a_bits)
+    carry = cin
+    sums: List[str] = []
+    for base in range(0, width, block_size):
+        block_in = carry
+        propagates: List[str] = []
+        for i in range(base, base + block_size):
+            p = b.xor_(a_bits[i], b_bits[i], name=f"{tag}_p{i}")
+            propagates.append(p)
+            sums.append(b.xor_(p, carry, name=f"{tag}_s{i}"))
+            g1 = b.and_(a_bits[i], b_bits[i], name=f"{tag}_g{i}")
+            g2 = b.and_(p, carry, name=f"{tag}_h{i}")
+            carry = b.or_(g1, g2, name=f"{tag}_c{i}")
+        all_p = propagates[0]
+        for k, p in enumerate(propagates[1:], start=1):
+            all_p = b.and_(all_p, p, name=f"{tag}_P{base}_{k}")
+        skip = b.and_(all_p, block_in, name=f"{tag}_skip{base}")
+        not_p = b.not_(all_p, name=f"{tag}_nP{base}")
+        ripple = b.and_(not_p, carry, name=f"{tag}_rip{base}")
+        carry = b.or_(skip, ripple, name=f"{tag}_bc{base}")
+    return sums, carry
+
+
+def _ripple_adder_core(
+    b: CircuitBuilder, a_bits: List[str], b_bits: List[str], cin: str, tag: str
+) -> Tuple[List[str], str]:
+    carry = cin
+    sums = []
+    for i in range(len(a_bits)):
+        s, carry = _full_adder(b, a_bits[i], b_bits[i], carry, f"{tag}{i}")
+        sums.append(s)
+    return sums, carry
+
+
+def _priority_core(
+    b: CircuitBuilder, requests: List[str], tag: str
+) -> List[str]:
+    """Chained priority grants (interrupt-controller character)."""
+    grants: List[str] = []
+    none_above: Optional[str] = None
+    for i, req in enumerate(requests):
+        if none_above is None:
+            grants.append(b.buf(req, name=f"{tag}_grant{i}", delay=0))
+            none_above = b.not_(req, name=f"{tag}_na{i}")
+        else:
+            grants.append(b.and_(req, none_above, name=f"{tag}_grant{i}"))
+            nreq = b.not_(req, name=f"{tag}_nr{i}")
+            none_above = b.and_(none_above, nreq, name=f"{tag}_na{i}")
+    return grants
+
+
+_GLUE_GATES = [
+    GateType.AND,
+    GateType.NAND,
+    GateType.OR,
+    GateType.NOR,
+    GateType.XOR,
+]
+
+
+def _glue(
+    b: CircuitBuilder,
+    signals: List[str],
+    num_gates: int,
+    rng: random.Random,
+    tag: str = "glue",
+) -> List[str]:
+    """Seeded random control logic over existing signals.
+
+    Built as *operator forests*: signals are consumed from a queue and each
+    created gate is re-enqueued, so every glue cone is tree-structured
+    (fanout-1 inside the glue).  Different forests may share primary
+    inputs, but the heavy reconvergence lives in the structured cores —
+    tree cones keep the ROBDDs of the symbolic analyses linear-sized,
+    which is what makes the wide stand-ins tractable in pure Python.
+    """
+    from collections import deque
+
+    queue = deque(signals)
+    created: List[str] = []
+    for g in range(num_gates):
+        if len(queue) < 3:
+            # Reseed in declaration order: consecutive pops then combine
+            # adjacent variables, keeping every tree's support an interval
+            # of the creation order (small OBDDs under that order).
+            queue.extend(signals)
+        gate_type = _GLUE_GATES[rng.randrange(len(_GLUE_GATES))]
+        arity = rng.randint(2, 3)
+        fanins = list(
+            dict.fromkeys(queue.popleft() for __ in range(arity))
+        )
+        if len(fanins) < 2:
+            fanins.append(signals[rng.randrange(len(signals))])
+        node = b.gate(gate_type, fanins, name=f"{tag}{g}")
+        queue.append(node)
+        created.append(node)
+    return created
+
+
+def _standin(
+    name: str,
+    num_inputs: int,
+    num_outputs: int,
+    seed: int,
+    core: str = "none",
+    core_width: int = 8,
+    block_size: int = 4,
+    glue_gates: int = 120,
+) -> Circuit:
+    """Assemble a stand-in: structured core + seeded glue, exact I/O."""
+    rng = random.Random(seed)
+    b = CircuitBuilder(name)
+    inputs = [b.input(f"x{i}") for i in range(num_inputs)]
+    core_outputs: List[str] = []
+
+    def pick_operands(width: int) -> Tuple[List[str], List[str], str]:
+        # Interleave the operand bits (a0, b0, a1, b1, ...): adder/skip
+        # cores then have linear-size BDDs under the creation order.
+        a_bits = [inputs[(2 * i) % num_inputs] for i in range(width)]
+        b_bits = [inputs[(2 * i + 1) % num_inputs] for i in range(width)]
+        cin = inputs[(2 * width) % num_inputs]
+        return a_bits, b_bits, cin
+
+    if core == "skip":
+        a_bits, b_bits, cin = pick_operands(core_width)
+        sums, cout = _skip_adder_core(b, a_bits, b_bits, cin, block_size, "sk")
+        core_outputs = sums + [cout]
+    elif core == "ripple":
+        a_bits, b_bits, cin = pick_operands(core_width)
+        sums, cout = _ripple_adder_core(b, a_bits, b_bits, cin, "ra")
+        core_outputs = sums + [cout]
+    elif core == "priority":
+        requests = [inputs[i % num_inputs] for i in range(core_width)]
+        core_outputs = _priority_core(b, requests, "pr")
+    elif core != "none":
+        raise ValueError(f"unknown core {core!r}")
+
+    glue_signals = _glue(b, inputs + core_outputs, glue_gates, rng)
+    # Outputs: the deepest core outputs first, then the freshest glue gates.
+    chosen: List[str] = list(reversed(core_outputs))[:num_outputs]
+    for node in reversed(glue_signals):
+        if len(chosen) >= num_outputs:
+            break
+        if node not in chosen:
+            chosen.append(node)
+    if len(chosen) < num_outputs:
+        raise ValueError("not enough signals for the requested outputs")
+    for out in chosen[:num_outputs]:
+        b.output(out)
+    return b.build()
+
+
+def _expand_xor_to_nand(circuit: Circuit) -> Circuit:
+    """Re-map every 2-input XOR/XNOR into four/five NAND gates — the
+    C1355-vs-C499 relationship (same function, NAND netlist)."""
+    result = Circuit(circuit.name)
+    for name in circuit.topological_order():
+        node = circuit.node(name)
+        if node.gate_type == GateType.INPUT:
+            result.add_input(name)
+            continue
+        if node.gate_type in (GateType.XOR, GateType.XNOR) and len(
+            node.fanins
+        ) == 2:
+            a, b = node.fanins
+            n1 = f"{name}#x1"
+            n2 = f"{name}#x2"
+            n3 = f"{name}#x3"
+            result.add_gate(n1, GateType.NAND, [a, b], 1)
+            result.add_gate(n2, GateType.NAND, [a, n1], 1)
+            result.add_gate(n3, GateType.NAND, [b, n1], 1)
+            if node.gate_type == GateType.XOR:
+                result.add_gate(name, GateType.NAND, [n2, n3], node.delay)
+            else:
+                n4 = f"{name}#x4"
+                result.add_gate(n4, GateType.NAND, [n2, n3], 1)
+                result.add_gate(name, GateType.NOT, [n4], node.delay)
+            continue
+        result.add_gate(name, node.gate_type, node.fanins, node.delay)
+    result.set_outputs(circuit.outputs)
+    return result
+
+
+def _c499_like(name: str, seed: int) -> Circuit:
+    from .generators import error_corrector
+
+    return error_corrector(32, 9, seed=seed, name=name)
+
+
+_BUILDERS: Dict[str, Callable[[], Circuit]] = {
+    "c17": c17,
+    "c432": lambda: _standin("c432", 36, 7, seed=432, core="priority",
+                             core_width=18, glue_gates=110),
+    "c499": lambda: _c499_like("c499", seed=499),
+    "c880": lambda: _standin("c880", 60, 26, seed=880, core="ripple",
+                             core_width=12, glue_gates=170),
+    "c1355": lambda: _expand_xor_to_nand(_c499_like("c1355", seed=499)),
+    "c1908": lambda: _standin("c1908", 33, 25, seed=1908, core="skip",
+                              core_width=12, block_size=4, glue_gates=200),
+    "c2670": lambda: _standin("c2670", 233, 140, seed=2670, core="skip",
+                              core_width=8, block_size=4, glue_gates=330),
+    "c3540": lambda: _standin("c3540", 50, 22, seed=3540, core="skip",
+                              core_width=16, block_size=4, glue_gates=380),
+    "c5315": lambda: _standin("c5315", 178, 123, seed=5315, core="ripple",
+                              core_width=12, glue_gates=420),
+    "c6288": lambda: array_multiplier(16, name="c6288"),
+    "c7552": lambda: _standin("c7552", 207, 108, seed=7552, core="skip",
+                              core_width=8, block_size=4, glue_gates=500),
+}
+
+
+def available() -> List[str]:
+    """Names of the ISCAS-85 set, in Table I order."""
+    return list(PAPER_TABLE1)
+
+
+def build(name: str) -> Circuit:
+    """Build a benchmark circuit (exact C17, stand-ins otherwise)."""
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown ISCAS circuit {name!r}; available: {available()}"
+        ) from None
+    circuit = builder()
+    circuit.validate()
+    return circuit

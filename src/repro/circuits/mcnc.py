@@ -1,0 +1,204 @@
+"""MCNC FSM benchmark stand-ins (planet, sand, styr, scf).
+
+The original KISS2 tables are not redistributable here; these deterministic
+synthetic machines match the paper's *encoded* input/output counts exactly
+(Table I: encoded inputs = FSM inputs + state bits, encoded outputs = FSM
+outputs + next-state bits) and exhibit the behaviour Table II reports for
+the FSM set: the reachability/next-state restriction on vector pairs makes
+the transition delay drop below the floating delay.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from ..fsm.machine import Fsm, FsmTransition
+from ..fsm.synth import FsmLogic, synthesize
+
+#: name -> (fsm inputs, states, fsm outputs); encoded I/O matches Table I.
+STANDIN_PARAMS: Dict[str, Tuple[int, int, int]] = {
+    "planet": (7, 48, 19),   # encoded: 13 in, 25 out (6 state bits)
+    "sand": (11, 32, 9),     # encoded: 16 in, 14 out (5 state bits)
+    "styr": (9, 30, 10),     # encoded: 14 in, 15 out (5 state bits)
+    "scf": (26, 128, 56),    # encoded: 33 in, 63 out (7 state bits)
+}
+
+#: Table I reference rows for the FSM set.
+PAPER_TABLE1_FSM: Dict[str, Tuple[int, int, int, int]] = {
+    "planet": (13, 25, 894, 11),
+    "sand": (16, 14, 968, 12),
+    "styr": (14, 15, 1004, 15),
+    "scf": (33, 63, 1223, 12),
+}
+
+#: Table II reference rows: (val, l.d., f.d., #check, t.d.).
+PAPER_TABLE2_FSM: Dict[str, Tuple[int, int, int, int, int]] = {
+    "planet": (1, 11, 11, 1, 10),
+    "sand": (1, 12, 12, 1, 11),
+    "styr": (1, 15, 15, 1, 15),
+    "scf": (1, 12, 12, 1, 11),
+}
+
+
+def synthetic_fsm(
+    name: str,
+    num_inputs: int,
+    num_states: int,
+    num_outputs: int,
+    seed: int,
+    branch_bits: int = 2,
+    jump_probability: float = 0.4,
+    output_density: float = 0.12,
+) -> Fsm:
+    """A deterministic controller-shaped FSM.
+
+    Each state branches on ``branch_bits`` randomly chosen input bits
+    (rows are disjoint by construction); most rows step to the sequencer
+    successor with occasional random jumps (``jump_probability``), which
+    keeps the two-level realisation compact (rows with equal targets
+    merge).  Outputs are Moore-style — a sparse per-state pattern
+    (``output_density``) — as in real controllers.
+    """
+    rng = random.Random(seed)
+    states = [f"st{i}" for i in range(num_states)]
+    rows: List[FsmTransition] = []
+    for index, state in enumerate(states):
+        care = sorted(rng.sample(range(num_inputs), branch_bits))
+        outputs = "".join(
+            "1" if rng.random() < output_density else "0"
+            for __ in range(num_outputs)
+        )
+        for value in range(1 << branch_bits):
+            pattern = ["-"] * num_inputs
+            for j, pos in enumerate(care):
+                pattern[pos] = "1" if (value >> j) & 1 else "0"
+            if value != 0 and rng.random() < jump_probability:
+                nxt = states[rng.randrange(num_states)]
+            else:
+                nxt = states[(index + 1) % num_states]  # sequencer step
+            rows.append(
+                FsmTransition("".join(pattern), state, nxt, outputs)
+            )
+    return Fsm(name, num_inputs, num_outputs, states, states[0], rows)
+
+
+def available() -> List[str]:
+    return list(STANDIN_PARAMS)
+
+
+def build_fsm(name: str) -> Fsm:
+    try:
+        num_inputs, num_states, num_outputs = STANDIN_PARAMS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown MCNC stand-in {name!r}; available: {available()}"
+        ) from None
+    seed = sum(ord(ch) for ch in name) * 7919
+    branch_bits = 1 if name == "scf" else 2  # keep scf's cover tractable
+    output_density = 0.05 if name == "scf" else 0.08
+    return synthetic_fsm(
+        name,
+        num_inputs,
+        num_states,
+        num_outputs,
+        seed,
+        branch_bits,
+        jump_probability=0.3,
+        output_density=output_density,
+    )
+
+
+def build(name: str, fanin_limit: int = 4) -> FsmLogic:
+    """Synthesised ('state encoded, optimized and mapped') controller."""
+    return synthesize(build_fsm(name), fanin_limit=fanin_limit)
+
+
+def sticky_bit_controller(chain_len: int = 6) -> FsmLogic:
+    """A crafted controller isolating the paper's FSM-row effect
+    (``t.d. = f.d. - 1``, as in planet/sand/scf of Table II).
+
+    Four states on a cycle A -> B -> C -> D -> A (advance on ``i0 = 1``,
+    hold otherwise), encoded over bits ``(s0, z, u)`` as A=000, B=010,
+    C=110, D=111.  The output is ``o = (z AND s0) OR i0``, mapped with the
+    ``z`` literal arriving through a ``chain_len``-buffer path and ``i0``
+    through an equally long path into the final OR.
+
+    *Floating mode* (restricted to reachable states) assumes the ``z``
+    chain starts unknown, so with ``s@0 in {C, D}`` (side input ``s0 = 1``
+    noncontrolling) the output is guaranteed settled only at
+    ``chain_len + 2``: ``f.d. = chain_len + 2``.
+
+    *Transition mode* knows ``s@0`` comes from the next-state logic: the
+    only edges that flip ``z`` are A->B and D->A, and both land in a state
+    with ``s0 = 0`` — which *controls* the AND — so no admissible vector
+    pair ever propagates an event down the ``z`` chain.  The latest
+    excitable event is the ``i0`` path: ``t.d. = chain_len + 1``.
+    """
+    from ..fsm.encoding import StateEncoding
+    from ..fsm.machine import Fsm, FsmTransition
+    from ..network.builder import CircuitBuilder
+
+    states = ["A", "B", "C", "D"]
+    rows = []
+    cycle = {"A": "B", "B": "C", "C": "D", "D": "A"}
+    for state in states:
+        out_high = state in ("C", "D")
+        rows.append(
+            FsmTransition("1", state, cycle[state], "1")
+        )
+        rows.append(
+            FsmTransition("0", state, state, "1" if out_high else "0")
+        )
+    fsm = Fsm("sticky", 1, 1, states, "A", rows)
+    codes = {
+        "A": (False, False, False),
+        "B": (False, True, False),
+        "C": (True, True, False),
+        "D": (True, True, True),
+    }
+    encoding = StateEncoding(codes, 3, "crafted")
+
+    b = CircuitBuilder("sticky")
+    i0 = b.input("i0")
+    s0 = b.input("s0")
+    z = b.input("z")
+    u = b.input("u")
+    ni0 = b.not_(i0, name="ni0")
+    nu = b.not_(u, name="nu")
+    # ns0 = ~i0*s0 + i0*z*~u   (advance into C/D from B/C)
+    t1 = b.and_(ni0, s0, name="t1")
+    t2 = b.and_(i0, z, nu, name="t2")
+    ns0 = b.or_(t1, t2, name="ns0")
+    # nz = ~i0*z + i0*~u       (z is 1 in B, C, D; flips only via A->B, D->A)
+    t3 = b.and_(ni0, z, name="t3")
+    t4 = b.and_(i0, nu, name="t4")
+    nz = b.or_(t3, t4, name="nz")
+    # nu = ~i0*u + i0*s0*~u    (enter D from C)
+    t5 = b.and_(ni0, u, name="t5")
+    t6 = b.and_(i0, s0, nu, name="t6")
+    nu_out = b.or_(t5, t6, name="nu_out")
+    # Output o = (z and s0) or i0, with both literals re-timed.
+    chain = z
+    for k in range(chain_len):
+        chain = b.buf(chain, name=f"ch{k}")
+    w = b.and_(chain, s0, name="w")
+    fast = i0
+    for k in range(chain_len):
+        fast = b.buf(fast, name=f"fi{k}")
+    o = b.or_(w, fast, name="o")
+    b.output("ns0")
+    b.output("nz")
+    b.output("nu_out")
+    b.output(o)
+    circuit = b.build()
+
+    return FsmLogic(
+        fsm=fsm,
+        encoding=encoding,
+        circuit=circuit,
+        input_names=["i0"],
+        state_names=["s0", "z", "u"],
+        next_state_names=["ns0", "nz", "nu_out"],
+        output_names=["o"],
+    )

@@ -1,0 +1,331 @@
+"""Command-line interface: ``python -m repro <command> ...`` (or the
+``trued`` console script).
+
+Commands
+
+* ``stats FILE``      — Table-I-style statistics.
+* ``report FILE``     — static timing report (longest paths, slack).
+* ``delays FILE``     — topological / floating / transition delays with the
+  certification vector pair; ``--bounded`` adds the monotone-speedup run.
+* ``vectors FILE``    — per-output certification pairs.
+* ``certify FILE``    — the full Sec. VII flow; ``--accurate FILE2`` points
+  at the same netlist with accurate delays (use Verilog to carry delays).
+* ``faults FILE``     — robust path-delay-fault tests for the K longest
+  paths.
+* ``simulate FILE``   — replay one vector pair; ``--vcd OUT`` dumps the
+  waveforms for a viewer.
+* ``convert FILE``    — netlist format conversion (.bench/.blif/.v).
+
+Netlist format is inferred from the extension: ``.bench``, ``.blif``,
+``.v``/``.verilog``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional
+
+from .core import (
+    PathFaultGenerator,
+    TestStrength,
+    certify,
+    transition_delay_lower_bound,
+    collect_certification_pairs,
+    compute_bounded_transition_delay,
+    compute_floating_delay,
+    compute_transition_delay,
+    describe_certificate_path,
+    theorem31_min_period,
+)
+from .network import (
+    Circuit,
+    dumps_bench,
+    dumps_blif,
+    dumps_verilog,
+    load_bench,
+    load_blif,
+    load_verilog,
+    lint,
+    render_cone,
+    render_levels,
+)
+from .sim import EventSimulator, dumps_vcd
+from .sta import render_table, statistics_row, timing_report
+
+
+def load_circuit(path: str) -> Circuit:
+    """Load a netlist, dispatching on the file extension."""
+    lowered = path.lower()
+    if lowered.endswith(".bench"):
+        return load_bench(path)
+    if lowered.endswith(".blif"):
+        return load_blif(path)
+    if lowered.endswith((".v", ".verilog")):
+        return load_verilog(path)
+    raise ValueError(
+        f"cannot infer netlist format of {path!r} "
+        "(expected .bench, .blif or .v)"
+    )
+
+
+def _dump_circuit(circuit: Circuit, path: str) -> None:
+    lowered = path.lower()
+    if lowered.endswith(".bench"):
+        text = dumps_bench(circuit)
+    elif lowered.endswith(".blif"):
+        text = dumps_blif(circuit)
+    elif lowered.endswith((".v", ".verilog")):
+        text = dumps_verilog(circuit)
+    else:
+        raise ValueError(f"cannot infer output format of {path!r}")
+    with open(path, "w") as handle:
+        handle.write(text)
+
+
+def _parse_vector(bits: str, circuit: Circuit) -> Dict[str, bool]:
+    if len(bits) != len(circuit.inputs):
+        raise ValueError(
+            f"vector {bits!r} has {len(bits)} bits; circuit has "
+            f"{len(circuit.inputs)} inputs ({', '.join(circuit.inputs)})"
+        )
+    return {name: ch == "1" for name, ch in zip(circuit.inputs, bits)}
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def cmd_stats(args) -> int:
+    circuit = load_circuit(args.netlist)
+    row = statistics_row(circuit)
+    print(
+        render_table(
+            ["EX", "inputs", "outputs", "literals", "longest"], [row]
+        )
+    )
+    return 0
+
+
+def cmd_report(args) -> int:
+    circuit = load_circuit(args.netlist)
+    print(timing_report(circuit, clock_period=args.period,
+                        max_paths=args.paths))
+    return 0
+
+
+def cmd_delays(args) -> int:
+    circuit = load_circuit(args.netlist)
+    print(f"topological delay (l.d.): {circuit.topological_delay()}")
+    floating = compute_floating_delay(circuit, engine_name=args.engine)
+    print(floating.describe(circuit.inputs))
+    transition = compute_transition_delay(
+        circuit, engine_name=args.engine, upper=floating.delay
+    )
+    print(transition.describe(circuit.inputs))
+    if transition.pair is not None:
+        print(describe_certificate_path(circuit, transition))
+    if args.bounded:
+        bounded = compute_bounded_transition_delay(
+            circuit, engine_name=args.engine, upper=floating.delay
+        )
+        print(bounded.describe(circuit.inputs))
+    tau = theorem31_min_period(circuit, transition.delay)
+    print(f"certified minimum clock period (Theorem 3.1): {tau}")
+    return 0
+
+
+def cmd_vectors(args) -> int:
+    circuit = load_circuit(args.netlist)
+    pairs = collect_certification_pairs(circuit, engine_name=args.engine)
+    rows = [
+        [out, t, pair.render(circuit.inputs)]
+        for out, (t, pair) in sorted(pairs.items())
+    ]
+    text = render_table(["output", "time", "vector pair <v-1, v0>"], rows)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_certify(args) -> int:
+    circuit = load_circuit(args.netlist)
+    accurate = load_circuit(args.accurate) if args.accurate else None
+    report = certify(
+        circuit,
+        accurate_circuit=accurate,
+        engine_name=args.engine,
+        statistical_samples=args.samples,
+    )
+    print(report.describe())
+    return 0 if report.verdict.value.startswith("CERTIFIED") else 1
+
+
+def cmd_faults(args) -> int:
+    circuit = load_circuit(args.netlist)
+    generator = PathFaultGenerator(circuit, engine_name=args.engine)
+    strength = (
+        TestStrength.NON_ROBUST if args.non_robust else TestStrength.ROBUST
+    )
+    coverage = generator.generate_for_longest_paths(
+        args.paths, strength=strength
+    )
+    rows = [
+        [str(t.fault), t.path_length, t.pair.render(circuit.inputs)]
+        for t in coverage.tests
+    ]
+    print(
+        render_table(
+            ["fault", "len", "two-pattern test"],
+            rows,
+            title=(
+                f"{strength.value} tests: {len(coverage.tests)}/"
+                f"{coverage.total} faults testable "
+                f"({coverage.coverage:.0%})"
+            ),
+        )
+    )
+    for fault in coverage.untestable:
+        print(f"untestable: {fault}")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    circuit = load_circuit(args.netlist)
+    prev = _parse_vector(args.prev, circuit)
+    nxt = _parse_vector(args.next, circuit)
+    result = EventSimulator(circuit).simulate_transition(prev, nxt)
+    print(f"last output event at: {result.delay}")
+    print(result.waveforms.render(circuit.outputs))
+    if args.vcd:
+        with open(args.vcd, "w") as handle:
+            handle.write(dumps_vcd(result.waveforms))
+        print(f"waveforms written to {args.vcd}")
+    return 0
+
+
+def cmd_lint(args) -> int:
+    circuit = load_circuit(args.netlist)
+    findings = lint(circuit)
+    if not findings:
+        print("clean: no findings")
+        return 0
+    for finding in findings:
+        print(finding)
+    has_warnings = any(f.severity == "warning" for f in findings)
+    return 1 if has_warnings else 0
+
+
+def cmd_estimate(args) -> int:
+    circuit = load_circuit(args.netlist)
+    print(f"topological delay (upper bound): {circuit.topological_delay()}")
+    result = transition_delay_lower_bound(
+        circuit,
+        random_pairs=args.pairs,
+        climbs=args.climbs,
+        seed=args.seed,
+    )
+    print(result.describe(circuit.inputs))
+    return 0
+
+
+def cmd_show(args) -> int:
+    circuit = load_circuit(args.netlist)
+    if args.cone:
+        print(render_cone(circuit, args.cone, max_depth=args.depth))
+    else:
+        print(render_levels(circuit))
+    return 0
+
+
+def cmd_convert(args) -> int:
+    circuit = load_circuit(args.netlist)
+    _dump_circuit(circuit, args.output)
+    print(f"wrote {args.output}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="trued",
+        description="TrueD: certified timing verification "
+        "(Devadas/Keutzer/Malik/Wang, DAC'92).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add(name, fn, **kwargs):
+        p = sub.add_parser(name, **kwargs)
+        p.add_argument("netlist", help="netlist file (.bench/.blif/.v)")
+        p.add_argument(
+            "--engine",
+            choices=["auto", "bdd", "sat"],
+            default="auto",
+            help="Boolean function engine (default: auto)",
+        )
+        p.set_defaults(func=fn)
+        return p
+
+    add("stats", cmd_stats, help="Table-I-style circuit statistics")
+
+    p = add("report", cmd_report, help="static timing report")
+    p.add_argument("--paths", type=int, default=3)
+    p.add_argument("--period", type=int, default=None)
+
+    p = add("delays", cmd_delays,
+            help="topological / floating / transition delays")
+    p.add_argument("--bounded", action="store_true",
+                   help="also run the bounded [0,d] analysis")
+
+    p = add("vectors", cmd_vectors, help="per-output certification pairs")
+    p.add_argument("-o", "--output", default=None)
+
+    p = add("certify", cmd_certify, help="the full Sec. VII flow")
+    p.add_argument("--accurate", default=None,
+                   help="netlist with accurate delays (e.g. .v)")
+    p.add_argument("--samples", type=int, default=0,
+                   help="Monte Carlo samples for the statistical follow-up")
+
+    p = add("faults", cmd_faults, help="path-delay-fault test generation")
+    p.add_argument("-k", "--paths", type=int, default=5)
+    p.add_argument("--non-robust", action="store_true")
+
+    p = add("simulate", cmd_simulate, help="replay one vector pair")
+    p.add_argument("--prev", required=True, help="v_-1 as a bit string")
+    p.add_argument("--next", required=True, help="v_0 as a bit string")
+    p.add_argument("--vcd", default=None, help="write waveforms to VCD")
+
+    add("lint", cmd_lint, help="netlist diagnostics (exit 1 on warnings)")
+
+    p = add("estimate", cmd_estimate,
+            help="simulation-based transition-delay lower bound")
+    p.add_argument("--pairs", type=int, default=64)
+    p.add_argument("--climbs", type=int, default=8)
+    p.add_argument("--seed", type=int, default=2026)
+
+    p = add("show", cmd_show, help="plain-text netlist rendering")
+    p.add_argument("--cone", default=None,
+                   help="render the fanin cone of this signal instead")
+    p.add_argument("--depth", type=int, default=None,
+                   help="limit the cone depth")
+
+    p = add("convert", cmd_convert, help="netlist format conversion")
+    p.add_argument("-o", "--output", required=True)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ValueError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

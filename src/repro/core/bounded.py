@@ -1,0 +1,299 @@
+"""Transition analysis under bounded gate delays (Sec. V-F, Table III).
+
+Each gate's delay may lie anywhere in ``[d_l, d_u]`` — with ``[0, d]`` this
+is the monotone-speedup model of [13] used for Table III.  Following the
+symbolic ternary-waveform method (ref. [11], Seger-Bryant [15]), we build
+*guaranteed-value* characteristic functions over the doubled vector-pair
+space:
+
+* ``U1_t(g)`` — vector pairs for which ``g`` is guaranteed 1 throughout
+  interval ``[t, t+1)`` under every admissible delay assignment,
+* ``U0_t(g)`` — likewise for 0.
+
+A gate guarantees a value at ``t`` iff its inputs force that value at every
+``tau`` in ``[t - d_u, t - d_l]`` (the delay may even vary event-to-event,
+which keeps the analysis conservative, i.e. safe).  The output may still be
+*transitioning* at time point ``t`` for the pairs satisfying
+
+    ``possible_t = NOT (U1_{t-1} U1_t  +  U0_{t-1} U0_t)``
+
+and the bounded transition delay is the largest ``t`` with ``possible_t``
+satisfiable.  With degenerate bounds ``[d, d]`` this reduces exactly to the
+fixed-delay analysis of :mod:`repro.core.transition` (tested property).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from ..boolfn.interface import make_engine
+from ..network.circuit import Circuit
+from ..network.gates import GateType, gate_function, gate_settle
+from .transition import PairConstraintBuilder
+from .vectors import DelayCertificate, VectorPair, cur_var, prev_var
+
+Bounds = Callable[[str], Tuple[int, int]]
+
+
+def monotone_speedup_bounds(circuit: Circuit) -> Bounds:
+    """``[0, d]`` for every gate — the Table III model."""
+
+    def bounds(name: str) -> Tuple[int, int]:
+        return 0, circuit.node(name).delay
+
+    return bounds
+
+
+def fixed_delay_bounds(circuit: Circuit) -> Bounds:
+    """Degenerate ``[d, d]`` bounds (reduces to the fixed-delay analysis)."""
+
+    def bounds(name: str) -> Tuple[int, int]:
+        d = circuit.node(name).delay
+        return d, d
+
+    return bounds
+
+
+class BoundedAnalysis:
+    """Guaranteed-value symbolic waveforms under delay bounds."""
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        bounds: Optional[Bounds] = None,
+        engine=None,
+        engine_name: str = "auto",
+        input_times: Optional[Dict[str, int]] = None,
+    ):
+        circuit.validate()
+        self.circuit = circuit
+        self.engine = engine or make_engine(engine_name, circuit.num_gates)
+        self.bounds = bounds or monotone_speedup_bounds(circuit)
+        self.input_times = dict(input_times or {})
+        for name in circuit.gate_names():
+            lo, hi = self.bounds(name)
+            if not (0 <= lo <= hi):
+                raise ValueError(f"bad delay bounds for {name!r}: [{lo}, {hi}]")
+        # Earliest possible change (lower bounds) / latest settle (upper).
+        self._early: Dict[str, int] = {}
+        self._late: Dict[str, int] = {}
+        for name in circuit.topological_order():
+            node = circuit.node(name)
+            if node.gate_type == GateType.INPUT:
+                t_clk = self.input_times.get(name, 0)
+                self._early[name] = t_clk
+                self._late[name] = t_clk
+            elif not node.fanins:
+                self._early[name] = 0
+                self._late[name] = 0
+            else:
+                lo, hi = self.bounds(name)
+                self._early[name] = lo + min(
+                    self._early[f] for f in node.fanins
+                )
+                self._late[name] = hi + max(self._late[f] for f in node.fanins)
+        self._initial: Dict[str, int] = {}
+        self._final: Dict[str, int] = {}
+        self._memo: Dict[Tuple[str, int], Tuple[int, int]] = {}
+        self._force_memo: Dict[Tuple[str, int], Tuple[int, int]] = {}
+
+    # ------------------------------------------------------------------
+    def earliest(self, name: str) -> int:
+        return self._early[name]
+
+    def latest(self, name: str) -> int:
+        return self._late[name]
+
+    def initial_function(self, name: str) -> int:
+        cached = self._initial.get(name)
+        if cached is not None:
+            return cached
+        node = self.circuit.node(name)
+        if node.gate_type == GateType.INPUT:
+            result = self.engine.var(prev_var(name))
+        else:
+            result = gate_function(
+                self.engine,
+                node.gate_type,
+                [self.initial_function(f) for f in node.fanins],
+            )
+        self._initial[name] = result
+        return result
+
+    def final_function(self, name: str) -> int:
+        cached = self._final.get(name)
+        if cached is not None:
+            return cached
+        node = self.circuit.node(name)
+        if node.gate_type == GateType.INPUT:
+            result = self.engine.var(cur_var(name))
+        else:
+            result = gate_function(
+                self.engine,
+                node.gate_type,
+                [self.final_function(f) for f in node.fanins],
+            )
+        self._final[name] = result
+        return result
+
+    def guaranteed_pair(self, name: str, t: int) -> Tuple[int, int]:
+        """``(U1_t, U0_t)`` for the signal (lazy, memoised)."""
+        engine = self.engine
+        if t < self._early[name]:
+            init = self.initial_function(name)
+            return init, engine.not_(init)
+        if t >= self._late[name]:
+            final = self.final_function(name)
+            return final, engine.not_(final)
+        key = (name, t)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        node = self.circuit.node(name)
+        if node.gate_type == GateType.INPUT:
+            final = self.final_function(name)
+            result = (final, engine.not_(final))
+        else:
+            d_lo, d_hi = self.bounds(name)
+            u1 = engine.const1
+            u0 = engine.const1
+            for tau in range(t - d_hi, t - d_lo + 1):
+                f1, f0 = self._forced_pair(name, tau)
+                u1 = engine.and_(u1, f1)
+                u0 = engine.and_(u0, f0)
+            result = (u1, u0)
+        self._memo[key] = result
+        return result
+
+    def _forced_pair(self, name: str, tau: int) -> Tuple[int, int]:
+        """Functions forcing the gate output to 1 / 0 given its inputs'
+        guarantees at time ``tau``."""
+        key = (name, tau)
+        cached = self._force_memo.get(key)
+        if cached is not None:
+            return cached
+        node = self.circuit.node(name)
+        fanin_pairs = [self.guaranteed_pair(f, tau) for f in node.fanins]
+        result = gate_settle(self.engine, node.gate_type, fanin_pairs)
+        self._force_memo[key] = result
+        return result
+
+    def possibly_transitioning(self, name: str, t: int) -> int:
+        """Vector pairs for which the signal may change at time point ``t``
+        (not guaranteed stable across the ``t-1 | t`` boundary)."""
+        engine = self.engine
+        u1_prev, u0_prev = self.guaranteed_pair(name, t - 1)
+        u1_now, u0_now = self.guaranteed_pair(name, t)
+        stable = engine.or_(
+            engine.and_(u1_prev, u1_now), engine.and_(u0_prev, u0_now)
+        )
+        return engine.not_(stable)
+
+    def num_functions(self) -> int:
+        return len(self._memo)
+
+
+def compute_bounded_transition_delay(
+    circuit: Circuit,
+    bounds: Optional[Bounds] = None,
+    engine=None,
+    engine_name: str = "auto",
+    upper: Optional[int] = None,
+    constraint: Optional[PairConstraintBuilder] = None,
+    input_times: Optional[Dict[str, int]] = None,
+    analysis: Optional[BoundedAnalysis] = None,
+) -> DelayCertificate:
+    """Bounded-delay transition delay (a safe upper bound) with a witness
+    vector pair — the Table III computation.
+
+    With ``monotone_speedup_bounds`` (the default) this is the
+    monotone-speedup-safe transition delay; on the combinational benchmarks
+    it validates the floating delay, exactly as the paper reports.
+    """
+    from .floating import with_bdd_fallback
+
+    if analysis is None:
+        return with_bdd_fallback(
+            lambda eng: compute_bounded_transition_delay(
+                circuit,
+                bounds=bounds,
+                engine_name=engine_name,
+                upper=upper,
+                constraint=constraint,
+                input_times=input_times,
+                analysis=BoundedAnalysis(
+                    circuit, bounds, eng, engine_name, input_times
+                ),
+            ),
+            engine,
+            engine_name,
+        )
+    engine = analysis.engine
+    outputs = circuit.outputs
+    if not outputs:
+        raise ValueError("circuit has no outputs")
+    care = engine.const1
+    if constraint is not None:
+        care = constraint(engine, engine.var)
+    latest = max(analysis.latest(o) for o in outputs)
+    if upper is None:
+        upper = latest
+    upper = min(upper, latest)
+    checks = 0
+    for t in range(upper, 0, -1):
+        # One satisfiability check per time point (cf. transition search).
+        eligible = [
+            out
+            for out in outputs
+            if analysis.earliest(out) <= t <= analysis.latest(out)
+        ]
+        if not eligible:
+            continue
+        if not getattr(engine, "prefers_batching", True):
+            model, out = None, None
+            for candidate in eligible:
+                checks += 1
+                model = engine.sat_one(
+                    engine.and_(
+                        care, analysis.possibly_transitioning(candidate, t)
+                    )
+                )
+                if model is not None:
+                    out = candidate
+                    break
+            if model is None:
+                continue
+            pair = VectorPair.from_model(model, circuit.inputs)
+        else:
+            combined = engine.or_many(
+                analysis.possibly_transitioning(out, t) for out in eligible
+            )
+            checks += 1
+            model = engine.sat_one(engine.and_(care, combined))
+            if model is None:
+                continue
+            pair = VectorPair.from_model(model, circuit.inputs)
+            env = pair.to_model()
+            out = eligible[0]
+            for candidate in eligible:
+                if engine.evaluate(
+                    analysis.possibly_transitioning(candidate, t), env
+                ):
+                    out = candidate
+                    break
+        value = circuit.evaluate(pair.v_next)[out]
+        return DelayCertificate(
+            mode="bounded-transition",
+            delay=t,
+            output=out,
+            value=bool(value),
+            pair=pair,
+            checks=checks,
+            extra={"functions_built": analysis.num_functions()},
+        )
+    return DelayCertificate(
+        mode="bounded-transition",
+        delay=0,
+        checks=checks,
+        extra={"functions_built": analysis.num_functions()},
+    )

@@ -1,0 +1,103 @@
+"""Clock-period validity — Theorem 3.1.
+
+Let ``tau`` be the single-stepping transition delay and ``omega`` the
+longest graphical path.  Theorem 3.1: if ``tau > omega/2`` then ``tau`` is a
+valid clock period — events of the previous vector can no longer interfere
+with the last event of the current one.  The module provides the bound and
+an empirical validator that clocks the circuit against the single-stepping
+reference (which is how the Fig. 2 claim "with a clock period of 4 ... the
+output stays a stable 1" is checked).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..network.circuit import Circuit
+from ..sim.event_sim import EventSimulator
+from ..sim.logic_sim import functional_sequence
+
+
+def theorem31_min_period(circuit: Circuit, transition_delay: int) -> int:
+    """The smallest integer period Theorem 3.1 certifies: the least
+    ``tau >= transition_delay`` with ``tau > omega/2``."""
+    omega = circuit.topological_delay()
+    return max(transition_delay, omega // 2 + 1)
+
+
+def is_certified_period(
+    circuit: Circuit, period: int, transition_delay: int
+) -> bool:
+    """True if Theorem 3.1 certifies ``period`` as a valid clock period."""
+    omega = circuit.topological_delay()
+    return period >= transition_delay and 2 * period > omega
+
+
+@dataclass
+class ClockValidation:
+    """Result of empirically clocking the circuit at a candidate period."""
+
+    period: int
+    vectors_checked: int
+    mismatches: List[int] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+
+def validate_period_by_simulation(
+    circuit: Circuit,
+    period: int,
+    vectors: Optional[Sequence[Dict[str, bool]]] = None,
+    num_vectors: int = 64,
+    seed: int = 2025,
+) -> ClockValidation:
+    """Clock the circuit at ``period`` on a vector sequence and compare the
+    latched outputs against the single-stepping (fully settled) reference.
+
+    A mismatch index ``k`` means the latch captured a wrong value for
+    ``vectors[k]`` — evidence the period is too short.
+    """
+    if vectors is None:
+        rng = random.Random(seed)
+        vectors = [
+            {name: bool(rng.getrandbits(1)) for name in circuit.inputs}
+            for __ in range(num_vectors)
+        ]
+    vectors = list(vectors)
+    simulator = EventSimulator(circuit)
+    clocked = simulator.simulate_clocked(vectors, period)
+    reference = functional_sequence(circuit, vectors)
+    mismatches = []
+    for k in range(1, len(vectors)):
+        if clocked.sampled[k - 1] != reference[k]:
+            mismatches.append(k)
+    return ClockValidation(period, len(vectors) - 1, mismatches)
+
+
+def smallest_empirical_period(
+    circuit: Circuit,
+    vectors: Optional[Sequence[Dict[str, bool]]] = None,
+    num_vectors: int = 64,
+    seed: int = 2025,
+    upper: Optional[int] = None,
+) -> int:
+    """The smallest period that passes the empirical validation on the
+    given (or random) vector sequence — a lower bound on the true minimum
+    clock period, useful to bracket the certified bound."""
+    if upper is None:
+        upper = circuit.topological_delay()
+    period = upper
+    best = upper
+    while period >= 1:
+        result = validate_period_by_simulation(
+            circuit, period, vectors, num_vectors, seed
+        )
+        if not result.ok:
+            break
+        best = period
+        period -= 1
+    return best

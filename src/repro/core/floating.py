@@ -1,0 +1,300 @@
+"""Floating-mode delay computation (the method of refs [7]/[9]).
+
+The *floating delay* is the single-vector delay under conservative
+assumptions about the circuit state before the vector is applied, and is
+safe under monotone speedups (Sec. I, II).  It upper-bounds the transition
+delay and is the natural starting value ``delta`` for the transition-delay
+query (Sec. VII).
+
+Algorithm
+---------
+For every signal ``f`` and time ``t`` we build two characteristic functions
+over the (single) input-vector space:
+
+* ``S1_t(f)`` — input vectors for which ``f`` is guaranteed to have settled
+  to 1 by time ``t`` under *every* admissible speedup,
+* ``S0_t(f)`` — likewise for 0.
+
+Inputs settle at their clock time.  A gate's output settles to its
+*controlled* value as soon as one input settles to the controlling value,
+and to the *noncontrolled* value once all inputs have settled
+noncontrolling (``repro.network.gates.gate_settle``), each seen through the
+gate's delay.  The floating delay is the least ``t`` at which
+``S1_t + S0_t`` is a tautology for every output; a satisfying assignment of
+the negation one step earlier is the floating-delay witness vector.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..boolfn.bdd import BddOverflow
+from ..boolfn.interface import SatEngine, make_engine
+from ..network.circuit import Circuit
+from ..network.gates import GateType, gate_settle
+from .vectors import DelayCertificate
+
+
+def with_bdd_fallback(compute, engine, engine_name: str):
+    """Run ``compute(engine)``; under the ``auto`` policy a BDD node-budget
+    overflow falls back to the SAT engine (the paper's Sec. V-G pragmatics
+    for multiplier-like circuits)."""
+    try:
+        return compute(engine)
+    except BddOverflow:
+        if engine is not None or engine_name != "auto":
+            raise
+        return compute(SatEngine())
+
+#: Signature of an optional care-set builder: given the engine and a
+#: variable-lookup function, return a function handle constraining the
+#: admissible input vectors (used for FSM reachability restrictions).
+ConstraintBuilder = Callable[[object, Callable[[str], int]], int]
+
+
+class FloatingAnalysis:
+    """Settling characteristic functions for a circuit.
+
+    Functions are built lazily and memoised, so querying only the times a
+    delay search touches costs only those functions.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        engine=None,
+        engine_name: str = "auto",
+        input_times: Optional[Dict[str, int]] = None,
+    ):
+        circuit.validate()
+        self.circuit = circuit
+        self.engine = engine or make_engine(engine_name, circuit.num_gates)
+        self.input_times = dict(input_times or {})
+        self._delta: Dict[str, int] = {}
+        self._Delta: Dict[str, int] = {}
+        for name in circuit.topological_order():
+            node = circuit.node(name)
+            if node.gate_type == GateType.INPUT:
+                t_clk = self.input_times.get(name, 0)
+                self._delta[name] = t_clk
+                self._Delta[name] = t_clk
+            elif not node.fanins:
+                self._delta[name] = 0
+                self._Delta[name] = 0
+            else:
+                self._delta[name] = node.delay + min(
+                    self._delta[f] for f in node.fanins
+                )
+                self._Delta[name] = node.delay + max(
+                    self._Delta[f] for f in node.fanins
+                )
+        self._memo: Dict[Tuple[str, int], Tuple[int, int]] = {}
+
+    # ------------------------------------------------------------------
+    def earliest(self, name: str) -> int:
+        """delta: shortest graphical delay to the signal."""
+        return self._delta[name]
+
+    def latest(self, name: str) -> int:
+        """Delta: longest graphical delay to the signal."""
+        return self._Delta[name]
+
+    def settled_pair(self, name: str, t: int) -> Tuple[int, int]:
+        """``(S1_t, S0_t)`` for signal ``name`` (lazy, memoised)."""
+        t = max(min(t, self._Delta[name]), self._delta[name] - 1)
+        key = (name, t)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        engine = self.engine
+        node = self.circuit.node(name)
+        if t < self._delta[name]:
+            result = (engine.const0, engine.const0)
+        elif node.gate_type == GateType.INPUT:
+            var = engine.var(name)
+            result = (var, engine.not_(var))
+        elif node.gate_type == GateType.CONST0:
+            result = (engine.const0, engine.const1)
+        elif node.gate_type == GateType.CONST1:
+            result = (engine.const1, engine.const0)
+        else:
+            fanin_pairs = [
+                self.settled_pair(f, t - node.delay) for f in node.fanins
+            ]
+            result = gate_settle(engine, node.gate_type, fanin_pairs)
+        self._memo[key] = result
+        return result
+
+    def settled(self, name: str, t: int) -> int:
+        """Function: vectors for which ``name`` has settled (to either
+        value) by time ``t``."""
+        s1, s0 = self.settled_pair(name, t)
+        return self.engine.or_(s1, s0)
+
+    def unsettled(self, name: str, t: int) -> int:
+        return self.engine.not_(self.settled(name, t))
+
+    def num_functions(self) -> int:
+        """How many (signal, time) characteristic pairs were built."""
+        return len(self._memo)
+
+
+def compute_floating_delay(
+    circuit: Circuit,
+    engine=None,
+    engine_name: str = "auto",
+    constraint: Optional[ConstraintBuilder] = None,
+    input_times: Optional[Dict[str, int]] = None,
+    upper: Optional[int] = None,
+    search: str = "auto",
+) -> DelayCertificate:
+    """The exact floating delay and its witness vector.
+
+    ``constraint`` optionally restricts the vector space (e.g. to
+    reachable-state codes ``i@s`` for FSM benchmarks, Sec. VI).  ``upper``
+    defaults to the topological delay.  ``search`` selects the query order:
+
+    * ``"auto"`` (default) — ``"ascending"`` on the SAT engine, ``"linear"``
+      on BDDs;
+    * ``"linear"`` — downward from ``upper`` (the paper's query style);
+    * ``"binary"`` — bisection on the settle threshold;
+    * ``"ascending"`` — upward from the earliest arrival.  On the SAT
+      engine the upward probes are *satisfiable* ("some vector is still
+      unsettled at t"), which random-simulation signatures answer almost
+      for free; only the final confirming probe needs a full refutation.
+
+    Returns a :class:`DelayCertificate` with ``mode="floating"``; its
+    ``checks`` field counts satisfiability checks (the '#check' column).
+    """
+    return with_bdd_fallback(
+        lambda eng: _compute_floating_delay(
+            circuit, eng, engine_name, constraint, input_times, upper, search
+        ),
+        engine,
+        engine_name,
+    )
+
+
+def _compute_floating_delay(
+    circuit: Circuit,
+    engine,
+    engine_name: str,
+    constraint: Optional[ConstraintBuilder],
+    input_times: Optional[Dict[str, int]],
+    upper: Optional[int],
+    search: str,
+) -> DelayCertificate:
+    analysis = FloatingAnalysis(circuit, engine, engine_name, input_times)
+    engine = analysis.engine
+    care = engine.const1
+    if constraint is not None:
+        care = constraint(engine, engine.var)
+    outputs = circuit.outputs
+    if not outputs:
+        raise ValueError("circuit has no outputs")
+    if upper is None:
+        upper = max(analysis.latest(o) for o in outputs)
+    lowest = min(analysis.earliest(o) for o in outputs)
+    checks = 0
+
+    def attribute(model: Dict[str, bool], t: int) -> str:
+        """The output the witness leaves unsettled at time ``t``."""
+        env = {name: bool(model.get(name, False)) for name in circuit.inputs}
+        for out in outputs:
+            if t < analysis.latest(out) and engine.evaluate(
+                analysis.unsettled(out, t), env
+            ):
+                return out
+        return outputs[0]
+
+    def witness_at(t: int):
+        """A ``(model, output-or-None)`` pair not settled by time ``t``,
+        or None.  Attribution is deferred (``output`` may be None) on the
+        batched path — the delay searches attribute only the final
+        witness, which keeps the probe loop cheap on large circuits."""
+        nonlocal checks
+        eligible = [out for out in outputs if t < analysis.latest(out)]
+        if not eligible:
+            return None
+        if not getattr(engine, "prefers_batching", True):
+            for out in eligible:
+                checks += 1
+                model = engine.sat_one(
+                    engine.and_(care, analysis.unsettled(out, t))
+                )
+                if model is not None:
+                    return model, out
+            return None
+        combined = engine.or_many(
+            analysis.unsettled(out, t) for out in eligible
+        )
+        checks += 1
+        model = engine.sat_one(engine.and_(care, combined))
+        if model is None:
+            return None
+        return model, None
+
+    checks += 1
+    if engine.sat_one(care) is None:
+        # The care set admits no vector at all (e.g. an FSM with no
+        # reachable states): no event can ever be excited.
+        return DelayCertificate(mode="floating", delay=0, checks=checks)
+
+    if search == "auto":
+        search = (
+            "ascending" if getattr(engine, "prefers_batching", True) else "linear"
+        )
+
+    best: Optional[Tuple[Dict[str, bool], str, int]] = None
+    if search == "ascending":
+        for t in range(lowest - 1, upper):
+            result = witness_at(t)
+            if result is None:
+                break
+            best = (result[0], result[1], t + 1)
+    elif search == "binary":
+        # Largest t in [lowest-1, upper-1] with a witness; delay = t + 1.
+        # A witness always exists at lowest-1 (outputs cannot settle before
+        # their earliest arrival), so bisect with that as the low anchor.
+        found = witness_at(upper - 1)
+        if found is not None:
+            best = (found[0], found[1], upper)
+        else:
+            low, high = lowest - 1, upper - 1
+            low_witness = witness_at(low)
+            while low_witness is not None and high - low > 1:
+                mid = (low + high) // 2
+                result = witness_at(mid)
+                if result is not None:
+                    low, low_witness = mid, result
+                else:
+                    high = mid
+            if low_witness is not None:
+                best = (low_witness[0], low_witness[1], low + 1)
+    else:
+        for t in range(upper, lowest - 1, -1):
+            result = witness_at(t - 1)
+            if result is not None:
+                best = (result[0], result[1], t)
+                break
+
+    if best is None:
+        # Every output settled as early as possible.
+        return DelayCertificate(
+            mode="floating", delay=max(0, lowest), checks=checks
+        )
+    model, out, delay = best
+    if out is None:
+        out = attribute(model, delay - 1)
+    witness = {
+        name: bool(model.get(name, False)) for name in circuit.inputs
+    }
+    value = circuit.evaluate(witness)[out]
+    return DelayCertificate(
+        mode="floating",
+        delay=delay,
+        output=out,
+        value=value,
+        witness=witness,
+        checks=checks,
+    )

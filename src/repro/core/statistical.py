@@ -1,0 +1,153 @@
+"""Statistical timing follow-up (Sec. VII, ref. [11]).
+
+When the accurate simulation of the certification vectors reports a delay
+``gamma`` below the verifier's bound ``delta``, the paper suggests
+statistical methods to estimate "what percentage of parts are likely to run
+at each speed in the range between gamma and delta".  This module samples
+per-gate delay distributions (Monte Carlo over manufacturing variation) and
+replays the certification vector pairs on each sample, producing a
+speed-binning / yield curve.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..network.circuit import Circuit
+from ..network.gates import GateType
+from ..sim.event_sim import EventSimulator
+from .vectors import VectorPair
+
+#: Draws a sample delay for a gate given (rng, nominal_delay).
+DelayModel = Callable[[random.Random, int], int]
+
+
+def uniform_variation(spread: int = 1) -> DelayModel:
+    """Uniform integer variation of +/- ``spread`` around nominal,
+    clipped at 0."""
+
+    def model(rng: random.Random, nominal: int) -> int:
+        return max(0, nominal + rng.randint(-spread, spread))
+
+    return model
+
+
+def speedup_only_variation() -> DelayModel:
+    """Monotone speedup sampling: uniform in [0, nominal]."""
+
+    def model(rng: random.Random, nominal: int) -> int:
+        return rng.randint(0, nominal)
+
+    return model
+
+
+@dataclass
+class StatisticalTimingResult:
+    """Empirical delay distribution over manufacturing samples."""
+
+    samples: List[int]
+    pairs_used: int
+
+    @property
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples)
+
+    @property
+    def std(self) -> float:
+        mu = self.mean
+        return math.sqrt(
+            sum((s - mu) ** 2 for s in self.samples) / len(self.samples)
+        )
+
+    @property
+    def min(self) -> int:
+        return min(self.samples)
+
+    @property
+    def max(self) -> int:
+        return max(self.samples)
+
+    def percentile(self, q: float) -> int:
+        """The q-th percentile (0 <= q <= 100) of the sample delays."""
+        ordered = sorted(self.samples)
+        if not 0 <= q <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        index = min(
+            len(ordered) - 1, max(0, math.ceil(q / 100 * len(ordered)) - 1)
+        )
+        return ordered[index]
+
+    def yield_at(self, period: int) -> float:
+        """Fraction of parts that meet a clock period ``period``."""
+        return sum(1 for s in self.samples if s <= period) / len(self.samples)
+
+    def yield_curve(
+        self, lo: Optional[int] = None, hi: Optional[int] = None
+    ) -> List[Tuple[int, float]]:
+        """(period, yield) points between ``lo`` and ``hi`` (defaults:
+        sample min/max) — the gamma..delta speed-binning of Sec. VII."""
+        lo = self.min if lo is None else lo
+        hi = self.max if hi is None else hi
+        return [(tau, self.yield_at(tau)) for tau in range(lo, hi + 1)]
+
+
+def monte_carlo_delay(
+    circuit: Circuit,
+    pairs: Sequence[VectorPair],
+    num_samples: int = 100,
+    delay_model: Optional[DelayModel] = None,
+    seed: int = 97,
+) -> StatisticalTimingResult:
+    """Sample per-gate delays and replay the certification pairs.
+
+    Each sample draws every gate's delay independently from ``delay_model``
+    (default: +/-1 uniform variation) and records the worst delay observed
+    over all ``pairs`` in single-stepping mode.
+    """
+    if not pairs:
+        raise ValueError("need at least one certification vector pair")
+    delay_model = delay_model or uniform_variation(1)
+    rng = random.Random(seed)
+    nominal = {
+        node.name: node.delay
+        for node in circuit.nodes()
+        if node.gate_type != GateType.INPUT
+    }
+    samples: List[int] = []
+    for __ in range(num_samples):
+        sample_circuit = circuit.copy()
+        for name, nom in nominal.items():
+            sample_circuit.set_delay(name, delay_model(rng, nom))
+        simulator = EventSimulator(sample_circuit)
+        worst = 0
+        for pair in pairs:
+            worst = max(
+                worst, simulator.measure_pair_delay(pair.v_prev, pair.v_next)
+            )
+        samples.append(worst)
+    return StatisticalTimingResult(samples, len(pairs))
+
+
+def monte_carlo_topological(
+    circuit: Circuit,
+    num_samples: int = 100,
+    delay_model: Optional[DelayModel] = None,
+    seed: int = 97,
+) -> StatisticalTimingResult:
+    """Distribution of the *topological* delay under gate-delay variation —
+    the vector-independent statistical baseline (no false-path awareness)."""
+    delay_model = delay_model or uniform_variation(1)
+    rng = random.Random(seed)
+    samples: List[int] = []
+    for __ in range(num_samples):
+        sample_circuit = circuit.copy()
+        for node in circuit.nodes():
+            if node.gate_type != GateType.INPUT:
+                sample_circuit.set_delay(
+                    node.name, delay_model(rng, node.delay)
+                )
+        samples.append(sample_circuit.topological_delay())
+    return StatisticalTimingResult(samples, 0)

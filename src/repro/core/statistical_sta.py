@@ -1,0 +1,165 @@
+"""Analytical statistical timing analysis (ref. [11], Jyu et al.).
+
+The Monte Carlo follow-up in :mod:`repro.core.statistical` samples; this
+module *propagates* discrete gate-delay distributions through the circuit
+analytically: the arrival distribution of a gate is its delay distribution
+convolved with the maximum of its fanins' arrival distributions.
+
+The maximum is computed assuming the fanin arrivals are independent (CDFs
+multiply), which is exact on trees and an approximation under reconvergent
+fanout — the standard trade-off of analytical statistical STA, stated in
+[11].  Like the topological baseline, the analysis is vector-independent
+(no false-path awareness); comparing its distribution against the
+vector-driven Monte Carlo of the certification pairs quantifies the
+false-path pessimism statistically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..network.circuit import Circuit
+from ..network.gates import GateType
+
+
+@dataclass
+class DiscreteDistribution:
+    """A distribution over integer values ``offset .. offset+len(pmf)-1``."""
+
+    offset: int
+    pmf: np.ndarray
+
+    def __post_init__(self):
+        self.pmf = np.asarray(self.pmf, dtype=float)
+        if self.pmf.ndim != 1 or len(self.pmf) == 0:
+            raise ValueError("pmf must be a non-empty vector")
+        if np.any(self.pmf < -1e-12):
+            raise ValueError("pmf must be non-negative")
+        total = float(self.pmf.sum())
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"pmf must sum to 1 (got {total})")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def point(cls, value: int) -> "DiscreteDistribution":
+        return cls(value, np.array([1.0]))
+
+    @classmethod
+    def uniform(cls, low: int, high: int) -> "DiscreteDistribution":
+        if high < low:
+            raise ValueError("high must be >= low")
+        width = high - low + 1
+        return cls(low, np.full(width, 1.0 / width))
+
+    @property
+    def support_max(self) -> int:
+        return self.offset + len(self.pmf) - 1
+
+    @property
+    def mean(self) -> float:
+        values = np.arange(self.offset, self.support_max + 1)
+        return float((values * self.pmf).sum())
+
+    @property
+    def std(self) -> float:
+        values = np.arange(self.offset, self.support_max + 1)
+        mu = self.mean
+        return float(np.sqrt(((values - mu) ** 2 * self.pmf).sum()))
+
+    def cdf(self, value: int) -> float:
+        """P(X <= value)."""
+        if value < self.offset:
+            return 0.0
+        index = min(value - self.offset, len(self.pmf) - 1)
+        return float(self.pmf[: index + 1].sum())
+
+    def quantile(self, q: float) -> int:
+        """Smallest value with CDF >= q."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        cumulative = np.cumsum(self.pmf)
+        index = int(np.searchsorted(cumulative, q - 1e-12))
+        return self.offset + min(index, len(self.pmf) - 1)
+
+    # ------------------------------------------------------------------
+    def shift(self, amount: int) -> "DiscreteDistribution":
+        return DiscreteDistribution(self.offset + amount, self.pmf.copy())
+
+    def add(self, other: "DiscreteDistribution") -> "DiscreteDistribution":
+        """Sum of independent variables (pmf convolution)."""
+        pmf = np.convolve(self.pmf, other.pmf)
+        return DiscreteDistribution(self.offset + other.offset, pmf)
+
+    def maximum(self, other: "DiscreteDistribution") -> "DiscreteDistribution":
+        """Max of independent variables (CDF product)."""
+        low = min(self.offset, other.offset)
+        high = max(self.support_max, other.support_max)
+        values = np.arange(low, high + 1)
+        cdf_self = np.array([self.cdf(v) for v in values])
+        cdf_other = np.array([other.cdf(v) for v in values])
+        cdf = cdf_self * cdf_other
+        pmf = np.diff(np.concatenate([[0.0], cdf]))
+        pmf = np.clip(pmf, 0.0, None)
+        pmf /= pmf.sum()
+        return DiscreteDistribution(low, pmf)
+
+
+#: Maps a gate name + nominal delay to its delay distribution.
+DelayDistributionModel = Callable[[str, int], DiscreteDistribution]
+
+
+def uniform_delay_model(spread: int = 1) -> DelayDistributionModel:
+    """Uniform integer variation of +/- ``spread``, clipped at zero."""
+
+    def model(name: str, nominal: int) -> DiscreteDistribution:
+        low = max(0, nominal - spread)
+        high = nominal + spread
+        return DiscreteDistribution.uniform(low, high)
+
+    return model
+
+
+def fixed_delay_model() -> DelayDistributionModel:
+    def model(name: str, nominal: int) -> DiscreteDistribution:
+        return DiscreteDistribution.point(nominal)
+
+    return model
+
+
+def arrival_distributions(
+    circuit: Circuit,
+    model: Optional[DelayDistributionModel] = None,
+) -> Dict[str, DiscreteDistribution]:
+    """Arrival-time distribution at every node (independence-approximate
+    under reconvergence, exact on trees)."""
+    model = model or uniform_delay_model(1)
+    result: Dict[str, DiscreteDistribution] = {}
+    for name in circuit.topological_order():
+        node = circuit.node(name)
+        if not node.fanins:
+            result[name] = DiscreteDistribution.point(0)
+            continue
+        arrival = result[node.fanins[0]]
+        for fanin in node.fanins[1:]:
+            arrival = arrival.maximum(result[fanin])
+        result[name] = arrival.add(model(name, node.delay))
+    return result
+
+
+def circuit_delay_distribution(
+    circuit: Circuit,
+    model: Optional[DelayDistributionModel] = None,
+) -> DiscreteDistribution:
+    """Distribution of the circuit's (topological) delay: the max over the
+    primary outputs' arrival distributions."""
+    arrivals = arrival_distributions(circuit, model)
+    outputs = circuit.outputs
+    if not outputs:
+        raise ValueError("circuit has no outputs")
+    result = arrivals[outputs[0]]
+    for out in outputs[1:]:
+        result = result.maximum(arrivals[out])
+    return result

@@ -1,0 +1,79 @@
+"""Symbolic event suppression (Sec. V-D).
+
+To answer "is the delay >= delta?" it is unnecessary to build every
+``g_t``: if ``w_g`` is the longest path from gate ``g`` to any circuit
+output, a transition of ``g`` at time ``t`` can reach an output no later
+than ``t + w_g``, so only the functions with ``t + w_g >= delta - 1`` can
+matter.
+
+The lazy evaluation in :class:`repro.core.transition.TransitionAnalysis`
+builds an even smaller set (only the cones actually pulled by the queries);
+this module provides the explicit rule and the accounting used by the
+suppression ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..network.circuit import Circuit
+from .transition import TransitionAnalysis
+
+
+@dataclass
+class SuppressionPlan:
+    """Which (signal, time) functions a delta-query may need."""
+
+    delta: int
+    #: Per signal: inclusive (lo, hi) time range of needed functions;
+    #: an empty range is (1, 0).
+    ranges: Dict[str, Tuple[int, int]]
+    total_window: int
+    total_needed: int
+
+    @property
+    def suppressed(self) -> int:
+        return self.total_window - self.total_needed
+
+    @property
+    def fraction_suppressed(self) -> float:
+        if self.total_window == 0:
+            return 0.0
+        return self.suppressed / self.total_window
+
+
+def suppression_plan(circuit: Circuit, delta: int) -> SuppressionPlan:
+    """Apply the Sec. V-D rule for the query "delay >= delta?"."""
+    analysis = TransitionAnalysis(circuit)
+    residual = circuit.residual_delays()
+    ranges: Dict[str, Tuple[int, int]] = {}
+    total_window = 0
+    total_needed = 0
+    for name in circuit.topological_order():
+        w_g = residual[name]
+        lo, hi = analysis.earliest(name), analysis.latest(name)
+        window = max(0, hi - lo + 1)
+        total_window += window
+        if w_g < 0:
+            ranges[name] = (1, 0)
+            continue
+        needed_lo = max(lo, delta - 1 - w_g)
+        if needed_lo > hi:
+            ranges[name] = (1, 0)
+        else:
+            ranges[name] = (needed_lo, hi)
+            total_needed += hi - needed_lo + 1
+    return SuppressionPlan(delta, ranges, total_window, total_needed)
+
+
+def build_all_functions(analysis: TransitionAnalysis) -> int:
+    """Force-build every in-window function (suppression disabled).
+
+    Returns the number of window functions built — the baseline against
+    which :class:`SuppressionPlan` and lazy evaluation are compared.
+    """
+    for name in analysis.circuit.topological_order():
+        for t in range(analysis.earliest(name), analysis.latest(name)):
+            analysis.function_at(name, t)
+    return analysis.num_functions()

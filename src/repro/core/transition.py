@@ -1,0 +1,427 @@
+"""Transition-delay computation by symbolic simulation (Sec. V).
+
+All possible input vector *pairs* are simulated at once: the stable value of
+every signal in every unit time interval is a Boolean function over the
+doubled variable space (``a@-`` for the first vector, ``a@0`` for the
+second; Sec. V-C).  Under the fixed-delay model the circuit activity happens
+at discrete time points, and
+
+* ``f_t`` (``function_at``) is the value of signal ``f`` throughout interval
+  ``[t, t+1)``;
+* a transition of ``f`` at time point ``t`` exists for exactly the vector
+  pairs satisfying ``e_{f,t} = f_{t-1} XOR f_t`` (``transition_predicate``);
+* the circuit's transition delay is the largest ``t`` for which some
+  output's ``e_{f,t}`` is satisfiable, and any satisfying assignment *is*
+  the certification vector pair.
+
+Lemma 5.1 bounds the times that matter to ``[delta_f, Delta_f]`` (shortest/
+longest graphical delay to ``f``); outside the window ``f_t`` equals the
+``v_-1`` settle function (below) or the ``v_0`` settle function (above).
+Functions are built lazily with memoisation, which subsumes the symbolic
+event suppression of Sec. V-D (see :mod:`repro.core.suppression` for the
+explicit ``w_g`` accounting).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..boolfn.interface import make_engine
+from ..network.circuit import Circuit
+from ..network.gates import GateType, gate_function
+from .vectors import (
+    DelayCertificate,
+    VectorPair,
+    cur_var,
+    prev_var,
+)
+
+#: Optional constraint builder over the doubled space: called with the
+#: engine and its ``var`` function; returns a function handle restricting
+#: admissible vector pairs (e.g. the FSM reachability/next-state condition).
+PairConstraintBuilder = Callable[[object, Callable[[str], int]], int]
+
+
+class TransitionAnalysis:
+    """Symbolic waveforms of a circuit over all input vector pairs."""
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        engine=None,
+        engine_name: str = "auto",
+        input_times: Optional[Dict[str, int]] = None,
+    ):
+        circuit.validate()
+        self.circuit = circuit
+        self.engine = engine or make_engine(engine_name, circuit.num_gates)
+        #: Per-input clock time: ``a@0`` takes effect at this time
+        #: (Sec. V-C: "the inputs need not be clocked at the same time").
+        self.input_times = dict(input_times or {})
+        self._delta: Dict[str, int] = {}
+        self._Delta: Dict[str, int] = {}
+        for name in circuit.topological_order():
+            node = circuit.node(name)
+            if node.gate_type == GateType.INPUT:
+                t_clk = self.input_times.get(name, 0)
+                self._delta[name] = t_clk
+                self._Delta[name] = t_clk
+            elif not node.fanins:
+                self._delta[name] = 0
+                self._Delta[name] = 0
+            else:
+                self._delta[name] = node.delay + min(
+                    self._delta[f] for f in node.fanins
+                )
+                self._Delta[name] = node.delay + max(
+                    self._Delta[f] for f in node.fanins
+                )
+        self._memo: Dict[Tuple[str, int], int] = {}
+        self._initial: Dict[str, int] = {}
+        self._final: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def earliest(self, name: str) -> int:
+        """delta_f of Lemma 5.1 — no transition before this time."""
+        return self._delta[name]
+
+    def latest(self, name: str) -> int:
+        """Delta_f of Lemma 5.1 — no transition after this time."""
+        return self._Delta[name]
+
+    def initial_function(self, name: str) -> int:
+        """Settled value under ``v_-1`` (a function of the ``@-`` vars)."""
+        cached = self._initial.get(name)
+        if cached is not None:
+            return cached
+        node = self.circuit.node(name)
+        if node.gate_type == GateType.INPUT:
+            result = self.engine.var(prev_var(name))
+        else:
+            result = gate_function(
+                self.engine,
+                node.gate_type,
+                [self.initial_function(f) for f in node.fanins],
+            )
+        self._initial[name] = result
+        return result
+
+    def final_function(self, name: str) -> int:
+        """Settled value under ``v_0`` (a function of the ``@0`` vars)."""
+        cached = self._final.get(name)
+        if cached is not None:
+            return cached
+        node = self.circuit.node(name)
+        if node.gate_type == GateType.INPUT:
+            result = self.engine.var(cur_var(name))
+        else:
+            result = gate_function(
+                self.engine,
+                node.gate_type,
+                [self.final_function(f) for f in node.fanins],
+            )
+        self._final[name] = result
+        return result
+
+    def function_at(self, name: str, t: int) -> int:
+        """``f_t``: the value of signal ``name`` on interval ``[t, t+1)``."""
+        if t < self._delta[name]:
+            return self.initial_function(name)
+        if t >= self._Delta[name]:
+            return self.final_function(name)
+        key = (name, t)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        node = self.circuit.node(name)
+        if node.gate_type == GateType.INPUT:
+            # Inside the window only for clocked inputs at exactly t_clk,
+            # which the clamps above already handle.
+            result = self.final_function(name)
+        else:
+            result = gate_function(
+                self.engine,
+                node.gate_type,
+                [self.function_at(f, t - node.delay) for f in node.fanins],
+            )
+        self._memo[key] = result
+        return result
+
+    def transition_predicate(self, name: str, t: int) -> int:
+        """``e_{f,t}``: vector pairs producing a transition of ``f`` at
+        time point ``t`` (between intervals ``t-1`` and ``t``)."""
+        return self.engine.xor_(
+            self.function_at(name, t - 1), self.function_at(name, t)
+        )
+
+    def possible_transition_times(self, name: str) -> List[int]:
+        """All time points at which some vector pair makes ``name``
+        transition — the ``e_{i,j}`` windows of Fig. 4."""
+        times = []
+        for t in range(self._delta[name], self._Delta[name] + 1):
+            predicate = self.transition_predicate(name, t)
+            if self.engine.sat_one(predicate) is not None:
+                times.append(t)
+        return times
+
+    def pair_for_transition(
+        self, name: str, t: int, constraint_fn: Optional[int] = None
+    ) -> Optional[VectorPair]:
+        """A vector pair exciting a transition of ``name`` at ``t``."""
+        predicate = self.transition_predicate(name, t)
+        if constraint_fn is not None:
+            predicate = self.engine.and_(predicate, constraint_fn)
+        model = self.engine.sat_one(predicate)
+        if model is None:
+            return None
+        return VectorPair.from_model(model, self.circuit.inputs)
+
+    def pair_for_conjunction(
+        self, requirements: List[Tuple[str, int]]
+    ) -> Optional[VectorPair]:
+        """A pair exciting transitions at *all* the given (signal, time)
+        points simultaneously (the ``e_{f,1} * e_{f,2}`` query of Sec. V-C)."""
+        predicate = self.engine.const1
+        for name, t in requirements:
+            predicate = self.engine.and_(
+                predicate, self.transition_predicate(name, t)
+            )
+        model = self.engine.sat_one(predicate)
+        if model is None:
+            return None
+        return VectorPair.from_model(model, self.circuit.inputs)
+
+    def num_functions(self) -> int:
+        """Number of in-window interval functions built so far."""
+        return len(self._memo)
+
+
+def compute_transition_delay(
+    circuit: Circuit,
+    engine=None,
+    engine_name: str = "auto",
+    upper: Optional[int] = None,
+    constraint: Optional[PairConstraintBuilder] = None,
+    input_times: Optional[Dict[str, int]] = None,
+    analysis: Optional[TransitionAnalysis] = None,
+) -> DelayCertificate:
+    """The exact transition delay under fixed gate delays (single-stepping
+    mode), with a certification vector pair.
+
+    The query proceeds top-down from ``upper`` (Sec. V-D: "Is the delay of
+    the circuit >= delta?") — the natural ``upper`` is the floating delay,
+    which bounds the transition delay from above (Sec. VII).  ``checks``
+    counts satisfiability checks (the '#check' column of Table II).
+    """
+    from .floating import with_bdd_fallback
+
+    if analysis is None:
+        return with_bdd_fallback(
+            lambda eng: compute_transition_delay(
+                circuit,
+                engine_name=engine_name,
+                upper=upper,
+                constraint=constraint,
+                input_times=input_times,
+                analysis=TransitionAnalysis(circuit, eng, engine_name, input_times),
+            ),
+            engine,
+            engine_name,
+        )
+    engine = analysis.engine
+    outputs = circuit.outputs
+    if not outputs:
+        raise ValueError("circuit has no outputs")
+    care = engine.const1
+    if constraint is not None:
+        care = constraint(engine, engine.var)
+    latest = max(analysis.latest(o) for o in outputs)
+    if upper is None:
+        upper = latest
+    upper = min(upper, latest)
+    checks = 0
+    for t in range(upper, 0, -1):
+        # One satisfiability check per time point: the transition
+        # predicates of all eligible outputs are folded into a disjunction
+        # and the critical output recovered from the witness.
+        eligible = [
+            out
+            for out in outputs
+            if analysis.earliest(out) <= t <= analysis.latest(out)
+        ]
+        if not eligible:
+            continue
+        if not getattr(engine, "prefers_batching", True):
+            model, out = None, None
+            for candidate in eligible:
+                checks += 1
+                model = engine.sat_one(
+                    engine.and_(
+                        care, analysis.transition_predicate(candidate, t)
+                    )
+                )
+                if model is not None:
+                    out = candidate
+                    break
+            if model is None:
+                continue
+            env = _complete_model(model, circuit, analysis)
+        else:
+            combined = engine.or_many(
+                analysis.transition_predicate(out, t) for out in eligible
+            )
+            checks += 1
+            model = engine.sat_one(engine.and_(care, combined))
+            if model is None:
+                continue
+            env = _complete_model(model, circuit, analysis)
+            out = eligible[0]
+            for candidate in eligible:
+                if engine.evaluate(
+                    analysis.transition_predicate(candidate, t), env
+                ):
+                    out = candidate
+                    break
+        pair = VectorPair.from_model(model, circuit.inputs)
+        value = engine.evaluate(analysis.function_at(out, t), env)
+        return DelayCertificate(
+            mode="transition",
+            delay=t,
+            output=out,
+            value=bool(value),
+            pair=pair,
+            checks=checks,
+            extra={"functions_built": analysis.num_functions()},
+        )
+    return DelayCertificate(
+        mode="transition",
+        delay=0,
+        checks=checks,
+        extra={"functions_built": analysis.num_functions()},
+    )
+
+
+def _complete_model(
+    model: Dict[str, bool], circuit: Circuit, analysis: TransitionAnalysis
+) -> Dict[str, bool]:
+    """Fill don't-care doubled variables so evaluation is total."""
+    complete = dict(model)
+    for name in circuit.inputs:
+        complete.setdefault(prev_var(name), False)
+        complete.setdefault(cur_var(name), False)
+    return complete
+
+
+def query_delay_at_least(
+    circuit: Circuit,
+    delta: int,
+    engine=None,
+    engine_name: str = "auto",
+    constraint: Optional[PairConstraintBuilder] = None,
+    input_times: Optional[Dict[str, int]] = None,
+    analysis: Optional[TransitionAnalysis] = None,
+) -> Optional[VectorPair]:
+    """The paper's literal query (Sec. V-D): "Is the delay of the circuit
+    >= delta?" — returns a witness vector pair exciting an output
+    transition at some time ``t >= delta``, or None.
+
+    Searches the candidate times top-down, so a positive answer also
+    reveals the latest excitable time (replay the pair to observe it).
+    """
+    if delta < 1:
+        raise ValueError("delta must be at least 1")
+    if analysis is None:
+        analysis = TransitionAnalysis(circuit, engine, engine_name, input_times)
+    engine = analysis.engine
+    care = engine.const1
+    if constraint is not None:
+        care = constraint(engine, engine.var)
+    latest = max(analysis.latest(out) for out in circuit.outputs)
+    for t in range(latest, delta - 1, -1):
+        eligible = [
+            out
+            for out in circuit.outputs
+            if analysis.earliest(out) <= t <= analysis.latest(out)
+        ]
+        if not eligible:
+            continue
+        combined = engine.or_many(
+            analysis.transition_predicate(out, t) for out in eligible
+        )
+        model = engine.sat_one(engine.and_(care, combined))
+        if model is not None:
+            return VectorPair.from_model(model, circuit.inputs)
+    return None
+
+
+def extend_floating_witness(
+    circuit: Circuit,
+    floating_cert,
+    analysis: Optional[TransitionAnalysis] = None,
+    engine_name: str = "auto",
+    constraint: Optional[PairConstraintBuilder] = None,
+) -> Optional[VectorPair]:
+    """Try to extend a floating-delay witness into a vector pair that
+    excites an output transition at exactly the floating delay.
+
+    Success is a *sufficient condition* for ``t.d. == f.d.`` (the paper's
+    Sec. VIII "work in progress" asks when the two modes agree): the pair
+    both proves the equality and certifies it dynamically.  The query is
+    much cheaper than an unrestricted transition check because the whole
+    ``@0`` half of the doubled space is pinned to the witness vector.
+    """
+    if floating_cert.witness is None or floating_cert.delay <= 0:
+        return None
+    if analysis is None:
+        analysis = TransitionAnalysis(circuit, engine_name=engine_name)
+    engine = analysis.engine
+    pinned = engine.const1
+    for name in circuit.inputs:
+        literal = engine.var(cur_var(name))
+        if not floating_cert.witness[name]:
+            literal = engine.not_(literal)
+        pinned = engine.and_(pinned, literal)
+    if constraint is not None:
+        pinned = engine.and_(pinned, constraint(engine, engine.var))
+    t = floating_cert.delay
+    for out in circuit.outputs:
+        if not analysis.earliest(out) <= t <= analysis.latest(out):
+            continue
+        predicate = engine.and_(pinned, analysis.transition_predicate(out, t))
+        model = engine.sat_one(predicate)
+        if model is not None:
+            return VectorPair.from_model(model, circuit.inputs)
+    return None
+
+
+def collect_certification_pairs(
+    circuit: Circuit,
+    analysis: Optional[TransitionAnalysis] = None,
+    engine_name: str = "auto",
+    constraint: Optional[PairConstraintBuilder] = None,
+) -> Dict[str, Tuple[int, VectorPair]]:
+    """Per-output certification vectors: for every primary output, the
+    latest satisfiable transition time and a vector pair exciting it.
+
+    This is the "comprehensive path coverage" vector set of Sec. VII —
+    replaying every pair on the accurate timing simulator exercises the
+    critical event of each output.
+    """
+    if analysis is None:
+        analysis = TransitionAnalysis(circuit, engine_name=engine_name)
+    engine = analysis.engine
+    care = engine.const1
+    if constraint is not None:
+        care = constraint(engine, engine.var)
+    result: Dict[str, Tuple[int, VectorPair]] = {}
+    for out in circuit.outputs:
+        for t in range(analysis.latest(out), analysis.earliest(out) - 1, -1):
+            predicate = engine.and_(care, analysis.transition_predicate(out, t))
+            model = engine.sat_one(predicate)
+            if model is not None:
+                result[out] = (
+                    t,
+                    VectorPair.from_model(model, circuit.inputs),
+                )
+                break
+    return result

@@ -1,0 +1,44 @@
+"""FSM substrate: KISS2 tables, encodings, controller synthesis, and the
+reachability/next-state vector restrictions of Sec. VI."""
+
+from .constraints import (
+    reachable_states_constraint,
+    transition_pair_constraint,
+)
+from .encoding import (
+    StateEncoding,
+    gray_encoding,
+    minimal_binary_encoding,
+    one_hot_encoding,
+)
+from .kiss import dump_kiss, dumps_kiss, load_kiss, loads_kiss
+from .machine import Fsm, FsmTransition
+from .sequential import (
+    SequentialSimulator,
+    SequentialTrace,
+    reference_trace,
+    smallest_working_period,
+)
+from .synth import FsmLogic, make_disjoint, synthesize
+
+__all__ = [
+    "Fsm",
+    "FsmTransition",
+    "loads_kiss",
+    "load_kiss",
+    "dumps_kiss",
+    "dump_kiss",
+    "StateEncoding",
+    "minimal_binary_encoding",
+    "gray_encoding",
+    "one_hot_encoding",
+    "FsmLogic",
+    "synthesize",
+    "make_disjoint",
+    "SequentialSimulator",
+    "SequentialTrace",
+    "reference_trace",
+    "smallest_working_period",
+    "reachable_states_constraint",
+    "transition_pair_constraint",
+]

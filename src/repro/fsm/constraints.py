@@ -1,0 +1,78 @@
+"""Vector-space restrictions for FSM delay analysis (Sec. VI).
+
+"For the finite state machine examples the set of input vectors in floating
+delay computation was restricted to ``i@s`` with ``s`` in the set of
+reachable states.  In transition delay computation, the set of input vector
+pairs ``<i1@s1, i2@s2>`` were applied such that ``s1`` is reachable with
+``s2`` being determined by the next state logic and ``i1@s1``."
+
+These builders plug into the ``constraint=`` parameters of
+:func:`repro.core.floating.compute_floating_delay` and
+:func:`repro.core.transition.compute_transition_delay`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from ..core.vectors import cur_var, prev_var
+from ..network.symbolic import circuit_functions
+from .machine import Fsm
+from .synth import FsmLogic
+
+
+def _state_code_function(engine, var, logic: FsmLogic, state: str,
+                         rename: Callable[[str], str]) -> int:
+    """Characteristic function of one state's code over (renamed) state vars."""
+    result = engine.const1
+    for name, bit in zip(logic.state_names, logic.encoding.code(state)):
+        literal = var(rename(name))
+        if not bit:
+            literal = engine.not_(literal)
+        result = engine.and_(result, literal)
+    return result
+
+
+def reachable_states_constraint(logic: FsmLogic):
+    """Floating-mode care set: the present-state bits carry a reachable
+    state's code (single-vector space, plain variable names)."""
+    reachable: List[str] = logic.fsm.reachable_states()
+
+    def build(engine, var) -> int:
+        terms = [
+            _state_code_function(engine, var, logic, state, lambda n: n)
+            for state in reachable
+        ]
+        return engine.or_many(terms)
+
+    return build
+
+
+def transition_pair_constraint(logic: FsmLogic):
+    """Transition-mode constraint over the doubled space:
+    ``s@-`` reachable AND ``s@0 == next_state_logic(i@-, s@-)``."""
+    reachable: List[str] = logic.fsm.reachable_states()
+    circuit = logic.circuit
+
+    def build(engine, var) -> int:
+        reach = engine.or_many(
+            _state_code_function(engine, var, logic, state, prev_var)
+            for state in reachable
+        )
+        ns_functions = circuit_functions(
+            engine,
+            circuit,
+            logic.next_state_names,
+            input_var=lambda name: var(prev_var(name)),
+        )
+        consistent = engine.const1
+        for s_name, ns_name in zip(
+            logic.state_names, logic.next_state_names
+        ):
+            same = engine.not_(
+                engine.xor_(var(cur_var(s_name)), ns_functions[ns_name])
+            )
+            consistent = engine.and_(consistent, same)
+        return engine.and_(reach, consistent)
+
+    return build

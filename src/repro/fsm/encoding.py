@@ -1,0 +1,77 @@
+"""State encodings for FSM synthesis.
+
+'State encoded' controllers (Sec. VI) need a binary code per symbolic
+state.  Minimal-length binary (in state order, reset = 0), Gray, and
+one-hot encodings are provided; the delay experiments use minimal binary
+so the encoded input/output counts match Table I.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from .machine import Fsm
+
+
+class StateEncoding:
+    """A mapping from state names to bit tuples."""
+
+    def __init__(self, codes: Dict[str, Tuple[bool, ...]], num_bits: int,
+                 style: str):
+        self.codes = codes
+        self.num_bits = num_bits
+        self.style = style
+        self._reverse = {code: state for state, code in codes.items()}
+
+    def code(self, state: str) -> Tuple[bool, ...]:
+        return self.codes[state]
+
+    def decode(self, bits: Sequence[bool]) -> str:
+        key = tuple(bool(b) for b in bits)
+        if key not in self._reverse:
+            raise KeyError(f"no state has code {key}")
+        return self._reverse[key]
+
+    def state_vars(self, prefix: str = "s") -> List[str]:
+        """Signal names for the present-state bits."""
+        return [f"{prefix}{i}" for i in range(self.num_bits)]
+
+    def next_state_vars(self, prefix: str = "ns") -> List[str]:
+        return [f"{prefix}{i}" for i in range(self.num_bits)]
+
+
+def _int_to_bits(value: int, width: int) -> Tuple[bool, ...]:
+    return tuple(bool((value >> (width - 1 - i)) & 1) for i in range(width))
+
+
+def minimal_binary_encoding(fsm: Fsm) -> StateEncoding:
+    """Reset state gets code 0; others follow declaration order."""
+    ordered = [fsm.reset_state] + [
+        s for s in fsm.states if s != fsm.reset_state
+    ]
+    width = max(1, (len(ordered) - 1).bit_length())
+    codes = {
+        state: _int_to_bits(index, width)
+        for index, state in enumerate(ordered)
+    }
+    return StateEncoding(codes, width, "binary")
+
+
+def gray_encoding(fsm: Fsm) -> StateEncoding:
+    ordered = [fsm.reset_state] + [
+        s for s in fsm.states if s != fsm.reset_state
+    ]
+    width = max(1, (len(ordered) - 1).bit_length())
+    codes = {
+        state: _int_to_bits(index ^ (index >> 1), width)
+        for index, state in enumerate(ordered)
+    }
+    return StateEncoding(codes, width, "gray")
+
+
+def one_hot_encoding(fsm: Fsm) -> StateEncoding:
+    width = len(fsm.states)
+    codes = {}
+    for index, state in enumerate(fsm.states):
+        codes[state] = tuple(i == index for i in range(width))
+    return StateEncoding(codes, width, "one-hot")

@@ -1,0 +1,95 @@
+"""KISS2 state-table format (the MCNC FSM benchmark interchange format).
+
+Format::
+
+    .i 2
+    .o 1
+    .s 3         (optional)
+    .p 4         (optional)
+    .r st0       (optional; default: state of the first row)
+    0- st0 st1 0
+    1- st0 st0 1
+    ...
+    .e
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .machine import Fsm, FsmTransition
+
+
+def loads_kiss(text: str, name: str = "fsm") -> Fsm:
+    """Parse KISS2 text into an :class:`Fsm`."""
+    num_inputs = num_outputs = None
+    reset = None
+    rows: List[FsmTransition] = []
+    states: List[str] = []
+    seen_states = set()
+
+    def note_state(state: str) -> None:
+        if state not in seen_states:
+            seen_states.add(state)
+            states.append(state)
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        tokens = line.split()
+        if tokens[0] == ".i":
+            num_inputs = int(tokens[1])
+        elif tokens[0] == ".o":
+            num_outputs = int(tokens[1])
+        elif tokens[0] in (".p", ".s"):
+            continue  # informational counts
+        elif tokens[0] == ".r":
+            reset = tokens[1]
+        elif tokens[0] in (".e", ".end"):
+            break
+        elif tokens[0].startswith("."):
+            raise ValueError(f"line {line_no}: unsupported directive {tokens[0]}")
+        else:
+            if len(tokens) != 4:
+                raise ValueError(f"line {line_no}: expected 4 fields")
+            inputs, state, next_state, outputs = tokens
+            note_state(state)
+            note_state(next_state)
+            rows.append(FsmTransition(inputs, state, next_state, outputs))
+    if num_inputs is None or num_outputs is None:
+        raise ValueError("missing .i or .o directive")
+    if not rows:
+        raise ValueError("no transition rows")
+    if reset is None:
+        reset = rows[0].state
+    else:
+        note_state(reset)
+    return Fsm(name, num_inputs, num_outputs, states, reset, rows)
+
+
+def load_kiss(path: str, name: str = "") -> Fsm:
+    with open(path) as handle:
+        return loads_kiss(handle.read(), name or path)
+
+
+def dumps_kiss(fsm: Fsm) -> str:
+    """Render an :class:`Fsm` as KISS2 text."""
+    lines = [
+        f".i {fsm.num_inputs}",
+        f".o {fsm.num_outputs}",
+        f".p {len(fsm.transitions)}",
+        f".s {len(fsm.states)}",
+        f".r {fsm.reset_state}",
+    ]
+    for row in fsm.transitions:
+        lines.append(
+            f"{row.inputs} {row.state} {row.next_state} {row.outputs}"
+        )
+    lines.append(".e")
+    return "\n".join(lines) + "\n"
+
+
+def dump_kiss(fsm: Fsm, path: str) -> None:
+    with open(path, "w") as handle:
+        handle.write(dumps_kiss(fsm))

@@ -1,0 +1,196 @@
+"""Synthesis of an FSM's combinational next-state/output logic.
+
+Produces the "state encoded, optimized and mapped" controller networks of
+Sec. VI: each next-state bit and each output bit is realised as a
+sum-of-products over the primary inputs and the present-state bits, cube-
+merged ("optimized"), then decomposed to a bounded-fanin gate network
+("mapped").  Rows are first made disjoint (sharp operation) so the SOP is
+an exact realisation of the table plus the reset-default completion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..boolfn.sop import Cube, Sop
+from ..network.circuit import Circuit
+from ..network.gates import GateType
+from ..network.transform import limit_fanin
+from .encoding import StateEncoding, minimal_binary_encoding
+from .machine import Fsm, FsmTransition
+
+
+def _subtract_pattern(pattern: str, blocker: str) -> List[str]:
+    """Disjoint subpatterns of ``pattern`` whose vectors avoid ``blocker``."""
+    for p, b in zip(pattern, blocker):
+        if p != "-" and b != "-" and p != b:
+            return [pattern]  # already disjoint
+    pieces: List[str] = []
+    current = list(pattern)
+    for i, (p, b) in enumerate(zip(pattern, blocker)):
+        if b != "-" and current[i] == "-":
+            piece = list(current)
+            piece[i] = "0" if b == "1" else "1"
+            pieces.append("".join(piece))
+            current[i] = b
+    return pieces
+
+
+def make_disjoint(fsm: Fsm) -> Fsm:
+    """An equivalent FSM whose rows are pairwise disjoint per state, so a
+    plain SOP realises the first-match table semantics exactly."""
+    new_rows: List[FsmTransition] = []
+    rows_by_state: Dict[str, List[FsmTransition]] = {}
+    for row in fsm.transitions:
+        rows_by_state.setdefault(row.state, []).append(row)
+    for state, rows in rows_by_state.items():
+        blockers: List[str] = []
+        for row in rows:
+            fragments = [row.inputs]
+            for blocker in blockers:
+                fragments = [
+                    piece
+                    for fragment in fragments
+                    for piece in _subtract_pattern(fragment, blocker)
+                ]
+            for fragment in fragments:
+                new_rows.append(
+                    FsmTransition(fragment, state, row.next_state, row.outputs)
+                )
+            blockers.append(row.inputs)
+    return Fsm(
+        fsm.name,
+        fsm.num_inputs,
+        fsm.num_outputs,
+        fsm.states,
+        fsm.reset_state,
+        new_rows,
+    )
+
+
+@dataclass
+class FsmLogic:
+    """A synthesised controller: the combinational circuit plus naming."""
+
+    fsm: Fsm
+    encoding: StateEncoding
+    circuit: Circuit
+    input_names: List[str]
+    state_names: List[str]
+    next_state_names: List[str]
+    output_names: List[str]
+
+    def evaluate_step(
+        self, state: str, input_bits: List[bool]
+    ) -> Tuple[str, List[bool]]:
+        """Run the circuit for one FSM step (used to validate synthesis)."""
+        assignment = dict(zip(self.input_names, input_bits))
+        assignment.update(
+            zip(self.state_names, self.encoding.code(state))
+        )
+        values = self.circuit.evaluate(assignment)
+        ns_bits = tuple(values[n] for n in self.next_state_names)
+        outputs = [values[n] for n in self.output_names]
+        return self.encoding.decode(ns_bits), outputs
+
+
+def _synthesize_sop(
+    circuit: Circuit, target: str, sop: Sop, inverters: Dict[str, str]
+) -> None:
+    """Realise an SOP at node ``target`` with shared input inverters."""
+
+    def literal(var: str, positive: bool) -> str:
+        if positive:
+            return var
+        inv = inverters.get(var)
+        if inv is None:
+            inv = f"{var}_n"
+            circuit.add_gate(inv, GateType.NOT, [var])
+            inverters[var] = inv
+        return inv
+
+    if not sop.cubes:
+        circuit.add_gate(target, GateType.CONST0, ())
+        return
+    if any(len(cube) == 0 for cube in sop.cubes):
+        circuit.add_gate(target, GateType.CONST1, ())
+        return
+    products: List[str] = []
+    for index, cube in enumerate(sop.cubes):
+        literals = [
+            literal(var, positive)
+            for var, positive in sorted(cube.literals.items())
+        ]
+        if len(literals) == 1:
+            products.append(literals[0])
+        else:
+            product = f"{target}#p{index}"
+            circuit.add_gate(product, GateType.AND, literals)
+            products.append(product)
+    if len(products) == 1:
+        circuit.add_gate(target, GateType.BUF, products)
+    else:
+        circuit.add_gate(target, GateType.OR, products)
+
+
+def synthesize(
+    fsm: Fsm,
+    encoding: Optional[StateEncoding] = None,
+    optimize: bool = True,
+    fanin_limit: Optional[int] = 4,
+    input_prefix: str = "i",
+) -> FsmLogic:
+    """Synthesise the FSM into a mapped combinational controller.
+
+    The circuit's primary inputs are ``i0..`` (FSM inputs) followed by the
+    present-state bits; its outputs are the next-state bits followed by the
+    FSM outputs — so the Table I 'inputs'/'outputs' counts are
+    ``num_inputs + bits`` and ``num_outputs + bits``.
+    """
+    encoding = encoding or minimal_binary_encoding(fsm)
+    disjoint = make_disjoint(fsm)
+    input_names = [f"{input_prefix}{k}" for k in range(fsm.num_inputs)]
+    state_names = encoding.state_vars()
+    ns_names = encoding.next_state_vars()
+    output_names = [f"o{k}" for k in range(fsm.num_outputs)]
+
+    # Collect one SOP per target bit.
+    sops: Dict[str, List[Cube]] = {name: [] for name in ns_names + output_names}
+    for row in disjoint.transitions:
+        literals: Dict[str, bool] = {}
+        for name, ch in zip(input_names, row.inputs):
+            if ch != "-":
+                literals[name] = ch == "1"
+        for name, bit in zip(state_names, encoding.code(row.state)):
+            literals[name] = bool(bit)
+        cube = Cube(literals)
+        for name, bit in zip(ns_names, encoding.code(row.next_state)):
+            if bit:
+                sops[name].append(cube)
+        for name, ch in zip(output_names, row.outputs):
+            if ch == "1":
+                sops[name].append(cube)
+
+    circuit = Circuit(fsm.name)
+    for name in input_names + state_names:
+        circuit.add_input(name)
+    inverters: Dict[str, str] = {}
+    for target in ns_names + output_names:
+        sop = Sop(sops[target])
+        if optimize:
+            sop = sop.merged()
+        _synthesize_sop(circuit, target, sop, inverters)
+    circuit.set_outputs(ns_names + output_names)
+    circuit.validate()
+    if fanin_limit is not None:
+        circuit = limit_fanin(circuit, fanin_limit)
+    return FsmLogic(
+        fsm=fsm,
+        encoding=encoding,
+        circuit=circuit,
+        input_names=input_names,
+        state_names=state_names,
+        next_state_names=ns_names,
+        output_names=output_names,
+    )

@@ -1,0 +1,88 @@
+"""Fluent circuit construction.
+
+:class:`CircuitBuilder` removes the naming boilerplate when building circuits
+in code (examples, figure circuits, generators)::
+
+    b = CircuitBuilder("demo")
+    a, c = b.inputs("a", "c")
+    g = b.nand(a, c, name="g", delay=2)
+    b.output(b.or_(g, a))
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .circuit import Circuit
+from .gates import GateType
+
+
+class CircuitBuilder:
+    """Builds a :class:`Circuit`, auto-generating names when not given."""
+
+    def __init__(self, name: str = "circuit"):
+        self.circuit = Circuit(name)
+        self._counter = 0
+
+    def _fresh(self, prefix: str) -> str:
+        while True:
+            self._counter += 1
+            name = f"{prefix}{self._counter}"
+            if name not in self.circuit:
+                return name
+
+    # ------------------------------------------------------------------
+    def input(self, name: str) -> str:
+        return self.circuit.add_input(name)
+
+    def inputs(self, *names: str) -> List[str]:
+        return [self.circuit.add_input(n) for n in names]
+
+    def output(self, *names: str) -> None:
+        for name in names:
+            self.circuit.add_output(name)
+
+    def gate(
+        self,
+        gate_type: GateType,
+        fanins: Sequence[str],
+        name: Optional[str] = None,
+        delay: int = 1,
+    ) -> str:
+        name = name or self._fresh(gate_type.value.lower())
+        return self.circuit.add_gate(name, gate_type, fanins, delay)
+
+    # Named helpers -----------------------------------------------------
+    def and_(self, *fanins: str, name: Optional[str] = None, delay: int = 1) -> str:
+        return self.gate(GateType.AND, fanins, name, delay)
+
+    def nand(self, *fanins: str, name: Optional[str] = None, delay: int = 1) -> str:
+        return self.gate(GateType.NAND, fanins, name, delay)
+
+    def or_(self, *fanins: str, name: Optional[str] = None, delay: int = 1) -> str:
+        return self.gate(GateType.OR, fanins, name, delay)
+
+    def nor(self, *fanins: str, name: Optional[str] = None, delay: int = 1) -> str:
+        return self.gate(GateType.NOR, fanins, name, delay)
+
+    def not_(self, fanin: str, name: Optional[str] = None, delay: int = 1) -> str:
+        return self.gate(GateType.NOT, [fanin], name, delay)
+
+    def buf(self, fanin: str, name: Optional[str] = None, delay: int = 1) -> str:
+        return self.gate(GateType.BUF, [fanin], name, delay)
+
+    def xor_(self, *fanins: str, name: Optional[str] = None, delay: int = 1) -> str:
+        return self.gate(GateType.XOR, fanins, name, delay)
+
+    def xnor(self, *fanins: str, name: Optional[str] = None, delay: int = 1) -> str:
+        return self.gate(GateType.XNOR, fanins, name, delay)
+
+    def const0(self, name: Optional[str] = None) -> str:
+        return self.gate(GateType.CONST0, (), name, delay=0)
+
+    def const1(self, name: Optional[str] = None) -> str:
+        return self.gate(GateType.CONST1, (), name, delay=0)
+
+    def build(self) -> Circuit:
+        self.circuit.validate()
+        return self.circuit

@@ -1,0 +1,106 @@
+"""Netlist lint: structural diagnostics beyond hard validation.
+
+``Circuit.validate`` rejects broken netlists; :func:`lint` reports the
+*suspicious-but-legal* patterns that typically indicate an import or
+generation mistake — exactly the things to check before burning CPU on a
+delay computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .circuit import Circuit
+from .gates import GateType
+
+
+@dataclass
+class LintFinding:
+    severity: str      # "warning" | "info"
+    code: str
+    node: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] {self.code} {self.node}: {self.message}"
+
+
+def lint(circuit: Circuit) -> List[LintFinding]:
+    """Diagnostics, most severe first."""
+    findings: List[LintFinding] = []
+    fanouts = circuit.fanouts()
+    output_set = set(circuit.outputs)
+
+    for node in circuit.nodes():
+        name = node.name
+        drives_something = bool(fanouts[name]) or name in output_set
+        if not drives_something:
+            code = (
+                "unused-input"
+                if node.gate_type == GateType.INPUT
+                else "dangling-gate"
+            )
+            findings.append(
+                LintFinding(
+                    "warning",
+                    code,
+                    name,
+                    "drives no gate and is not a primary output",
+                )
+            )
+        if node.gate_type == GateType.INPUT:
+            continue
+        duplicates = len(node.fanins) - len(set(node.fanins))
+        if duplicates:
+            findings.append(
+                LintFinding(
+                    "warning",
+                    "duplicate-fanin",
+                    name,
+                    f"{duplicates} repeated fanin(s); AND/OR are "
+                    "idempotent but XOR parity changes",
+                )
+            )
+        if node.gate_type in (GateType.CONST0, GateType.CONST1) and (
+            fanouts[name] or name in output_set
+        ):
+            findings.append(
+                LintFinding(
+                    "info",
+                    "constant-driver",
+                    name,
+                    "constant value feeds live logic",
+                )
+            )
+        if node.delay == 0 and node.gate_type not in (
+            GateType.CONST0,
+            GateType.CONST1,
+        ):
+            findings.append(
+                LintFinding(
+                    "info",
+                    "zero-delay-gate",
+                    name,
+                    "zero propagation delay: events pass instantaneously "
+                    "(intended for complex-gate internals only)",
+                )
+            )
+    # Constant-valued gates by structure: g AND with complementary fanins
+    # is caught by simulation-level tools; here only the cheap structural
+    # case of single-fanin AND/OR (degenerate buffers).
+    for node in circuit.nodes():
+        if node.gate_type in (GateType.AND, GateType.OR) and len(
+            node.fanins
+        ) == 1:
+            findings.append(
+                LintFinding(
+                    "info",
+                    "degenerate-gate",
+                    node.name,
+                    f"single-input {node.gate_type.value} acts as a buffer",
+                )
+            )
+    order = {"warning": 0, "info": 1}
+    findings.sort(key=lambda f: (order[f.severity], f.code, f.node))
+    return findings

@@ -1,0 +1,293 @@
+"""The combinational circuit model.
+
+A :class:`Circuit` is a DAG of named nodes.  Each node is a primary input or
+a gate with a fixed integer *propagation* delay (Sec. IV of the paper: the
+gate switches instantly but communicates the event ``d`` units later).  Wire
+and pin-to-pin delays are modelled by inserting buffers
+(:mod:`repro.network.transform`), as the paper prescribes (Sec. V-E).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .gates import (
+    GateType,
+    SOURCE_GATES,
+    UNARY_GATES,
+    evaluate_gate,
+)
+
+
+@dataclass
+class Node:
+    """One vertex of the circuit DAG."""
+
+    name: str
+    gate_type: GateType
+    fanins: Tuple[str, ...] = ()
+    delay: int = 1
+
+    def __post_init__(self):
+        self.fanins = tuple(self.fanins)
+        if self.gate_type in SOURCE_GATES:
+            if self.fanins:
+                raise ValueError(f"{self.gate_type} node {self.name!r} takes no fanins")
+            if self.gate_type == GateType.INPUT:
+                self.delay = 0
+        elif self.gate_type in UNARY_GATES:
+            if len(self.fanins) != 1:
+                raise ValueError(f"{self.gate_type} node {self.name!r} needs 1 fanin")
+        else:
+            if len(self.fanins) < 1:
+                raise ValueError(f"gate {self.name!r} needs at least one fanin")
+        if self.delay < 0:
+            raise ValueError(f"node {self.name!r} has negative delay")
+
+
+class Circuit:
+    """A combinational logic network with per-gate fixed delays."""
+
+    def __init__(self, name: str = "circuit"):
+        self.name = name
+        self._nodes: Dict[str, Node] = {}
+        self._inputs: List[str] = []
+        self._outputs: List[str] = []
+        self._topo_cache: Optional[List[str]] = None
+        self._fanout_cache: Optional[Dict[str, List[str]]] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_input(self, name: str) -> str:
+        """Declare a primary input."""
+        self._add_node(Node(name, GateType.INPUT))
+        self._inputs.append(name)
+        return name
+
+    def add_gate(
+        self,
+        name: str,
+        gate_type: GateType,
+        fanins: Sequence[str] = (),
+        delay: int = 1,
+    ) -> str:
+        """Add a gate; fanins may be declared later but must exist before use."""
+        if gate_type == GateType.INPUT:
+            raise ValueError("use add_input for primary inputs")
+        self._add_node(Node(name, gate_type, tuple(fanins), delay))
+        return name
+
+    def _add_node(self, node: Node) -> None:
+        if node.name in self._nodes:
+            raise ValueError(f"duplicate node name {node.name!r}")
+        self._nodes[node.name] = node
+        self._invalidate()
+
+    def set_outputs(self, names: Sequence[str]) -> None:
+        self._outputs = list(names)
+
+    def add_output(self, name: str) -> None:
+        if name not in self._outputs:
+            self._outputs.append(name)
+
+    def set_delay(self, name: str, delay: int) -> None:
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        self.node(name).delay = delay
+
+    def _invalidate(self) -> None:
+        self._topo_cache = None
+        self._fanout_cache = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def inputs(self) -> List[str]:
+        return list(self._inputs)
+
+    @property
+    def outputs(self) -> List[str]:
+        return list(self._outputs)
+
+    def node(self, name: str) -> Node:
+        return self._nodes[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def nodes(self) -> Iterator[Node]:
+        return iter(self._nodes.values())
+
+    def gate_names(self) -> List[str]:
+        """Names of all non-input nodes."""
+        return [n.name for n in self._nodes.values() if n.gate_type != GateType.INPUT]
+
+    @property
+    def num_gates(self) -> int:
+        return sum(1 for n in self._nodes.values() if n.gate_type != GateType.INPUT)
+
+    def literal_count(self) -> int:
+        """Total fanin count over all gates — the network 'literals' metric
+        reported in Table I for mapped circuits."""
+        return sum(
+            len(n.fanins)
+            for n in self._nodes.values()
+            if n.gate_type != GateType.INPUT
+        )
+
+    def validate(self) -> None:
+        """Check structural sanity: fanins exist, outputs exist, acyclic."""
+        for node in self._nodes.values():
+            for fanin in node.fanins:
+                if fanin not in self._nodes:
+                    raise ValueError(
+                        f"node {node.name!r} references missing fanin {fanin!r}"
+                    )
+        for name in self._outputs:
+            if name not in self._nodes:
+                raise ValueError(f"output {name!r} is not a node")
+        self.topological_order()  # raises on cycles
+
+    # ------------------------------------------------------------------
+    # Graph structure
+    # ------------------------------------------------------------------
+    def topological_order(self) -> List[str]:
+        """Node names, fanins before fanouts.  Raises ValueError on cycles."""
+        if self._topo_cache is not None:
+            return self._topo_cache
+        in_degree = {name: len(node.fanins) for name, node in self._nodes.items()}
+        fanouts = self.fanouts()
+        ready = [name for name, deg in in_degree.items() if deg == 0]
+        order: List[str] = []
+        while ready:
+            name = ready.pop()
+            order.append(name)
+            for fo in fanouts[name]:
+                in_degree[fo] -= 1
+                if in_degree[fo] == 0:
+                    ready.append(fo)
+        if len(order) != len(self._nodes):
+            raise ValueError("circuit graph contains a cycle")
+        self._topo_cache = order
+        return order
+
+    def fanouts(self) -> Dict[str, List[str]]:
+        """Map from node name to the names of nodes it feeds."""
+        if self._fanout_cache is not None:
+            return self._fanout_cache
+        result: Dict[str, List[str]] = {name: [] for name in self._nodes}
+        for node in self._nodes.values():
+            for fanin in node.fanins:
+                result[fanin].append(node.name)
+        self._fanout_cache = result
+        return result
+
+    def levels(self) -> Dict[str, int]:
+        """Longest graphical delay from any input to each node's output
+        (the paper's Delta); inputs are level 0."""
+        result: Dict[str, int] = {}
+        for name in self.topological_order():
+            node = self._nodes[name]
+            if not node.fanins:
+                result[name] = 0
+            else:
+                result[name] = node.delay + max(result[f] for f in node.fanins)
+        return result
+
+    def min_levels(self) -> Dict[str, int]:
+        """Shortest graphical delay to each node (the paper's delta)."""
+        result: Dict[str, int] = {}
+        for name in self.topological_order():
+            node = self._nodes[name]
+            if not node.fanins:
+                result[name] = 0
+            else:
+                result[name] = node.delay + min(result[f] for f in node.fanins)
+        return result
+
+    def residual_delays(self) -> Dict[str, int]:
+        """Longest graphical delay from each node to any primary output —
+        the ``w_g`` of the event-suppression rule (Sec. V-D).
+
+        Nodes that reach no output get ``-inf``-like minimal value -1.
+        """
+        order = self.topological_order()
+        fanouts = self.fanouts()
+        result: Dict[str, int] = {}
+        output_set = set(self._outputs)
+        for name in reversed(order):
+            best = 0 if name in output_set else None
+            for fo in fanouts[name]:
+                downstream = result.get(fo)
+                if downstream is None or downstream < 0:
+                    continue
+                candidate = downstream + self._nodes[fo].delay
+                if best is None or candidate > best:
+                    best = candidate
+            result[name] = -1 if best is None else best
+        return result
+
+    def topological_delay(self) -> int:
+        """The longest-path (graphical) delay — the paper's omega / 'l.d.'."""
+        if not self._outputs:
+            raise ValueError("circuit has no outputs")
+        levels = self.levels()
+        return max(levels[name] for name in self._outputs)
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, input_values: Dict[str, bool]) -> Dict[str, bool]:
+        """Steady-state value of every node under an input assignment."""
+        values: Dict[str, bool] = {}
+        for name in self.topological_order():
+            node = self._nodes[name]
+            if node.gate_type == GateType.INPUT:
+                values[name] = bool(input_values[name])
+            else:
+                values[name] = evaluate_gate(
+                    node.gate_type, [values[f] for f in node.fanins]
+                )
+        return values
+
+    def evaluate_outputs(self, input_values: Dict[str, bool]) -> Dict[str, bool]:
+        values = self.evaluate(input_values)
+        return {name: values[name] for name in self._outputs}
+
+    # ------------------------------------------------------------------
+    # Copies
+    # ------------------------------------------------------------------
+    def copy(self, name: Optional[str] = None) -> "Circuit":
+        clone = Circuit(name or self.name)
+        for node_name in self.topological_order():
+            node = self._nodes[node_name]
+            if node.gate_type == GateType.INPUT:
+                clone.add_input(node.name)
+            else:
+                clone.add_gate(node.name, node.gate_type, node.fanins, node.delay)
+        clone.set_outputs(self._outputs)
+        return clone
+
+    def transitive_fanin(self, names: Iterable[str]) -> List[str]:
+        """All nodes in the cones of ``names`` (topologically ordered)."""
+        marked = set()
+        stack = list(names)
+        while stack:
+            name = stack.pop()
+            if name in marked:
+                continue
+            marked.add(name)
+            stack.extend(self._nodes[name].fanins)
+        return [name for name in self.topological_order() if name in marked]
+
+    def __repr__(self) -> str:
+        return (
+            f"Circuit({self.name!r}, inputs={len(self._inputs)}, "
+            f"outputs={len(self._outputs)}, gates={self.num_gates})"
+        )

@@ -1,0 +1,77 @@
+"""Plain-text circuit rendering for reports and debugging.
+
+* :func:`render_levels` — the circuit column-by-column by arrival level,
+  the way a timing engineer skims a netlist.
+* :func:`render_cone` — the fanin cone of one signal as an indented tree
+  (shared subtrees are referenced, not repeated).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from .circuit import Circuit
+from .gates import GateType
+
+
+def render_levels(circuit: Circuit, max_nodes_per_level: int = 12) -> str:
+    """Group nodes by their arrival level and list each level's gates."""
+    levels = circuit.levels()
+    by_level: Dict[int, List[str]] = {}
+    for name, level in levels.items():
+        by_level.setdefault(level, []).append(name)
+    output_set = set(circuit.outputs)
+    lines = [f"{circuit.name}: {len(circuit.inputs)} inputs, "
+             f"{circuit.num_gates} gates, depth {circuit.topological_delay()}"]
+    for level in sorted(by_level):
+        names = sorted(by_level[level])
+        shown = names[:max_nodes_per_level]
+        entries = []
+        for name in shown:
+            node = circuit.node(name)
+            tag = "PI" if node.gate_type == GateType.INPUT else (
+                node.gate_type.value
+            )
+            marker = "*" if name in output_set else ""
+            entries.append(f"{name}{marker}({tag})")
+        suffix = "" if len(names) <= max_nodes_per_level else (
+            f" ... +{len(names) - max_nodes_per_level} more"
+        )
+        lines.append(f"  t={level:<3} {' '.join(entries)}{suffix}")
+    lines.append("  (* marks primary outputs)")
+    return "\n".join(lines)
+
+
+def render_cone(
+    circuit: Circuit,
+    root: str,
+    max_depth: Optional[int] = None,
+) -> str:
+    """The fanin cone of ``root`` as an indented tree; nodes already
+    printed are referenced as ``<name ...>`` instead of re-expanded."""
+    if root not in circuit:
+        raise KeyError(f"no node named {root!r}")
+    seen: Set[str] = set()
+    lines: List[str] = []
+
+    def walk(name: str, depth: int) -> None:
+        node = circuit.node(name)
+        indent = "  " * depth
+        if node.gate_type == GateType.INPUT:
+            lines.append(f"{indent}{name} (PI)")
+            return
+        label = f"{indent}{name} ({node.gate_type.value}, d={node.delay})"
+        if name in seen:
+            lines.append(f"{indent}<{name} ...>")
+            return
+        seen.add(name)
+        lines.append(label)
+        if max_depth is not None and depth >= max_depth:
+            if node.fanins:
+                lines.append(f"{indent}  ...")
+            return
+        for fanin in node.fanins:
+            walk(fanin, depth + 1)
+
+    walk(root, 0)
+    return "\n".join(lines)

@@ -1,0 +1,154 @@
+"""Path utilities: enumeration, longest paths, side-inputs.
+
+A *path* is an alternating sequence of nodes from a primary input to a
+primary output (Sec. II).  These helpers feed the static-timing baseline and
+the false-path analyses in the examples and benchmarks.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from .circuit import Circuit
+from .gates import GateType
+
+
+def path_length(circuit: Circuit, path: Sequence[str]) -> int:
+    """Sum of gate delays along a node-name path (inputs contribute 0)."""
+    return sum(circuit.node(name).delay for name in path)
+
+
+def longest_path(circuit: Circuit) -> List[str]:
+    """One longest graphical input-to-output path (node names)."""
+    levels = circuit.levels()
+    end = max(circuit.outputs, key=lambda name: levels[name])
+    path = [end]
+    while circuit.node(path[-1]).fanins:
+        node = circuit.node(path[-1])
+        best = max(node.fanins, key=lambda f: levels[f])
+        path.append(best)
+    path.reverse()
+    return path
+
+
+def enumerate_paths(
+    circuit: Circuit, limit: int = 100000
+) -> Iterator[List[str]]:
+    """All input-to-output paths (DFS); raises if more than ``limit``."""
+    fanouts = circuit.fanouts()
+    output_set = set(circuit.outputs)
+    count = 0
+
+    def walk(name: str, prefix: List[str]) -> Iterator[List[str]]:
+        nonlocal count
+        prefix.append(name)
+        if name in output_set:
+            count += 1
+            if count > limit:
+                raise RuntimeError(f"more than {limit} paths")
+            yield list(prefix)
+        for fo in fanouts[name]:
+            yield from walk(fo, prefix)
+        prefix.pop()
+
+    for pi in circuit.inputs:
+        yield from walk(pi, [])
+
+
+def count_paths(circuit: Circuit) -> int:
+    """Number of input-to-output paths (without enumeration)."""
+    order = circuit.topological_order()
+    output_set = set(circuit.outputs)
+    fanouts = circuit.fanouts()
+    to_output: Dict[str, int] = {}
+    for name in reversed(order):
+        total = 1 if name in output_set else 0
+        total += sum(to_output[fo] for fo in fanouts[name])
+        to_output[name] = total
+    return sum(
+        to_output[name]
+        for name in circuit.inputs
+    )
+
+
+def k_longest_paths(circuit: Circuit, k: int) -> List[Tuple[int, List[str]]]:
+    """The ``k`` longest graphical paths as (length, path) pairs,
+    longest first.  Best-first search over path prefixes using the
+    exact residual longest-path bound, so it never expands more than
+    O(k * depth) prefixes."""
+    residual = circuit.residual_delays()
+    output_set = set(circuit.outputs)
+    fanouts = circuit.fanouts()
+    counter = 0
+    heap: List[Tuple[int, int, bool, List[str]]] = []
+
+    def push(path: List[str], complete: bool) -> None:
+        nonlocal counter
+        counter += 1
+        last = path[-1]
+        bound = path_length(circuit, path)
+        if not complete:
+            bound += residual[last]
+        heapq.heappush(heap, (-bound, counter, complete, path))
+
+    for pi in circuit.inputs:
+        if residual.get(pi, -1) >= 0:
+            push([pi], complete=False)
+        if pi in output_set:
+            push([pi], complete=True)
+    results: List[Tuple[int, List[str]]] = []
+    while heap and len(results) < k:
+        neg_bound, __, complete, path = heapq.heappop(heap)
+        if complete:
+            results.append((-neg_bound, path))
+            continue
+        for fo in fanouts[path[-1]]:
+            if fo in output_set:
+                push(path + [fo], complete=True)
+            if residual.get(fo, -1) >= 0 and fanouts[fo]:
+                push(path + [fo], complete=False)
+    return results
+
+
+def side_inputs(circuit: Circuit, path: Sequence[str]) -> List[Tuple[str, str]]:
+    """The (gate, side-input) pairs along a path (Sec. II): for each on-path
+    gate, its fanins other than the preceding path node."""
+    result = []
+    for i in range(1, len(path)):
+        gate = circuit.node(path[i])
+        if gate.gate_type == GateType.INPUT:
+            continue
+        for fanin in gate.fanins:
+            if fanin != path[i - 1]:
+                result.append((path[i], fanin))
+    return result
+
+
+def is_statically_sensitizable(circuit: Circuit, path: Sequence[str]):
+    """Exhaustively search for a vector giving every side-input its
+    noncontrolling value (Sec. II).  Returns the vector or None.
+
+    Exponential in the number of inputs; intended for small circuits and
+    tests (the scalable machinery is the symbolic core).
+    """
+    from itertools import product
+
+    from .gates import controlling_value
+
+    pairs = side_inputs(circuit, path)
+    inputs = circuit.inputs
+    for bits in product([False, True], repeat=len(inputs)):
+        assignment = dict(zip(inputs, bits))
+        values = circuit.evaluate(assignment)
+        ok = True
+        for gate_name, side in pairs:
+            control = controlling_value(circuit.node(gate_name).gate_type)
+            if control is None:
+                continue
+            if values[side] == control:
+                ok = False
+                break
+        if ok:
+            return assignment
+    return None

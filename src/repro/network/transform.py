@@ -1,0 +1,197 @@
+"""Circuit transformations used by the delay computations.
+
+* :func:`normalize_delays` — the *general delay model* reduction of Sec. V-E:
+  a gate with delay ``d > 1`` becomes a unit-delay gate followed by a chain
+  of ``d - 1`` unit-delay buffers, so the unit-delay symbolic calculus
+  applies unchanged.
+* :func:`apply_speedup` — monotone speedups (Sec. IV): replace delays by any
+  values in ``[0, d]``.
+* :func:`refined_delay_annotation` — the stand-in for "more accurate timing
+  models ... layout-level parasitic resistances and capacitances"
+  (Sec. VII): a deterministic fanout-loading model that perturbs each gate's
+  delay, used by the certification replay simulator.
+* :func:`insert_wire_delay` — model a wire delay with an explicit buffer.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from .circuit import Circuit
+from .gates import GateType
+
+
+def normalize_delays(circuit: Circuit) -> Circuit:
+    """Return an equivalent circuit in which every gate has delay 0 or 1.
+
+    Gates with delay ``d > 1`` are given delay 1 and followed by ``d - 1``
+    unit-delay buffers; fanouts are rewired to the end of the chain.  Node
+    names are preserved for delay-1 gates; chain buffers are named
+    ``<gate>#dly<k>`` with the *original name moved to the chain end* so that
+    waveforms and delay reports keep referring to the same signal names.
+    """
+    result = Circuit(circuit.name)
+    # Map from original node name to the name carrying its signal.
+    alias: Dict[str, str] = {}
+    for name in circuit.topological_order():
+        node = circuit.node(name)
+        if node.gate_type == GateType.INPUT:
+            result.add_input(name)
+            alias[name] = name
+            continue
+        fanins = [alias[f] for f in node.fanins]
+        if node.delay <= 1:
+            result.add_gate(name, node.gate_type, fanins, node.delay)
+            alias[name] = name
+            continue
+        head = f"{name}#dly0"
+        result.add_gate(head, node.gate_type, fanins, 1)
+        previous = head
+        for k in range(1, node.delay - 1):
+            buf = f"{name}#dly{k}"
+            result.add_gate(buf, GateType.BUF, [previous], 1)
+            previous = buf
+        result.add_gate(name, GateType.BUF, [previous], 1)
+        alias[name] = name
+    result.set_outputs([alias[o] for o in circuit.outputs])
+    return result
+
+
+def apply_speedup(circuit: Circuit, delays: Dict[str, int]) -> Circuit:
+    """Monotone speedup: a copy with some gates' delays lowered.
+
+    Raises ValueError if any requested delay exceeds the original (that would
+    not be a *speedup*).
+    """
+    result = circuit.copy()
+    for name, delay in delays.items():
+        original = circuit.node(name).delay
+        if delay > original:
+            raise ValueError(
+                f"delay of {name!r} may only decrease ({original} -> {delay})"
+            )
+        if delay < 0:
+            raise ValueError("delays must be non-negative")
+        result.set_delay(name, delay)
+    return result
+
+
+def scale_delays(circuit: Circuit, factor: int) -> Circuit:
+    """Multiply every gate delay by a positive integer factor."""
+    if factor < 1:
+        raise ValueError("factor must be >= 1")
+    result = circuit.copy()
+    for node in result.nodes():
+        if node.gate_type != GateType.INPUT:
+            node.delay = node.delay * factor
+    result._invalidate()
+    return result
+
+
+def refined_delay_annotation(
+    circuit: Circuit,
+    load_per_fanout: int = 1,
+    base_scale: int = 4,
+    custom: Optional[Callable[[str], int]] = None,
+) -> Circuit:
+    """A deterministic 'post-layout' delay annotation.
+
+    Each gate's delay becomes ``base_scale * d + load_per_fanout * fanouts``
+    (or ``custom(name)`` when provided) — a crude wire-load model standing in
+    for the layout-accurate models of the paper's certification step.  The
+    *relative* structure (which paths are long) is preserved while absolute
+    delays change, which is all certification needs to exercise.
+    """
+    result = circuit.copy()
+    fanouts = circuit.fanouts()
+    for node in result.nodes():
+        if node.gate_type == GateType.INPUT:
+            continue
+        if custom is not None:
+            node.delay = custom(node.name)
+        else:
+            node.delay = base_scale * node.delay + load_per_fanout * len(
+                fanouts[node.name]
+            )
+        if node.delay < 0:
+            raise ValueError("refined delay must be non-negative")
+    result._invalidate()
+    return result
+
+
+_DECOMPOSABLE = {
+    GateType.AND: (GateType.AND, False),
+    GateType.NAND: (GateType.AND, True),
+    GateType.OR: (GateType.OR, False),
+    GateType.NOR: (GateType.OR, True),
+    GateType.XOR: (GateType.XOR, False),
+    GateType.XNOR: (GateType.XOR, True),
+}
+
+
+def limit_fanin(circuit: Circuit, k: int = 4) -> Circuit:
+    """Technology-map wide gates into trees of at-most-``k``-input gates.
+
+    Every created tree gate has unit delay, so mapping *increases* path
+    depth exactly as mapping to a real library would ('state encoded,
+    optimized and mapped' controllers of Sec. VI).
+    """
+    if k < 2:
+        raise ValueError("fanin limit must be >= 2")
+    result = Circuit(circuit.name)
+    for name in circuit.topological_order():
+        node = circuit.node(name)
+        if node.gate_type == GateType.INPUT:
+            result.add_input(name)
+            continue
+        if len(node.fanins) <= k or node.gate_type not in _DECOMPOSABLE:
+            result.add_gate(name, node.gate_type, node.fanins, node.delay)
+            continue
+        base, inverted = _DECOMPOSABLE[node.gate_type]
+        layer = list(node.fanins)
+        stage = 0
+        while len(layer) > k:
+            next_layer = []
+            for i in range(0, len(layer), k):
+                chunk = layer[i:i + k]
+                if len(chunk) == 1:
+                    next_layer.append(chunk[0])
+                    continue
+                sub = f"{name}#map{stage}_{i // k}"
+                result.add_gate(sub, base, chunk, 1)
+                next_layer.append(sub)
+            layer = next_layer
+            stage += 1
+        if inverted:
+            # The root keeps the inversion: NAND/NOR/XNOR of the last layer.
+            root_type = {
+                GateType.AND: GateType.NAND,
+                GateType.OR: GateType.NOR,
+                GateType.XOR: GateType.XNOR,
+            }[base]
+        else:
+            root_type = base
+        result.add_gate(name, root_type, layer, node.delay)
+    result.set_outputs(circuit.outputs)
+    return result
+
+
+def insert_wire_delay(
+    circuit: Circuit, driver: str, sink: str, delay: int
+) -> Circuit:
+    """Insert a delay-``delay`` buffer on the net from ``driver`` to ``sink``."""
+    result = Circuit(circuit.name)
+    buf_name = f"{driver}#wire#{sink}"
+    for name in circuit.topological_order():
+        node = circuit.node(name)
+        if node.gate_type == GateType.INPUT:
+            result.add_input(name)
+            continue
+        fanins = list(node.fanins)
+        if name == sink and driver in fanins:
+            if buf_name not in result:
+                result.add_gate(buf_name, GateType.BUF, [driver], delay)
+            fanins = [buf_name if f == driver else f for f in fanins]
+        result.add_gate(name, node.gate_type, fanins, node.delay)
+    result.set_outputs(circuit.outputs)
+    return result

@@ -1,0 +1,260 @@
+"""Event-driven gate-level timing simulation under fixed delays.
+
+This is the repository's "timing simulator of choice" (Sec. VII): the
+certification vectors produced by the symbolic transition-delay computation
+are replayed here, possibly under a refined delay annotation.
+
+Semantics
+---------
+* **Propagation-delay interpretation** (Sec. IV): a gate switches instantly;
+  the new value reaches its output ``d`` units later (transport delay).
+* **Instantaneous glitches are suppressed** (Sec. IV-A): all events sharing
+  a timestamp are applied together before any gate is re-evaluated, so a
+  zero-width input pulse cannot flip an output.  Pulses of width >= 1 time
+  unit propagate.
+* **Single-stepping mode** (Sec. III): `simulate_transition` settles the
+  circuit under ``v_-1`` and applies ``v_0`` at time 0.
+* **Clocked mode**: `simulate_clocked` applies a vector every ``period``
+  units *without* waiting for internal nodes to settle — the regime of
+  Theorem 3.1.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..network.circuit import Circuit
+from ..network.gates import GateType, evaluate_gate
+from .logic_sim import settle
+from .waveform import Waveform, WaveformSet
+
+
+@dataclass
+class TransitionResult:
+    """Outcome of simulating one vector pair in single-stepping mode."""
+
+    waveforms: WaveformSet
+    outputs: List[str]
+
+    @property
+    def delay(self) -> int:
+        """Time of the last transition at any primary output (0 if none) —
+        the measured transition delay of this vector pair."""
+        return self.waveforms.last_event_time(self.outputs)
+
+    def output_values(self) -> Dict[str, bool]:
+        return {name: self.waveforms[name].final for name in self.outputs}
+
+    def settled_by(self, time: int) -> bool:
+        """True if no node transitions after ``time``."""
+        return self.waveforms.last_event_time() <= time
+
+
+@dataclass
+class ClockedResult:
+    """Outcome of clocked multi-vector simulation."""
+
+    waveforms: WaveformSet
+    outputs: List[str]
+    period: int
+    sampled: List[Dict[str, bool]] = field(default_factory=list)
+
+
+class TimingSession:
+    """A stateful event-driven simulation: inject input changes at chosen
+    times, advance the clock, inspect live values — the engine under
+    :class:`EventSimulator` and the sequential (state-feedback) simulation
+    in :mod:`repro.fsm.sequential`."""
+
+    def __init__(self, simulator: "EventSimulator", initial: Dict[str, bool]):
+        self._sim = simulator
+        self.now = 0
+        self.current = dict(initial)
+        self._projected = dict(initial)
+        self.waveforms = WaveformSet(
+            {name: Waveform(initial[name]) for name in initial}
+        )
+        self._events: Dict[int, Dict[str, bool]] = {}
+        self._heap: List[int] = []
+
+    # ------------------------------------------------------------------
+    def _schedule(self, time: int, node: str, value: bool) -> None:
+        bucket = self._events.get(time)
+        if bucket is None:
+            bucket = {}
+            self._events[time] = bucket
+            heapq.heappush(self._heap, time)
+        bucket[node] = value
+
+    def inject(self, time: int, changes: Dict[str, bool]) -> None:
+        """Schedule primary-input changes at ``time`` (>= now)."""
+        if time < self.now:
+            raise ValueError("cannot inject into the past")
+        for node, value in changes.items():
+            self._schedule(time, node, bool(value))
+
+    def value_at_sample(self, name: str) -> bool:
+        """Current (edge-inclusive) value of a signal."""
+        return self.current[name]
+
+    def advance(self, until: Optional[int] = None) -> int:
+        """Process events up to and including time ``until`` (or to
+        quiescence).  Returns the simulation time reached."""
+        circuit = self._sim.circuit
+        fanouts = self._sim._fanouts
+        topo_index = self._sim._topo_index
+        current, projected = self.current, self._projected
+        waveforms = self.waveforms
+        while self._heap:
+            t = self._heap[0]
+            if until is not None and t > until:
+                break
+            heapq.heappop(self._heap)
+            changes = self._events.pop(t)
+            self.now = max(self.now, t)
+            # Batch-apply all changes at time t (zero-width glitch filter).
+            eval_heap: List[Tuple[int, str]] = []
+            queued = set()
+            for node, value in changes.items():
+                if circuit.node(node).gate_type == GateType.INPUT:
+                    projected[node] = value
+                if current[node] == value:
+                    continue
+                current[node] = value
+                waveforms[node].append(t, value)
+                for fo in fanouts[node]:
+                    if fo not in queued:
+                        queued.add(fo)
+                        heapq.heappush(eval_heap, (topo_index[fo], fo))
+            # Evaluate affected gates in topological order; zero-delay
+            # gates cascade within the same timestamp.
+            while eval_heap:
+                __, gate = heapq.heappop(eval_heap)
+                queued.discard(gate)
+                node = circuit.node(gate)
+                value = evaluate_gate(
+                    node.gate_type, [current[f] for f in node.fanins]
+                )
+                if node.delay == 0:
+                    if value != current[gate]:
+                        current[gate] = value
+                        projected[gate] = value
+                        waveforms[gate].append(t, value)
+                        for fo in fanouts[gate]:
+                            if fo not in queued:
+                                queued.add(fo)
+                                heapq.heappush(
+                                    eval_heap, (topo_index[fo], fo)
+                                )
+                else:
+                    if value != projected[gate]:
+                        projected[gate] = value
+                        self._schedule(t + node.delay, gate, value)
+        if until is not None:
+            self.now = max(self.now, until)
+        return self.now
+
+    @property
+    def quiescent(self) -> bool:
+        return not self._heap
+
+
+class EventSimulator:
+    """Event-driven transport-delay simulator for a fixed circuit."""
+
+    def __init__(self, circuit: Circuit):
+        circuit.validate()
+        self.circuit = circuit
+        self._order = circuit.topological_order()
+        self._topo_index = {name: i for i, name in enumerate(self._order)}
+        self._fanouts = circuit.fanouts()
+
+    # ------------------------------------------------------------------
+    def session(self, initial_inputs: Dict[str, bool]) -> TimingSession:
+        """Open a stateful session, settled under ``initial_inputs``."""
+        return TimingSession(self, settle(self.circuit, initial_inputs))
+
+    def _run(
+        self,
+        initial: Dict[str, bool],
+        stimuli: Dict[int, Dict[str, bool]],
+        horizon: Optional[int] = None,
+    ) -> WaveformSet:
+        """Core loop: from a settled state, apply input changes at the given
+        times and propagate until quiescence (or ``horizon``)."""
+        session = TimingSession(self, initial)
+        for time, changes in stimuli.items():
+            session.inject(time, changes)
+        session.advance(until=horizon)
+        return session.waveforms
+
+    # ------------------------------------------------------------------
+    def simulate_transition(
+        self,
+        v_prev: Dict[str, bool],
+        v_next: Dict[str, bool],
+        input_times: Optional[Dict[str, int]] = None,
+    ) -> TransitionResult:
+        """Single-stepping simulation of the vector pair ``(v_prev, v_next)``.
+
+        ``input_times`` optionally staggers when each input takes its new
+        value (default 0 for all) — the per-input clocking of Sec. V-C and
+        the late-arriving ``i4`` of Fig. 3.
+        """
+        initial = settle(self.circuit, v_prev)
+        stimuli: Dict[int, Dict[str, bool]] = {}
+        for name in self.circuit.inputs:
+            time = (input_times or {}).get(name, 0)
+            stimuli.setdefault(time, {})[name] = bool(v_next[name])
+        waveforms = self._run(initial, stimuli)
+        return TransitionResult(waveforms, self.circuit.outputs)
+
+    def measure_pair_delay(
+        self, v_prev: Dict[str, bool], v_next: Dict[str, bool]
+    ) -> int:
+        """Shorthand: the transition delay observed for one vector pair."""
+        return self.simulate_transition(v_prev, v_next).delay
+
+    def simulate_clocked(
+        self,
+        vectors: Sequence[Dict[str, bool]],
+        period: int,
+    ) -> ClockedResult:
+        """Apply ``vectors[0]`` and settle, then apply each subsequent vector
+        every ``period`` units without waiting for internal quiescence:
+        ``vectors[k]`` (k >= 1) is applied at time ``(k-1)*period``.
+
+        ``sampled[i]`` holds the primary-output values a latch clocked at the
+        period would capture for ``vectors[i+1]`` — the values observed one
+        period after that vector was applied.  Capture is *edge-inclusive*
+        (an event landing exactly on the clock edge is latched), matching
+        Theorem 3.1's claim that the transition delay itself is a valid
+        period.  Events of the next vector cannot contaminate the sample as
+        long as every output is driven through at least one positive-delay
+        gate (true for all library circuits except explicitly zero-delay
+        output buffers).
+        """
+        if not vectors:
+            raise ValueError("need at least one vector")
+        if period <= 0:
+            raise ValueError("period must be positive")
+        initial = settle(self.circuit, vectors[0])
+        stimuli: Dict[int, Dict[str, bool]] = {}
+        for k, vector in enumerate(vectors[1:], start=1):
+            at = (k - 1) * period
+            stimuli.setdefault(at, {})
+            for name in self.circuit.inputs:
+                stimuli[at][name] = bool(vector[name])
+        waveforms = self._run(initial, stimuli)
+        sampled: List[Dict[str, bool]] = []
+        for k in range(1, len(vectors)):
+            sample_time = k * period
+            sampled.append(
+                {
+                    out: waveforms[out].value_at(sample_time)
+                    for out in self.circuit.outputs
+                }
+            )
+        return ClockedResult(waveforms, self.circuit.outputs, period, sampled)

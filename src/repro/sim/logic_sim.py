@@ -1,0 +1,89 @@
+"""Zero-delay functional simulation.
+
+The *settle* step of the single-stepping transition mode (Sec. III): before
+``v_0`` is applied, every node carries its stable value under ``v_-1``.
+Also provides bit-parallel (64-vector-per-word) simulation used for quick
+random cross-checks of the symbolic machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..network.circuit import Circuit
+from ..network.gates import GateType
+
+_WORD_MASK = (1 << 64) - 1
+
+
+def settle(circuit: Circuit, input_values: Dict[str, bool]) -> Dict[str, bool]:
+    """Stable value of every node under one input vector."""
+    return circuit.evaluate(input_values)
+
+
+def settle_outputs(circuit: Circuit, input_values: Dict[str, bool]) -> Dict[str, bool]:
+    return circuit.evaluate_outputs(input_values)
+
+
+def simulate_words(
+    circuit: Circuit, input_words: Dict[str, int]
+) -> Dict[str, int]:
+    """Bit-parallel simulation: each input carries a 64-bit word; every bit
+    lane is an independent vector."""
+    values: Dict[str, int] = {}
+    for name in circuit.topological_order():
+        node = circuit.node(name)
+        if node.gate_type == GateType.INPUT:
+            values[name] = input_words[name] & _WORD_MASK
+            continue
+        fanins = [values[f] for f in node.fanins]
+        gate = node.gate_type
+        if gate == GateType.CONST0:
+            word = 0
+        elif gate == GateType.CONST1:
+            word = _WORD_MASK
+        elif gate == GateType.BUF:
+            word = fanins[0]
+        elif gate == GateType.NOT:
+            word = fanins[0] ^ _WORD_MASK
+        elif gate in (GateType.AND, GateType.NAND):
+            word = _WORD_MASK
+            for w in fanins:
+                word &= w
+            if gate == GateType.NAND:
+                word ^= _WORD_MASK
+        elif gate in (GateType.OR, GateType.NOR):
+            word = 0
+            for w in fanins:
+                word |= w
+            if gate == GateType.NOR:
+                word ^= _WORD_MASK
+        elif gate in (GateType.XOR, GateType.XNOR):
+            word = 0
+            for w in fanins:
+                word ^= w
+            if gate == GateType.XNOR:
+                word ^= _WORD_MASK
+        else:
+            raise ValueError(f"cannot simulate gate type {gate}")
+        values[name] = word & _WORD_MASK
+    return values
+
+
+def all_input_vectors(circuit: Circuit) -> List[Dict[str, bool]]:
+    """Every input assignment (exponential; for tests on small circuits)."""
+    inputs = circuit.inputs
+    result = []
+    for m in range(1 << len(inputs)):
+        result.append(
+            {name: bool((m >> i) & 1) for i, name in enumerate(inputs)}
+        )
+    return result
+
+
+def functional_sequence(
+    circuit: Circuit, vectors: Sequence[Dict[str, bool]]
+) -> List[Dict[str, bool]]:
+    """Settled outputs for each vector of a sequence (the single-stepping
+    reference against which clocked operation is compared, Theorem 3.1)."""
+    return [circuit.evaluate_outputs(v) for v in vectors]

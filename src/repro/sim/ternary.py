@@ -1,0 +1,194 @@
+"""Three-valued (0/1/X) logic and conservative bounded-delay simulation.
+
+Ternary algebras accommodate the uncertainty interval of bounded gate delays
+(Sec. IV, citing Seger-Bryant [15]).  :func:`bounded_transition_analysis`
+computes, for one concrete vector pair, the guaranteed value of every node on
+every unit interval when each gate's delay may lie anywhere in
+``[d_l, d_u]`` — the concrete counterpart of the symbolic analysis in
+:mod:`repro.core.bounded`, used to cross-validate it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..network.circuit import Circuit
+from ..network.gates import GateType
+
+#: Ternary values.
+ZERO, ONE, X = 0, 1, 2
+
+Bounds = Callable[[str], Tuple[int, int]]
+
+
+def monotone_bounds(circuit: Circuit) -> Bounds:
+    """The monotone-speedup model [13]: every gate delay in [0, d]."""
+
+    def bounds(name: str) -> Tuple[int, int]:
+        return 0, circuit.node(name).delay
+
+    return bounds
+
+
+def fixed_bounds(circuit: Circuit) -> Bounds:
+    """Degenerate bounds [d, d] (the fixed-delay model)."""
+
+    def bounds(name: str) -> Tuple[int, int]:
+        d = circuit.node(name).delay
+        return d, d
+
+    return bounds
+
+
+def ternary_not(a: int) -> int:
+    if a == X:
+        return X
+    return 1 - a
+
+
+def ternary_gate(gate_type: GateType, inputs: Sequence[int]) -> int:
+    """Ternary gate evaluation: controlling values dominate X."""
+    if gate_type == GateType.CONST0:
+        return ZERO
+    if gate_type == GateType.CONST1:
+        return ONE
+    if gate_type == GateType.BUF:
+        return inputs[0]
+    if gate_type == GateType.NOT:
+        return ternary_not(inputs[0])
+    if gate_type in (GateType.AND, GateType.NAND):
+        if any(v == ZERO for v in inputs):
+            result = ZERO
+        elif all(v == ONE for v in inputs):
+            result = ONE
+        else:
+            result = X
+        return ternary_not(result) if gate_type == GateType.NAND else result
+    if gate_type in (GateType.OR, GateType.NOR):
+        if any(v == ONE for v in inputs):
+            result = ONE
+        elif all(v == ZERO for v in inputs):
+            result = ZERO
+        else:
+            result = X
+        return ternary_not(result) if gate_type == GateType.NOR else result
+    if gate_type in (GateType.XOR, GateType.XNOR):
+        if any(v == X for v in inputs):
+            return X
+        parity = sum(inputs) % 2
+        if gate_type == GateType.XNOR:
+            parity = 1 - parity
+        return parity
+    raise ValueError(f"cannot evaluate gate type {gate_type}")
+
+
+def ternary_settle(circuit: Circuit, inputs: Dict[str, int]) -> Dict[str, int]:
+    """Ternary steady state (inputs may be 0/1/X)."""
+    values: Dict[str, int] = {}
+    for name in circuit.topological_order():
+        node = circuit.node(name)
+        if node.gate_type == GateType.INPUT:
+            values[name] = inputs[name]
+        else:
+            values[name] = ternary_gate(
+                node.gate_type, [values[f] for f in node.fanins]
+            )
+    return values
+
+
+def _meet(a: int, b: int) -> int:
+    """Information meet: agreeing values stay, disagreement (or X) gives X."""
+    return a if a == b else X
+
+
+def bounded_transition_analysis(
+    circuit: Circuit,
+    v_prev: Dict[str, bool],
+    v_next: Dict[str, bool],
+    bounds: Optional[Bounds] = None,
+    horizon: Optional[int] = None,
+) -> Dict[str, List[int]]:
+    """Guaranteed node values on each unit interval for one vector pair.
+
+    Returns ``grid[name][t]`` = ternary value of ``name`` guaranteed to hold
+    throughout the interval ``[t, t+1)`` (for ``0 <= t <= horizon``) under
+    *every* admissible delay assignment — including delays that vary from
+    event to event, which makes the analysis conservative but safe.
+
+    The output's bounded transition delay for this pair is the last ``t``
+    where the output's interval value changes or is X
+    (:func:`pair_bounded_delay`).
+    """
+    bounds = bounds or monotone_bounds(circuit)
+    # Horizon: longest path with upper-bound delays.
+    upper_levels: Dict[str, int] = {}
+    for name in circuit.topological_order():
+        node = circuit.node(name)
+        if node.gate_type == GateType.INPUT:
+            upper_levels[name] = 0
+        else:
+            upper_levels[name] = bounds(name)[1] + max(
+                upper_levels[f] for f in node.fanins
+            )
+    if horizon is None:
+        horizon = max(
+            (upper_levels[o] for o in circuit.outputs), default=0
+        ) + 1
+
+    settled_prev = circuit.evaluate(v_prev)
+    order = circuit.topological_order()
+    grid: Dict[str, List[int]] = {}
+    for name in order:
+        node = circuit.node(name)
+        if node.gate_type == GateType.INPUT:
+            grid[name] = [ONE if v_next[name] else ZERO] * (horizon + 1)
+            continue
+        grid[name] = [X] * (horizon + 1)
+
+    def value_at(name: str, t: int) -> int:
+        if t < 0:
+            if circuit.node(name).gate_type == GateType.INPUT:
+                return ONE if v_prev[name] else ZERO
+            return ONE if settled_prev[name] else ZERO
+        return grid[name][min(t, horizon)]
+
+    for name in order:
+        node = circuit.node(name)
+        if node.gate_type == GateType.INPUT:
+            continue
+        d_lo, d_hi = bounds(name)
+        for t in range(horizon + 1):
+            result = None
+            for tau in range(t - d_hi, t - d_lo + 1):
+                out = ternary_gate(
+                    node.gate_type,
+                    [value_at(f, tau) for f in node.fanins],
+                )
+                result = out if result is None else _meet(result, out)
+                if result == X:
+                    break
+            grid[name][t] = result if result is not None else X
+    return grid
+
+
+def pair_bounded_delay(
+    circuit: Circuit,
+    v_prev: Dict[str, bool],
+    v_next: Dict[str, bool],
+    bounds: Optional[Bounds] = None,
+) -> int:
+    """Last time an output may still be transitioning for this vector pair:
+    the largest ``t`` such that the output is not guaranteed stable across
+    the boundary between intervals ``t-1`` and ``t`` (0 if always stable)."""
+    grid = bounded_transition_analysis(circuit, v_prev, v_next, bounds)
+    worst = 0
+    settled_prev = circuit.evaluate(v_prev)
+    for out in circuit.outputs:
+        values = grid[out]
+        previous = ONE if settled_prev[out] else ZERO
+        for t, value in enumerate(values):
+            stable = value != X and value == previous
+            if not stable:
+                worst = max(worst, t)
+            previous = value if value != X else X
+    return worst

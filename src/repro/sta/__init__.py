@@ -1,0 +1,21 @@
+"""Static timing analysis baseline (the 'l.d.' of Tables II/III)."""
+
+from .graph_delay import (
+    TimingAnalysis,
+    analyze,
+    arrival_times,
+    gate_depth,
+    topological_delay,
+)
+from .report import render_table, statistics_row, timing_report
+
+__all__ = [
+    "TimingAnalysis",
+    "analyze",
+    "arrival_times",
+    "gate_depth",
+    "topological_delay",
+    "render_table",
+    "statistics_row",
+    "timing_report",
+]

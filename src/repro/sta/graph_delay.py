@@ -1,0 +1,110 @@
+"""Static timing analysis: the longest-path baseline.
+
+"The longest-path delay of a circuit is simply the sum of the cumulative
+delays of a circuit along the longest graphical path.  This measure of delay
+is still used in most static timing verifiers but ... does not take into
+account false paths" (Sec. I).  This module is that baseline: arrival times,
+required times, slacks and critical-path extraction — the numbers the
+floating/transition analyses are compared against (the ``l.d.`` column of
+Tables II/III).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..network.circuit import Circuit
+from ..network.gates import GateType
+
+
+@dataclass
+class TimingAnalysis:
+    """Arrival/required/slack annotation of a circuit."""
+
+    circuit: Circuit
+    arrival: Dict[str, int]
+    required: Dict[str, int]
+    clock_period: int
+
+    @property
+    def slack(self) -> Dict[str, int]:
+        return {
+            name: self.required[name] - self.arrival[name]
+            for name in self.arrival
+        }
+
+    @property
+    def worst_slack(self) -> int:
+        return min(self.slack.values())
+
+    def critical_nodes(self) -> List[str]:
+        """Nodes with the minimum slack (the critical-path cloud)."""
+        worst = self.worst_slack
+        slack = self.slack
+        return [name for name in self.circuit.topological_order()
+                if slack[name] == worst]
+
+    def critical_path(self) -> List[str]:
+        """One input-to-output path along minimum-slack nodes."""
+        slack = self.slack
+        worst = self.worst_slack
+        end = max(
+            (o for o in self.circuit.outputs),
+            key=lambda name: self.arrival[name],
+        )
+        path = [end]
+        while self.circuit.node(path[-1]).fanins:
+            node = self.circuit.node(path[-1])
+            candidates = [
+                f
+                for f in node.fanins
+                if self.arrival[f] + node.delay == self.arrival[path[-1]]
+            ]
+            best = min(candidates, key=lambda f: slack[f] - worst)
+            path.append(best)
+        path.reverse()
+        return path
+
+
+def analyze(circuit: Circuit, clock_period: Optional[int] = None) -> TimingAnalysis:
+    """Compute arrival and required times under the fixed delay model.
+
+    ``clock_period`` defaults to the topological delay (zero worst slack).
+    """
+    arrival = circuit.levels()
+    if clock_period is None:
+        clock_period = max(arrival[o] for o in circuit.outputs)
+    required: Dict[str, int] = {}
+    fanouts = circuit.fanouts()
+    output_set = set(circuit.outputs)
+    for name in reversed(circuit.topological_order()):
+        constraints = []
+        if name in output_set:
+            constraints.append(clock_period)
+        for fo in fanouts[name]:
+            constraints.append(required[fo] - circuit.node(fo).delay)
+        # Unconstrained nodes (dangling) get an infinite-like requirement.
+        required[name] = min(constraints) if constraints else clock_period
+    return TimingAnalysis(circuit, arrival, required, clock_period)
+
+
+def topological_delay(circuit: Circuit) -> int:
+    """The graphical delay (Tables II/III column 'l.d.')."""
+    return circuit.topological_delay()
+
+
+def arrival_times(circuit: Circuit) -> Dict[str, int]:
+    return circuit.levels()
+
+
+def gate_depth(circuit: Circuit) -> int:
+    """Depth counted in gates (every gate depth 1) regardless of delays."""
+    depth: Dict[str, int] = {}
+    for name in circuit.topological_order():
+        node = circuit.node(name)
+        if node.gate_type == GateType.INPUT:
+            depth[name] = 0
+        else:
+            depth[name] = 1 + max((depth[f] for f in node.fanins), default=0)
+    return max((depth[o] for o in circuit.outputs), default=0)

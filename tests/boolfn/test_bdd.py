@@ -1,0 +1,168 @@
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.boolfn import BddManager, BddOverflow, FALSE, TRUE
+
+
+@pytest.fixture
+def mgr():
+    return BddManager()
+
+
+class TestBasicOperations:
+    def test_terminals(self, mgr):
+        assert mgr.is_unsat(FALSE)
+        assert mgr.is_tautology(TRUE)
+
+    def test_var_and_not(self, mgr):
+        a = mgr.var("a")
+        assert mgr.evaluate(a, {"a": True})
+        assert not mgr.evaluate(a, {"a": False})
+        na = mgr.not_(a)
+        assert mgr.evaluate(na, {"a": False})
+        assert mgr.not_(na) == a
+
+    def test_var_is_idempotent(self, mgr):
+        assert mgr.var("a") == mgr.var("a")
+
+    def test_and_or_truth_tables(self, mgr):
+        a, b = mgr.var("a"), mgr.var("b")
+        f_and, f_or = mgr.and_(a, b), mgr.or_(a, b)
+        for va, vb in itertools.product([False, True], repeat=2):
+            env = {"a": va, "b": vb}
+            assert mgr.evaluate(f_and, env) == (va and vb)
+            assert mgr.evaluate(f_or, env) == (va or vb)
+
+    def test_xor_xnor_implies(self, mgr):
+        a, b = mgr.var("a"), mgr.var("b")
+        for va, vb in itertools.product([False, True], repeat=2):
+            env = {"a": va, "b": vb}
+            assert mgr.evaluate(mgr.xor_(a, b), env) == (va != vb)
+            assert mgr.evaluate(mgr.xnor_(a, b), env) == (va == vb)
+            assert mgr.evaluate(mgr.implies(a, b), env) == ((not va) or vb)
+
+    def test_canonicity(self, mgr):
+        a, b = mgr.var("a"), mgr.var("b")
+        left = mgr.or_(mgr.and_(a, b), mgr.and_(a, mgr.not_(b)))
+        assert left == a  # absorption reduces to the variable itself
+
+    def test_complement_laws(self, mgr):
+        a = mgr.var("a")
+        assert mgr.and_(a, mgr.not_(a)) == FALSE
+        assert mgr.or_(a, mgr.not_(a)) == TRUE
+
+    def test_and_many_or_many(self, mgr):
+        vs = [mgr.var(n) for n in "abc"]
+        f = mgr.and_many(vs)
+        assert mgr.evaluate(f, {"a": True, "b": True, "c": True})
+        assert not mgr.evaluate(f, {"a": True, "b": False, "c": True})
+        g = mgr.or_many(vs)
+        assert mgr.evaluate(g, {"a": False, "b": False, "c": True})
+
+
+class TestQueries:
+    def test_sat_one_respects_function(self, mgr):
+        a, b, c = mgr.var("a"), mgr.var("b"), mgr.var("c")
+        f = mgr.and_(mgr.xor_(a, b), c)
+        model = mgr.sat_one(f)
+        full = {"a": False, "b": False, "c": False}
+        full.update(model)
+        assert mgr.evaluate(f, full)
+
+    def test_sat_one_of_false(self, mgr):
+        assert mgr.sat_one(FALSE) is None
+
+    def test_sat_count(self, mgr):
+        a, b, c = mgr.var("a"), mgr.var("b"), mgr.var("c")
+        assert mgr.sat_count(mgr.and_(a, b), 3) == 2
+        assert mgr.sat_count(mgr.or_(a, mgr.and_(b, c)), 3) == 5
+        assert mgr.sat_count(TRUE, 3) == 8
+        assert mgr.sat_count(FALSE, 3) == 0
+
+    def test_support(self, mgr):
+        a, b = mgr.var("a"), mgr.var("b")
+        mgr.var("c")
+        assert mgr.support(mgr.and_(a, b)) == ["a", "b"]
+
+    def test_size(self, mgr):
+        a, b = mgr.var("a"), mgr.var("b")
+        assert mgr.size(mgr.and_(a, b)) == 2
+        assert mgr.size(TRUE) == 0
+
+    def test_cubes_cover_onset(self, mgr):
+        a, b = mgr.var("a"), mgr.var("b")
+        f = mgr.or_(a, b)
+        minterms = set()
+        for cube in mgr.cubes(f):
+            free = [v for v in ("a", "b") if v not in cube]
+            for bits in itertools.product([False, True], repeat=len(free)):
+                full = dict(cube)
+                full.update(zip(free, bits))
+                minterms.add((full["a"], full["b"]))
+        assert minterms == {(True, False), (False, True), (True, True)}
+
+
+class TestSubstitution:
+    def test_restrict(self, mgr):
+        a, b = mgr.var("a"), mgr.var("b")
+        f = mgr.and_(a, b)
+        assert mgr.restrict(f, "a", True) == b
+        assert mgr.restrict(f, "a", False) == FALSE
+
+    def test_restrict_unknown_var_is_noop(self, mgr):
+        a = mgr.var("a")
+        assert mgr.restrict(a, "zz", True) == a
+
+    def test_exists_forall(self, mgr):
+        a, b = mgr.var("a"), mgr.var("b")
+        f = mgr.and_(a, b)
+        assert mgr.exists(f, ["a"]) == b
+        assert mgr.forall(f, ["a"]) == FALSE
+        assert mgr.forall(mgr.or_(a, b), ["a"]) == b
+
+    def test_compose(self, mgr):
+        a, b, c = mgr.var("a"), mgr.var("b"), mgr.var("c")
+        f = mgr.and_(a, b)
+        g = mgr.compose(f, "a", mgr.or_(a, c))
+        expected = mgr.and_(mgr.or_(a, c), b)
+        assert g == expected
+
+
+class TestOverflow:
+    def test_node_budget(self):
+        small = BddManager(max_nodes=8)
+        with pytest.raises(BddOverflow):
+            f = FALSE
+            for i in range(10):
+                f = small.or_(f, small.and_(small.var(f"a{i}"), small.var(f"b{i}")))
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.data())
+def test_random_expressions_match_truth_table(data):
+    mgr = BddManager()
+    names = ["a", "b", "c", "d"]
+    variables = {n: mgr.var(n) for n in names}
+
+    def build(depth):
+        op = data.draw(st.sampled_from(["var", "and", "or", "xor", "not"]))
+        if depth == 0 or op == "var":
+            name = data.draw(st.sampled_from(names))
+            return variables[name], lambda env, n=name: env[n]
+        if op == "not":
+            f, ef = build(depth - 1)
+            return mgr.not_(f), lambda env: not ef(env)
+        f, ef = build(depth - 1)
+        g, eg = build(depth - 1)
+        if op == "and":
+            return mgr.and_(f, g), lambda env: ef(env) and eg(env)
+        if op == "or":
+            return mgr.or_(f, g), lambda env: ef(env) or eg(env)
+        return mgr.xor_(f, g), lambda env: ef(env) != eg(env)
+
+    f, ef = build(4)
+    for bits in itertools.product([False, True], repeat=4):
+        env = dict(zip(names, bits))
+        assert mgr.evaluate(f, env) == ef(env)

@@ -1,0 +1,87 @@
+import pytest
+
+from repro.boolfn import Cnf
+
+
+class TestCnfConstruction:
+    def test_new_var_counts(self):
+        cnf = Cnf()
+        assert cnf.new_var() == 1
+        assert cnf.new_var() == 2
+        assert cnf.num_vars == 2
+
+    def test_add_clause(self):
+        cnf = Cnf(2)
+        cnf.add_clause([1, -2])
+        assert cnf.clauses == [(1, -2)]
+        assert len(cnf) == 1
+
+    def test_rejects_zero_literal(self):
+        cnf = Cnf(1)
+        with pytest.raises(ValueError):
+            cnf.add_clause([0])
+
+    def test_rejects_unallocated_variable(self):
+        cnf = Cnf(1)
+        with pytest.raises(ValueError):
+            cnf.add_clause([2])
+
+    def test_rejects_negative_num_vars(self):
+        with pytest.raises(ValueError):
+            Cnf(-1)
+
+    def test_add_clauses_bulk(self):
+        cnf = Cnf(3)
+        cnf.add_clauses([[1], [2, 3], [-1, -2]])
+        assert len(cnf) == 3
+
+
+class TestCnfEvaluate:
+    def test_satisfied(self):
+        cnf = Cnf(2)
+        cnf.add_clause([1, 2])
+        cnf.add_clause([-1, 2])
+        assert cnf.evaluate([False, False, True])
+
+    def test_unsatisfied(self):
+        cnf = Cnf(2)
+        cnf.add_clause([1])
+        cnf.add_clause([-1])
+        assert not cnf.evaluate([False, True, True])
+
+    def test_short_assignment_rejected(self):
+        cnf = Cnf(3)
+        cnf.add_clause([3])
+        import pytest
+
+        with pytest.raises(ValueError):
+            cnf.evaluate([False, True])
+
+
+class TestDimacs:
+    def test_roundtrip(self):
+        cnf = Cnf(3)
+        cnf.add_clause([1, -2])
+        cnf.add_clause([2, 3])
+        text = cnf.to_dimacs()
+        parsed = Cnf.from_dimacs(text)
+        assert parsed.num_vars == 3
+        assert list(parsed.clauses) == list(cnf.clauses)
+
+    def test_parse_with_comments(self):
+        text = "c a comment\np cnf 2 1\n1 -2 0\n"
+        cnf = Cnf.from_dimacs(text)
+        assert cnf.num_vars == 2
+        assert cnf.clauses == [(1, -2)]
+
+    def test_parse_rejects_trailing_clause(self):
+        with pytest.raises(ValueError):
+            Cnf.from_dimacs("p cnf 1 1\n1")
+
+    def test_parse_rejects_bad_problem_line(self):
+        with pytest.raises(ValueError):
+            Cnf.from_dimacs("p sat 1 1\n1 0")
+
+    def test_multiline_clause(self):
+        cnf = Cnf.from_dimacs("p cnf 3 1\n1\n2 3 0\n")
+        assert cnf.clauses == [(1, 2, 3)]

@@ -1,0 +1,104 @@
+"""Edge-case coverage for the Boolean engines."""
+
+import pytest
+
+from repro.boolfn import Aig, BddManager, CONST0, CONST1, FALSE, TRUE
+
+
+class TestBddEdges:
+    def test_var_name_lookup(self):
+        mgr = BddManager()
+        mgr.var("alpha")
+        assert mgr.var_name(0) == "alpha"
+        assert mgr.has_var("alpha") and not mgr.has_var("beta")
+
+    def test_implies_truth_table(self):
+        mgr = BddManager()
+        a, b = mgr.var("a"), mgr.var("b")
+        f = mgr.implies(a, b)
+        assert mgr.evaluate(f, {"a": False, "b": False})
+        assert not mgr.evaluate(f, {"a": True, "b": False})
+
+    def test_xnor_is_not_xor(self):
+        mgr = BddManager()
+        a, b = mgr.var("a"), mgr.var("b")
+        assert mgr.xnor_(a, b) == mgr.not_(mgr.xor_(a, b))
+
+    def test_sat_count_of_var(self):
+        mgr = BddManager()
+        a = mgr.var("a")
+        mgr.var("b")
+        mgr.var("c")
+        assert mgr.sat_count(a) == 4
+
+    def test_num_nodes_grows(self):
+        mgr = BddManager()
+        before = mgr.num_nodes
+        a, b = mgr.var("a"), mgr.var("b")
+        mgr.and_(a, b)
+        assert mgr.num_nodes > before
+
+    def test_restrict_to_terminal(self):
+        mgr = BddManager()
+        a = mgr.var("a")
+        assert mgr.restrict(a, "a", True) == TRUE
+        assert mgr.restrict(a, "a", False) == FALSE
+
+    def test_exists_over_all_support(self):
+        mgr = BddManager()
+        a, b = mgr.var("a"), mgr.var("b")
+        f = mgr.and_(a, b)
+        assert mgr.exists(f, ["a", "b"]) == TRUE
+
+
+class TestAigEdges:
+    def test_implies_and_xnor(self):
+        aig = Aig()
+        a, b = aig.var("a"), aig.var("b")
+        f = aig.implies(a, b)
+        assert aig.evaluate(f, {"a": False, "b": False})
+        assert not aig.evaluate(f, {"a": True, "b": False})
+        g = aig.xnor_(a, b)
+        assert aig.evaluate(g, {"a": True, "b": True})
+
+    def test_or_many_short_circuits_on_const1(self):
+        aig = Aig()
+        a = aig.var("a")
+        assert aig.or_many([a, CONST1, aig.var("b")]) == CONST1
+
+    def test_and_many_short_circuits_on_const0(self):
+        aig = Aig()
+        a = aig.var("a")
+        assert aig.and_many([a, CONST0, aig.var("b")]) == CONST0
+
+    def test_var_names_listed(self):
+        aig = Aig()
+        aig.var("x")
+        aig.var("y")
+        assert aig.var_names == ["x", "y"]
+
+    def test_num_nodes(self):
+        aig = Aig()
+        before = aig.num_nodes
+        aig.and_(aig.var("x"), aig.var("y"))
+        assert aig.num_nodes == before + 3  # two vars + one AND
+
+    def test_sig_fast_path_model_is_real_witness(self):
+        aig = Aig()
+        a, b, c = aig.var("a"), aig.var("b"), aig.var("c")
+        f = aig.or_(aig.and_(a, b), c)
+        assert aig.lit_sig(f) != 0  # fast path applies
+        model = aig.sat_one(f)
+        assert aig.evaluate(f, model)
+
+    def test_to_cnf_of_constant_literal(self):
+        aig = Aig()
+        cnf, lit_map, __ = aig.to_cnf([CONST1])
+        from repro.boolfn import solve_cnf
+
+        cnf.add_clause([lit_map[CONST1]])
+        assert solve_cnf(cnf) is not None
+
+    def test_cone_size_of_variable_is_zero(self):
+        aig = Aig()
+        assert aig.cone_size(aig.var("x")) == 0

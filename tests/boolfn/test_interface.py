@@ -1,0 +1,95 @@
+import itertools
+
+import pytest
+
+from repro.boolfn import (
+    AUTO_BDD_GATE_LIMIT,
+    BddEngine,
+    SatEngine,
+    make_engine,
+)
+
+
+@pytest.fixture(params=["bdd", "sat"])
+def engine(request):
+    return make_engine(request.param)
+
+
+class TestFacadeAgreement:
+    def test_truth_tables(self, engine):
+        a, b = engine.var("a"), engine.var("b")
+        f = engine.or_(engine.and_(a, b), engine.not_(b))
+        for va, vb in itertools.product([False, True], repeat=2):
+            env = {"a": va, "b": vb}
+            assert engine.evaluate(f, env) == ((va and vb) or not vb)
+
+    def test_constants(self, engine):
+        assert engine.is_tautology(engine.const1)
+        assert engine.sat_one(engine.const0) is None
+
+    def test_sat_one_model(self, engine):
+        a, b = engine.var("a"), engine.var("b")
+        f = engine.and_(a, engine.not_(b))
+        model = engine.sat_one(f)
+        assert model is not None
+        env = {"a": False, "b": False}
+        env.update(model)
+        assert engine.evaluate(f, env)
+
+    def test_equiv(self, engine):
+        a, b = engine.var("a"), engine.var("b")
+        assert engine.equiv(engine.xor_(a, b), engine.xor_(b, a))
+        assert not engine.equiv(a, b)
+
+    def test_check_counter_increments(self, engine):
+        a = engine.var("a")
+        before = engine.num_sat_checks
+        engine.sat_one(a)
+        assert engine.num_sat_checks == before + 1
+
+    def test_support(self, engine):
+        a, b = engine.var("a"), engine.var("b")
+        engine.var("c")
+        assert engine.support(engine.and_(a, b)) == ["a", "b"]
+
+
+class TestEngineSelection:
+    def test_explicit(self):
+        assert make_engine("bdd").name == "bdd"
+        assert make_engine("sat").name == "sat"
+
+    def test_auto_small_picks_bdd(self):
+        assert make_engine("auto", circuit_size=10).name == "bdd"
+
+    def test_auto_large_picks_sat(self):
+        assert make_engine("auto", AUTO_BDD_GATE_LIMIT + 1).name == "sat"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_engine("magic")
+
+    def test_bdd_engine_exposes_manager(self):
+        engine = BddEngine()
+        assert engine.manager is not None
+
+    def test_sat_engine_exposes_manager(self):
+        engine = SatEngine()
+        assert engine.manager is not None
+
+
+class TestCrossEngineEquivalence:
+    def test_same_function_same_verdicts(self):
+        bdd, sat = BddEngine(), SatEngine()
+        for eng in (bdd, sat):
+            a, b, c = eng.var("a"), eng.var("b"), eng.var("c")
+            f = eng.xor_(eng.and_(a, b), c)
+            g = eng.or_(eng.and_(a, b), c)
+            eng.result_f, eng.result_g = f, g
+        for va, vb, vc in itertools.product([False, True], repeat=3):
+            env = {"a": va, "b": vb, "c": vc}
+            assert bdd.evaluate(bdd.result_f, env) == sat.evaluate(
+                sat.result_f, env
+            )
+            assert bdd.evaluate(bdd.result_g, env) == sat.evaluate(
+                sat.result_g, env
+            )

@@ -1,0 +1,126 @@
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.boolfn import Cube, Sop, minterms_of, quine_mccluskey
+
+
+class TestCube:
+    def test_evaluate(self):
+        cube = Cube({"a": True, "b": False})
+        assert cube.evaluate({"a": True, "b": False, "c": True})
+        assert not cube.evaluate({"a": True, "b": True})
+
+    def test_empty_cube_is_tautology(self):
+        assert Cube({}).evaluate({"a": False})
+
+    def test_containment(self):
+        big = Cube({"a": True})
+        small = Cube({"a": True, "b": False})
+        assert big.contains(small)
+        assert not small.contains(big)
+
+    def test_merge_distance_one(self):
+        left = Cube({"a": True, "b": False})
+        right = Cube({"a": True, "b": True})
+        assert left.merge(right) == Cube({"a": True})
+
+    def test_merge_rejects_distance_two(self):
+        left = Cube({"a": True, "b": False})
+        right = Cube({"a": False, "b": True})
+        assert left.merge(right) is None
+
+    def test_merge_rejects_different_support(self):
+        assert Cube({"a": True}).merge(Cube({"b": True})) is None
+
+    def test_intersects(self):
+        assert Cube({"a": True}).intersects(Cube({"b": False}))
+        assert not Cube({"a": True}).intersects(Cube({"a": False}))
+
+    def test_hash_and_eq(self):
+        assert Cube({"a": True}) == Cube({"a": True})
+        assert len({Cube({"a": True}), Cube({"a": True})}) == 1
+
+    def test_repr(self):
+        assert repr(Cube({})) == "Cube(1)"
+        assert "a" in repr(Cube({"a": False}))
+
+
+class TestSop:
+    def test_evaluate_and_literals(self):
+        sop = Sop([Cube({"a": True, "b": True}), Cube({"c": False})])
+        assert sop.evaluate({"a": True, "b": True, "c": True})
+        assert sop.evaluate({"a": False, "b": False, "c": False})
+        assert not sop.evaluate({"a": False, "b": True, "c": True})
+        assert sop.literal_count() == 3
+
+    def test_support(self):
+        sop = Sop([Cube({"a": True}), Cube({"b": False})])
+        assert sop.support() == ["a", "b"]
+
+    def test_single_cube_containment(self):
+        sop = Sop([Cube({"a": True}), Cube({"a": True, "b": True})])
+        reduced = sop.single_cube_containment()
+        assert reduced.cubes == [Cube({"a": True})]
+
+    def test_containment_keeps_one_duplicate(self):
+        sop = Sop([Cube({"a": True}), Cube({"a": True})])
+        assert len(sop.single_cube_containment()) == 1
+
+    def test_merged_preserves_function(self):
+        cubes = [
+            Cube({"a": True, "b": True}),
+            Cube({"a": True, "b": False}),
+            Cube({"a": False, "b": True, "c": True}),
+        ]
+        sop = Sop(cubes)
+        merged = sop.merged()
+        assert merged.literal_count() <= sop.literal_count()
+        for bits in itertools.product([False, True], repeat=3):
+            env = dict(zip("abc", bits))
+            assert merged.evaluate(env) == sop.evaluate(env)
+
+    def test_minterms_of(self):
+        sop = Sop([Cube({"a": True})])
+        assert minterms_of(sop, ["a", "b"]) == [2, 3]
+
+
+class TestQuineMccluskey:
+    def test_empty_onset(self):
+        assert len(quine_mccluskey([], ["a"])) == 0
+
+    def test_full_onset_is_tautology(self):
+        sop = quine_mccluskey(list(range(8)), ["a", "b", "c"])
+        assert len(sop) == 1 and len(sop.cubes[0]) == 0
+
+    def test_xor_needs_two_cubes(self):
+        sop = quine_mccluskey([1, 2], ["a", "b"])
+        assert len(sop) == 2
+        assert sop.literal_count() == 4
+
+    def test_classic_example(self):
+        # f = sum m(0,1,2,5,6,7) over (a,b,c): minimal cover has 6 literals.
+        sop = quine_mccluskey([0, 1, 2, 5, 6, 7], ["a", "b", "c"])
+        assert sop.literal_count() == 6
+
+    def test_dont_cares_simplify(self):
+        # Onset {1}, DC {3} over (a,b): with dc, f = b (1 literal).
+        sop = quine_mccluskey([1], ["a", "b"], dcset=[3])
+        assert sop.literal_count() == 1
+        assert sop.evaluate({"a": False, "b": True})
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_qm_equivalent_and_no_larger(self, data):
+        n = data.draw(st.integers(1, 4))
+        variables = [f"v{i}" for i in range(n)]
+        onset = data.draw(
+            st.lists(st.integers(0, (1 << n) - 1), unique=True, max_size=1 << n)
+        )
+        sop = quine_mccluskey(onset, variables)
+        for m in range(1 << n):
+            env = {
+                variables[i]: bool((m >> (n - 1 - i)) & 1) for i in range(n)
+            }
+            assert sop.evaluate(env) == (m in onset)

@@ -1,0 +1,61 @@
+"""Fig. 1 is 'a two-level circuit, resulting from a prime and irredundant
+cover' — verify that claim computationally for our reconstruction."""
+
+import itertools
+
+from repro.boolfn import Cube, Sop, minterms_of, quine_mccluskey
+from repro.circuits import fig1_circuit
+
+VARS = ["a", "b", "c", "d"]
+
+#: The reconstruction's cover: f = a'b + ab' + b'c'd'.
+COVER = Sop(
+    [
+        Cube({"a": False, "b": True}),
+        Cube({"a": True, "b": False}),
+        Cube({"b": False, "c": False, "d": False}),
+    ]
+)
+
+
+def evaluate_circuit(minterm):
+    circuit = fig1_circuit()
+    env = {
+        name: bool((minterm >> (3 - i)) & 1) for i, name in enumerate(VARS)
+    }
+    return circuit.evaluate_outputs(env)["f"]
+
+
+class TestFig1Cover:
+    def test_cover_matches_circuit(self):
+        for m in range(16):
+            env = {
+                name: bool((m >> (3 - i)) & 1)
+                for i, name in enumerate(VARS)
+            }
+            assert COVER.evaluate(env) == evaluate_circuit(m), m
+
+    def test_each_cube_is_prime(self):
+        onset = set(minterms_of(COVER, VARS))
+        for cube in COVER.cubes:
+            # Removing any literal must leave a non-implicant.
+            for name in cube.literals:
+                relaxed_literals = dict(cube.literals)
+                del relaxed_literals[name]
+                relaxed = Sop([Cube(relaxed_literals)])
+                covered = set(minterms_of(relaxed, VARS))
+                assert not covered <= onset, (cube, name)
+
+    def test_cover_is_irredundant(self):
+        onset = set(minterms_of(COVER, VARS))
+        for skip in range(len(COVER.cubes)):
+            reduced = Sop(
+                [c for i, c in enumerate(COVER.cubes) if i != skip]
+            )
+            assert set(minterms_of(reduced, VARS)) != onset, skip
+
+    def test_qm_finds_an_equally_small_cover(self):
+        onset = minterms_of(COVER, VARS)
+        minimal = quine_mccluskey(onset, VARS)
+        assert len(minimal) == len(COVER)
+        assert minimal.literal_count() == COVER.literal_count()

@@ -1,0 +1,167 @@
+"""Lock in every quantitative claim the paper makes about Figs. 1-5."""
+
+import pytest
+
+from repro.boolfn import BddEngine
+from repro.core import (
+    TransitionAnalysis,
+    compute_bounded_transition_delay,
+    compute_floating_delay,
+    compute_transition_delay,
+    is_certified_period,
+    theorem31_min_period,
+    validate_period_by_simulation,
+)
+from repro.network import is_statically_sensitizable, path_length
+from repro.sim import EventSimulator, all_input_vectors
+from repro.circuits import (
+    FIG2_CRITICAL_PATH,
+    fig1_circuit,
+    fig1_vector_pair,
+    fig2_circuit,
+    fig3_circuit,
+    fig5_circuit,
+)
+
+
+class TestFig1:
+    def test_two_level_function(self):
+        # f = a'b + ab' + a'b'c'd'
+        c = fig1_circuit()
+        for vec in all_input_vectors(c):
+            a, b, cc, d = vec["a"], vec["b"], vec["c"], vec["d"]
+            expected = ((not a) and b) or (a and not b) or (
+                not a and not b and not cc and not d
+            )
+            assert c.evaluate_outputs(vec)["f"] == expected
+
+    def test_glitch_chain_on_paper_pair(self):
+        c = fig1_circuit()
+        sim = EventSimulator(c)
+        prev, nxt = fig1_vector_pair()
+        result = sim.simulate_transition(prev, nxt)
+        assert result.waveforms["g2"].events == [(2, True), (3, False)]
+        assert result.waveforms["g3"].events == [(3, True), (4, False)]
+        assert result.waveforms["g1"].events == [(4, True)]
+        # Output settles at 3, well before the floating delay of 5.
+        assert result.delay == 3
+
+    def test_floating_delay_five(self):
+        cert = compute_floating_delay(fig1_circuit(), engine=BddEngine())
+        assert cert.delay == 5
+
+    def test_monotone_speedup_restores_floating(self):
+        cert = compute_bounded_transition_delay(
+            fig1_circuit(), engine=BddEngine()
+        )
+        assert cert.delay == 5
+
+
+class TestFig2:
+    def test_output_constant_one(self):
+        c = fig2_circuit()
+        assert c.evaluate_outputs({"a": False})["e"] is True
+        assert c.evaluate_outputs({"a": True})["e"] is True
+
+    def test_longest_graphical_path_is_six(self):
+        assert fig2_circuit().topological_delay() == 6
+
+    def test_critical_path_length_five_and_statically_sensitizable(self):
+        c = fig2_circuit()
+        assert path_length(c, FIG2_CRITICAL_PATH) == 5
+        assert is_statically_sensitizable(c, FIG2_CRITICAL_PATH) == {
+            "a": True
+        }
+
+    def test_floating_delay_five_with_witness_a1(self):
+        cert = compute_floating_delay(fig2_circuit(), engine=BddEngine())
+        assert cert.delay == 5
+        assert cert.witness == {"a": True}
+
+    def test_transition_delay_zero(self):
+        cert = compute_transition_delay(fig2_circuit(), engine=BddEngine())
+        assert cert.delay == 0
+
+    def test_event_blocked_at_d(self):
+        # Sec. IV-C: on <a=0 -> a=1>, gate b settles to 0 only after the
+        # rising event reaches d, so d holds 1 and the event dies there.
+        c = fig2_circuit()
+        sim = EventSimulator(c)
+        result = sim.simulate_transition({"a": False}, {"a": True})
+        assert result.waveforms["d"].is_stable()
+        assert result.waveforms["e"].is_stable()
+
+    def test_speedup_of_b_gives_instantaneous_glitch_only(self):
+        # With b's delay reduced to 0 the inputs of d swap simultaneously;
+        # the batched evaluation filters the zero-width glitch (Sec. IV-A).
+        from repro.network import apply_speedup
+
+        c = apply_speedup(fig2_circuit(), {"b": 0})
+        sim = EventSimulator(c)
+        result = sim.simulate_transition({"a": False}, {"a": True})
+        assert result.waveforms["d"].is_stable()
+        assert result.waveforms["e"].is_stable()
+
+    def test_integer_speedups_never_reach_floating_delay(self):
+        # Exhaust all integer monotone speedups: no output event ever
+        # reaches the floating delay of 5 (the events stay below omega/2).
+        import itertools
+
+        from repro.network import apply_speedup
+
+        c = fig2_circuit()
+        gates = [n.name for n in c.nodes() if n.fanins]
+        worst = 0
+        for delays in itertools.product([0, 1], repeat=len(gates)):
+            sped = apply_speedup(c, dict(zip(gates, delays)))
+            sim = EventSimulator(sped)
+            for prev in (False, True):
+                for nxt in (False, True):
+                    worst = max(
+                        worst,
+                        sim.measure_pair_delay({"a": prev}, {"a": nxt}),
+                    )
+        assert worst <= 3  # sup over real-valued delays is omega/2 = 3
+        assert worst < 5
+
+    def test_clock_period_four_valid_below_floating_delay(self):
+        c = fig2_circuit()
+        assert theorem31_min_period(c, 0) == 4
+        assert is_certified_period(c, 4, 0)
+        assert validate_period_by_simulation(c, 4, num_vectors=50).ok
+
+
+class TestFig3:
+    def test_gate_delays(self):
+        c, times = fig3_circuit()
+        assert c.node("g1").delay == 1
+        assert c.node("g2").delay == 2
+        assert c.node("g3").delay == 1
+        assert c.node("g4").delay == 4
+        assert times == {"i1": 1, "i2": 1, "i3": 1, "i4": 6}
+
+    def test_fig4_windows(self):
+        c, times = fig3_circuit()
+        analysis = TransitionAnalysis(c, BddEngine(), input_times=times)
+        assert analysis.possible_transition_times("g1") == [2]
+        assert analysis.possible_transition_times("g2") == [3]
+        assert analysis.possible_transition_times("g3") == [2, 4]
+        assert analysis.possible_transition_times("g4") == [6, 7, 8, 10]
+
+    def test_windows_within_lemma51_bounds(self):
+        c, times = fig3_circuit()
+        analysis = TransitionAnalysis(c, BddEngine(), input_times=times)
+        for g in ("g1", "g2", "g3", "g4"):
+            for t in analysis.possible_transition_times(g):
+                assert analysis.earliest(g) <= t <= analysis.latest(g)
+
+
+class TestFig5:
+    def test_structure(self):
+        c = fig5_circuit()
+        assert c.num_gates == 2
+        assert c.outputs == ["f"]
+
+    def test_delay_two(self):
+        cert = compute_transition_delay(fig5_circuit(), engine=BddEngine())
+        assert cert.delay == 2

@@ -1,0 +1,230 @@
+import itertools
+import random
+
+import pytest
+
+from repro.circuits import (
+    alu,
+    array_multiplier,
+    carry_skip_adder,
+    comparator,
+    decoder,
+    error_corrector,
+    parity_tree,
+    random_logic,
+    ripple_carry_adder,
+)
+
+
+def bits_to_int(values, names):
+    return sum(1 << i for i, name in enumerate(names) if values[name])
+
+
+class TestRippleCarryAdder:
+    def test_exhaustive_4bit(self):
+        c = ripple_carry_adder(4)
+        for a in range(16):
+            for b in range(0, 16, 3):
+                for cin in (0, 1):
+                    vec = {f"a{i}": bool((a >> i) & 1) for i in range(4)}
+                    vec.update(
+                        {f"b{i}": bool((b >> i) & 1) for i in range(4)}
+                    )
+                    vec["cin"] = bool(cin)
+                    out = c.evaluate_outputs(vec)
+                    total = sum(
+                        1 << i for i in range(4) if out[f"fa{i}_s"]
+                    )
+                    total += 16 if out["fa3_c"] else 0
+                    assert total == a + b + cin, (a, b, cin)
+
+    def test_io_counts(self):
+        c = ripple_carry_adder(8)
+        assert len(c.inputs) == 17 and len(c.outputs) == 9
+
+
+class TestCarrySkipAdder:
+    def test_addition_correct(self):
+        c = carry_skip_adder(8, 4)
+        rng = random.Random(1)
+        for __ in range(60):
+            a, b, cin = rng.randrange(256), rng.randrange(256), rng.randint(0, 1)
+            vec = {f"a{i}": bool((a >> i) & 1) for i in range(8)}
+            vec.update({f"b{i}": bool((b >> i) & 1) for i in range(8)})
+            vec["cin"] = bool(cin)
+            out = c.evaluate_outputs(vec)
+            total = sum(1 << i for i in range(8) if out[f"s{i}"])
+            total += 256 if out["bc4"] else 0
+            assert total == a + b + cin
+
+    def test_has_false_paths(self):
+        from repro.core import compute_floating_delay
+
+        c = carry_skip_adder(8, 4)
+        cert = compute_floating_delay(c)
+        assert cert.delay < c.topological_delay()
+
+    def test_bad_block_size_rejected(self):
+        with pytest.raises(ValueError):
+            carry_skip_adder(10, 4)
+
+
+class TestArrayMultiplier:
+    @pytest.mark.parametrize("width", [2, 3, 4])
+    def test_exhaustive_products(self, width):
+        c = array_multiplier(width)
+        for a in range(1 << width):
+            for b in range(1 << width):
+                vec = {
+                    f"a{i}": bool((a >> i) & 1) for i in range(width)
+                }
+                vec.update(
+                    {f"b{i}": bool((b >> i) & 1) for i in range(width)}
+                )
+                out = c.evaluate_outputs(vec)
+                product = sum(
+                    1 << i for i in range(2 * width) if out[f"z{i}"]
+                )
+                assert product == a * b, (a, b)
+
+    def test_io_counts_16(self):
+        c = array_multiplier(16)
+        assert len(c.inputs) == 32 and len(c.outputs) == 32
+
+    def test_random_16bit_products(self):
+        c = array_multiplier(16)
+        rng = random.Random(7)
+        for __ in range(10):
+            a, b = rng.randrange(1 << 16), rng.randrange(1 << 16)
+            vec = {f"a{i}": bool((a >> i) & 1) for i in range(16)}
+            vec.update({f"b{i}": bool((b >> i) & 1) for i in range(16)})
+            out = c.evaluate_outputs(vec)
+            product = sum(1 << i for i in range(32) if out[f"z{i}"])
+            assert product == a * b
+
+
+class TestParityTree:
+    @pytest.mark.parametrize("width", [1, 2, 5, 8])
+    def test_parity(self, width):
+        c = parity_tree(width)
+        rng = random.Random(width)
+        for __ in range(30):
+            vec = {f"x{i}": bool(rng.getrandbits(1)) for i in range(width)}
+            expected = sum(vec.values()) % 2 == 1
+            assert c.evaluate_outputs(vec)["parity_out"] == expected
+
+    def test_depth_logarithmic(self):
+        from repro.sta import gate_depth
+
+        assert gate_depth(parity_tree(16)) <= 6
+
+
+class TestErrorCorrector:
+    def test_io_counts(self):
+        c = error_corrector(32, 9, seed=499)
+        assert len(c.inputs) == 41 and len(c.outputs) == 32
+
+    def test_deterministic(self):
+        left = error_corrector(8, 4, seed=2)
+        right = error_corrector(8, 4, seed=2)
+        vec = {name: (i % 2 == 0) for i, name in enumerate(left.inputs)}
+        assert left.evaluate_outputs(vec) == right.evaluate_outputs(vec)
+
+    def test_clean_codeword_passes_data(self):
+        # With checks equal to the computed parities, the syndrome is zero,
+        # every decode AND sees a 0 literal, and data passes unchanged.
+        c = error_corrector(8, 4, seed=3)
+        rng = random.Random(5)
+        data = {f"d{i}": bool(rng.getrandbits(1)) for i in range(8)}
+        zero_checks = {f"k{i}": False for i in range(4)}
+        values = c.evaluate({**data, **zero_checks})
+        parities = {f"k{j}": values[f"syn{j}"] for j in range(4)}
+        out = c.evaluate_outputs({**data, **parities})
+        for i in range(8):
+            assert out[f"q{i}"] == data[f"d{i}"]
+
+
+class TestAlu:
+    def test_ops(self):
+        c = alu(4)
+        rng = random.Random(9)
+        for op, fn in [
+            ((0, 0), lambda a, b, cin: a & b),
+            ((0, 1), lambda a, b, cin: a | b),
+            ((1, 0), lambda a, b, cin: a ^ b),
+            ((1, 1), lambda a, b, cin: (a + b + cin) & 0xF),
+        ]:
+            for __ in range(20):
+                a, b, cin = rng.randrange(16), rng.randrange(16), rng.randint(0, 1)
+                vec = {f"a{i}": bool((a >> i) & 1) for i in range(4)}
+                vec.update({f"b{i}": bool((b >> i) & 1) for i in range(4)})
+                vec.update({"op1": bool(op[0]), "op0": bool(op[1]),
+                            "cin": bool(cin)})
+                out = c.evaluate_outputs(vec)
+                result = sum(1 << i for i in range(4) if out[f"r{i}"])
+                assert result == fn(a, b, cin), (op, a, b, cin)
+
+    def test_carry_out_only_for_add(self):
+        c = alu(4)
+        vec = {f"a{i}": True for i in range(4)}
+        vec.update({f"b{i}": True for i in range(4)})
+        vec.update({"op1": False, "op0": False, "cin": True})
+        assert not c.evaluate_outputs(vec)["alu_cout"]
+        vec.update({"op1": True, "op0": True})
+        assert c.evaluate_outputs(vec)["alu_cout"]
+
+    def test_carry_skip_variant_equivalent(self):
+        plain = alu(8, with_carry_skip=False)
+        skip = alu(8, with_carry_skip=True)
+        rng = random.Random(4)
+        for __ in range(40):
+            vec = {name: bool(rng.getrandbits(1)) for name in plain.inputs}
+            assert plain.evaluate_outputs(vec) == skip.evaluate_outputs(vec)
+
+
+class TestDecoderComparator:
+    def test_decoder_one_hot(self):
+        c = decoder(3)
+        for value in range(8):
+            vec = {f"s{i}": bool((value >> i) & 1) for i in range(3)}
+            out = c.evaluate_outputs(vec)
+            assert sum(out.values()) == 1
+            assert out[f"y{value}"]
+
+    def test_comparator(self):
+        c = comparator(4)
+        rng = random.Random(11)
+        for __ in range(60):
+            a, b = rng.randrange(16), rng.randrange(16)
+            vec = {f"a{i}": bool((a >> i) & 1) for i in range(4)}
+            vec.update({f"b{i}": bool((b >> i) & 1) for i in range(4)})
+            out = c.evaluate_outputs(vec)
+            assert out["is_eq"] == (a == b)
+            assert out["is_gt"] == (a > b)
+
+
+class TestRandomLogic:
+    def test_deterministic_and_io_exact(self):
+        left = random_logic(10, 4, 30, seed=5)
+        right = random_logic(10, 4, 30, seed=5)
+        assert len(left.inputs) == 10 and len(left.outputs) == 4
+        vec = {n: (i % 3 == 1) for i, n in enumerate(left.inputs)}
+        assert left.evaluate_outputs(vec) == right.evaluate_outputs(vec)
+
+    def test_different_seeds_differ(self):
+        left = random_logic(10, 4, 30, seed=5)
+        right = random_logic(10, 4, 30, seed=6)
+        differs = False
+        rng = random.Random(0)
+        for __ in range(20):
+            vec = {n: bool(rng.getrandbits(1)) for n in left.inputs}
+            if left.evaluate_outputs(vec) != {
+                o: v for o, v in zip(left.outputs, right.evaluate_outputs(vec).values())
+            }:
+                differs = True
+                break
+        assert differs or left.outputs != right.outputs
+
+    def test_needs_enough_gates(self):
+        with pytest.raises(ValueError):
+            random_logic(4, 10, 5, seed=0)

@@ -1,0 +1,75 @@
+import pytest
+
+from repro.circuits import iscas
+
+from tests.helpers import assert_same_function
+
+
+class TestC17:
+    def test_exact_netlist(self):
+        c = iscas.c17()
+        assert c.num_gates == 6
+        assert len(c.inputs) == 5 and len(c.outputs) == 2
+        out = c.evaluate_outputs({"G1": 1, "G2": 0, "G3": 1, "G6": 1, "G7": 0})
+        assert out == {"G22": True, "G23": False}
+
+
+class TestStandins:
+    def test_available_matches_paper_table(self):
+        assert iscas.available() == list(iscas.PAPER_TABLE1)
+
+    @pytest.mark.parametrize("name", iscas.available())
+    def test_io_counts_match_table1(self, name):
+        circuit = iscas.build(name)
+        inputs, outputs, __, __ = iscas.PAPER_TABLE1[name]
+        assert len(circuit.inputs) == inputs, name
+        assert len(circuit.outputs) == outputs, name
+
+    @pytest.mark.parametrize("name", iscas.available())
+    def test_builds_are_deterministic(self, name):
+        left = iscas.build(name)
+        right = iscas.build(name)
+        vec = {n: (i % 2 == 0) for i, n in enumerate(left.inputs)}
+        assert left.evaluate_outputs(vec) == right.evaluate_outputs(vec)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            iscas.build("c9999")
+
+    def test_c6288_is_a_multiplier(self):
+        c = iscas.build("c6288")
+        vec = {f"a{i}": bool((1234 >> i) & 1) for i in range(16)}
+        vec.update({f"b{i}": bool((567 >> i) & 1) for i in range(16)})
+        out = c.evaluate_outputs(vec)
+        product = sum(1 << i for i in range(32) if out[f"z{i}"])
+        assert product == 1234 * 567
+
+    def test_c1355_equivalent_to_c499(self):
+        left = iscas.build("c499")
+        right = iscas.build("c1355")
+        assert set(left.inputs) == set(right.inputs)
+        import random
+
+        rng = random.Random(3)
+        for __ in range(25):
+            vec = {n: bool(rng.getrandbits(1)) for n in left.inputs}
+            assert left.evaluate_outputs(vec) == right.evaluate_outputs(vec)
+
+    def test_c1355_is_nand_heavy(self):
+        from repro.network import GateType
+
+        c = iscas.build("c1355")
+        assert not any(
+            node.gate_type in (GateType.XOR, GateType.XNOR)
+            for node in c.nodes()
+            if len(node.fanins) == 2
+        )
+
+    def test_false_path_circuits_have_gaps(self):
+        """The stand-ins for the paper's f.d. < l.d. rows embed carry-skip
+        cores, so the gap must exist."""
+        from repro.core import compute_floating_delay
+
+        c = iscas.build("c1908")
+        cert = compute_floating_delay(c, search="binary")
+        assert cert.delay < c.topological_delay()

@@ -1,0 +1,83 @@
+import itertools
+
+import pytest
+
+from repro.circuits import mcnc
+
+
+class TestSyntheticFsm:
+    def test_deterministic(self):
+        left = mcnc.build_fsm("sand")
+        right = mcnc.build_fsm("sand")
+        assert left.transitions == right.transitions
+
+    def test_rows_disjoint_per_state(self):
+        fsm = mcnc.build_fsm("styr")
+        by_state = {}
+        for row in fsm.transitions:
+            by_state.setdefault(row.state, []).append(row)
+        for rows in by_state.values():
+            for r1, r2 in itertools.combinations(rows, 2):
+                overlap = all(
+                    a == "-" or b == "-" or a == b
+                    for a, b in zip(r1.inputs, r2.inputs)
+                )
+                assert not overlap
+
+    @pytest.mark.parametrize("name", mcnc.available())
+    def test_parameters(self, name):
+        num_inputs, num_states, num_outputs = mcnc.STANDIN_PARAMS[name]
+        fsm = mcnc.build_fsm(name)
+        assert fsm.num_inputs == num_inputs
+        assert len(fsm.states) == num_states
+        assert fsm.num_outputs == num_outputs
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            mcnc.build_fsm("nope")
+
+
+class TestEncodedControllers:
+    @pytest.mark.parametrize("name", ["planet", "sand", "styr"])
+    def test_encoded_io_matches_table1(self, name):
+        logic = mcnc.build(name)
+        inputs, outputs, __, __ = mcnc.PAPER_TABLE1_FSM[name]
+        assert len(logic.circuit.inputs) == inputs
+        assert len(logic.circuit.outputs) == outputs
+
+    def test_scf_encoded_io(self):
+        logic = mcnc.build("scf")
+        assert len(logic.circuit.inputs) == 33
+        assert len(logic.circuit.outputs) == 63
+
+    def test_synthesis_matches_table_on_samples(self):
+        logic = mcnc.build("sand")
+        fsm = logic.fsm
+        import random
+
+        rng = random.Random(2)
+        state = fsm.reset_state
+        for __ in range(40):
+            bits = [bool(rng.getrandbits(1)) for __ in range(fsm.num_inputs)]
+            expect_state, expect_out = fsm.step(state, bits)
+            got_state, got_out = logic.evaluate_step(state, bits)
+            assert (got_state, got_out) == (expect_state, expect_out)
+            state = expect_state
+
+
+class TestStickyController:
+    def test_reachable_cycle(self):
+        logic = mcnc.sticky_bit_controller()
+        assert logic.fsm.reachable_states() == ["A", "B", "C", "D"]
+
+    def test_circuit_consistent_with_table(self):
+        logic = mcnc.sticky_bit_controller(chain_len=4)
+        for state in logic.fsm.states:
+            for bit in (False, True):
+                expect = logic.fsm.step(state, [bit])
+                got = logic.evaluate_step(state, [bit])
+                assert got == (expect[0], expect[1]), (state, bit)
+
+    def test_chain_length_controls_delays(self):
+        logic = mcnc.sticky_bit_controller(chain_len=9)
+        assert logic.circuit.topological_delay() == 11  # chain + AND + OR

@@ -1,0 +1,79 @@
+"""Theorem 3.1: tau > omega/2 with tau >= t.d. is a valid clock period."""
+
+import pytest
+
+from repro.boolfn import BddEngine
+from repro.core import (
+    compute_transition_delay,
+    is_certified_period,
+    smallest_empirical_period,
+    theorem31_min_period,
+    validate_period_by_simulation,
+)
+from repro.network import CircuitBuilder
+from repro.circuits import fig2_circuit
+
+from tests.helpers import c17, random_circuit
+
+
+class TestBound:
+    def test_minimum_period_definition(self):
+        c = c17()  # omega = 3
+        assert theorem31_min_period(c, 0) == 2
+        assert theorem31_min_period(c, 3) == 3
+        assert theorem31_min_period(c, 9) == 9
+
+    def test_is_certified(self):
+        c = c17()
+        assert is_certified_period(c, 3, 3)
+        assert not is_certified_period(c, 2, 3)   # below t.d.
+        assert not is_certified_period(c, 1, 1)   # not > omega/2
+
+    def test_fig2_certifies_period_four(self):
+        c = fig2_circuit()  # omega = 6, t.d. = 0
+        assert theorem31_min_period(c, 0) == 4
+        assert is_certified_period(c, 4, 0)
+        assert not is_certified_period(c, 3, 0)
+
+
+class TestEmpiricalValidation:
+    def test_fig2_clocked_at_four_below_floating(self):
+        # The paper: "with a clock period of 4, less than the floating
+        # delay of 5, the output of the circuit stays a stable 1."
+        c = fig2_circuit()
+        result = validate_period_by_simulation(c, 4, num_vectors=60)
+        assert result.ok
+
+    def test_theorem_period_always_validates(self):
+        for seed in range(12):
+            c = random_circuit(seed, num_inputs=3, num_gates=6)
+            cert = compute_transition_delay(c, engine=BddEngine())
+            tau = theorem31_min_period(c, cert.delay)
+            result = validate_period_by_simulation(
+                c, tau, num_vectors=40, seed=seed
+            )
+            assert result.ok, (seed, tau, result.mismatches)
+
+    def test_too_short_period_detected(self):
+        b = CircuitBuilder("sl")
+        a, = b.inputs("a")
+        g = b.buf(a, name="g", delay=8)
+        b.output(g)
+        c = b.build()
+        vectors = [{"a": bool(k % 2)} for k in range(6)]
+        result = validate_period_by_simulation(c, 4, vectors=vectors)
+        assert not result.ok
+        assert result.vectors_checked == 5
+
+    def test_smallest_empirical_at_most_theorem_bound(self):
+        for seed in range(6):
+            c = random_circuit(seed + 20, num_inputs=3, num_gates=6)
+            cert = compute_transition_delay(c, engine=BddEngine())
+            tau = theorem31_min_period(c, cert.delay)
+            empirical = smallest_empirical_period(c, num_vectors=30, seed=seed)
+            assert empirical <= max(tau, 1)
+
+    def test_fig2_empirical_goes_below_floating(self):
+        c = fig2_circuit()
+        empirical = smallest_empirical_period(c, num_vectors=60)
+        assert empirical <= 4

@@ -1,0 +1,137 @@
+import pytest
+
+from repro.boolfn import BddEngine, SatEngine
+from repro.core import FloatingAnalysis, compute_floating_delay
+from repro.network import CircuitBuilder
+from repro.circuits import carry_skip_adder, fig2_circuit
+
+from tests.helpers import c17, random_circuit, tiny_and_or
+
+
+@pytest.fixture(params=["bdd", "sat"])
+def engine_name(request):
+    return request.param
+
+
+def make_engine_for(name):
+    return BddEngine() if name == "bdd" else SatEngine()
+
+
+class TestFloatingAnalysis:
+    def test_windows(self):
+        analysis = FloatingAnalysis(c17(), BddEngine())
+        assert analysis.earliest("G1") == 0 == analysis.latest("G1")
+        assert analysis.earliest("G22") == 2
+        assert analysis.latest("G22") == 3
+
+    def test_settled_pair_partitions_at_horizon(self):
+        c = c17()
+        engine = BddEngine()
+        analysis = FloatingAnalysis(c, engine)
+        for out in c.outputs:
+            s1, s0 = analysis.settled_pair(out, analysis.latest(out))
+            assert engine.is_tautology(engine.or_(s1, s0))
+            assert engine.and_(s1, s0) == engine.const0
+
+    def test_unsettled_before_earliest(self):
+        c = c17()
+        engine = BddEngine()
+        analysis = FloatingAnalysis(c, engine)
+        assert analysis.settled("G22", 1) == engine.const0
+
+    def test_settling_is_monotone(self):
+        c = tiny_and_or()
+        engine = BddEngine()
+        analysis = FloatingAnalysis(c, engine)
+        previous = engine.const0
+        for t in range(0, analysis.latest("f") + 1):
+            settled = analysis.settled("f", t)
+            # previous implies settled
+            assert engine.is_tautology(
+                engine.or_(engine.not_(previous), settled)
+            )
+            previous = settled
+
+
+class TestComputeFloatingDelay:
+    def test_c17(self, engine_name):
+        cert = compute_floating_delay(c17(), engine=make_engine_for(engine_name))
+        assert cert.delay == 3
+        assert cert.mode == "floating"
+        assert cert.witness is not None
+
+    def test_fig2_is_five_with_witness_a1(self, engine_name):
+        cert = compute_floating_delay(
+            fig2_circuit(), engine=make_engine_for(engine_name)
+        )
+        assert cert.delay == 5
+        assert cert.witness == {"a": True}
+
+    def test_carry_skip_false_path_detected(self, engine_name):
+        c = carry_skip_adder(8, 4)
+        cert = compute_floating_delay(c, engine=make_engine_for(engine_name))
+        assert cert.delay < c.topological_delay()
+
+    def test_linear_and_binary_agree(self):
+        for seed in range(8):
+            c = random_circuit(seed, num_inputs=3, num_gates=7)
+            linear = compute_floating_delay(c, engine=BddEngine())
+            binary = compute_floating_delay(
+                c, engine=BddEngine(), search="binary"
+            )
+            assert linear.delay == binary.delay, seed
+
+    def test_engines_agree(self):
+        for seed in range(8):
+            c = random_circuit(seed + 100)
+            bdd = compute_floating_delay(c, engine=BddEngine())
+            sat = compute_floating_delay(c, engine=SatEngine())
+            assert bdd.delay == sat.delay, seed
+
+    def test_witness_value_is_outputs_final_value(self):
+        cert = compute_floating_delay(c17(), engine=BddEngine())
+        c = c17()
+        assert cert.value == c.evaluate(cert.witness)[cert.output]
+
+    def test_no_outputs_rejected(self):
+        b = CircuitBuilder("e")
+        b.input("a")
+        with pytest.raises(ValueError):
+            compute_floating_delay(b.circuit)
+
+    def test_constant_circuit(self):
+        b = CircuitBuilder("k")
+        b.input("a")
+        k = b.const1()
+        b.output(k)
+        cert = compute_floating_delay(b.build(), engine=BddEngine())
+        assert cert.delay == 0
+
+    def test_unsatisfiable_care_set(self):
+        cert = compute_floating_delay(
+            c17(),
+            engine=BddEngine(),
+            constraint=lambda eng, var: eng.const0,
+        )
+        assert cert.delay == 0
+
+    def test_care_set_restriction_can_lower_delay(self):
+        # Restrict to vectors where x=0: the slow path is dead.
+        b = CircuitBuilder("r")
+        a, x = b.inputs("a", "x")
+        slow = b.buf(a, name="slow", delay=6)
+        g = b.and_(slow, x, name="g")
+        b.output(g)
+        c = b.build()
+        unrestricted = compute_floating_delay(c, engine=BddEngine())
+        restricted = compute_floating_delay(
+            c,
+            engine=BddEngine(),
+            constraint=lambda eng, var: eng.not_(var("x")),
+        )
+        assert unrestricted.delay == 7
+        assert restricted.delay < unrestricted.delay
+
+    def test_upper_bound_respected(self):
+        cert = compute_floating_delay(c17(), engine=BddEngine(), upper=3)
+        assert cert.delay == 3

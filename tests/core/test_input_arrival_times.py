@@ -1,0 +1,68 @@
+"""Per-input arrival/clock times across the analyses (Sec. V-C:
+"the inputs need not be clocked at the same time")."""
+
+import pytest
+
+from repro.boolfn import BddEngine
+from repro.core import (
+    FloatingAnalysis,
+    compute_bounded_transition_delay,
+    compute_floating_delay,
+    compute_transition_delay,
+)
+from repro.network import CircuitBuilder
+from repro.circuits import fig3_circuit
+
+
+def two_input_and():
+    b = CircuitBuilder("late")
+    a, x = b.inputs("a", "x")
+    g = b.and_(a, x, name="g")
+    b.output(g)
+    return b.build()
+
+
+class TestFloatingWithArrivalTimes:
+    def test_late_input_shifts_floating_delay(self):
+        circuit = two_input_and()
+        base = compute_floating_delay(circuit, engine=BddEngine())
+        late = compute_floating_delay(
+            circuit, engine=BddEngine(), input_times={"x": 5}
+        )
+        assert base.delay == 1
+        assert late.delay == 6
+
+    def test_windows_shift(self):
+        circuit = two_input_and()
+        analysis = FloatingAnalysis(
+            circuit, BddEngine(), input_times={"x": 5}
+        )
+        assert analysis.earliest("g") == 1
+        assert analysis.latest("g") == 6
+
+
+class TestTransitionWithArrivalTimes:
+    def test_fig3_delay(self):
+        circuit, times = fig3_circuit()
+        cert = compute_transition_delay(
+            circuit, engine=BddEngine(), input_times=times
+        )
+        # The last possible transition window of g4 is [9,10].
+        assert cert.delay == 10
+
+    def test_bounded_with_arrival_times(self):
+        circuit = two_input_and()
+        cert = compute_bounded_transition_delay(
+            circuit, engine=BddEngine(), input_times={"x": 5}
+        )
+        assert cert.delay == 6
+
+    def test_all_inputs_shifted_equals_global_shift(self):
+        circuit = two_input_and()
+        base = compute_transition_delay(circuit, engine=BddEngine())
+        shifted = compute_transition_delay(
+            circuit,
+            engine=BddEngine(),
+            input_times={"a": 3, "x": 3},
+        )
+        assert shifted.delay == base.delay + 3

@@ -1,0 +1,58 @@
+from repro.boolfn import BddEngine
+from repro.core import (
+    compute_transition_delay,
+    transition_delay_lower_bound,
+)
+from repro.sim import EventSimulator
+from repro.circuits import array_multiplier, carry_skip_adder
+
+from tests.helpers import c17, random_circuit
+
+
+class TestLowerBound:
+    def test_bound_is_witnessed(self):
+        circuit = carry_skip_adder(8, 4)
+        result = transition_delay_lower_bound(circuit, random_pairs=32)
+        assert result.pair is not None
+        sim = EventSimulator(circuit)
+        assert (
+            sim.measure_pair_delay(result.pair.v_prev, result.pair.v_next)
+            == result.delay
+        )
+
+    def test_bound_never_exceeds_exact(self):
+        for seed in range(6):
+            circuit = random_circuit(seed + 60, num_inputs=3, num_gates=6)
+            exact = compute_transition_delay(circuit, engine=BddEngine())
+            bound = transition_delay_lower_bound(
+                circuit, random_pairs=32, climbs=3, climb_steps=60
+            )
+            assert bound.delay <= exact.delay, seed
+
+    def test_tight_on_c17(self):
+        # The pair space is tiny; the search finds the exact delay.
+        bound = transition_delay_lower_bound(c17(), random_pairs=64)
+        exact = compute_transition_delay(c17(), engine=BddEngine())
+        assert bound.delay == exact.delay
+
+    def test_deterministic_given_seed(self):
+        circuit = carry_skip_adder(8, 4)
+        left = transition_delay_lower_bound(circuit, seed=5)
+        right = transition_delay_lower_bound(circuit, seed=5)
+        assert left.delay == right.delay
+        assert left.pairs_simulated == right.pairs_simulated
+
+    def test_multiplier_scales(self):
+        # The exact computation is out of pure-Python reach on mult16;
+        # the simulation bound is cheap and substantial.
+        circuit = array_multiplier(8)
+        bound = transition_delay_lower_bound(
+            circuit, random_pairs=24, climbs=3, climb_steps=80
+        )
+        assert bound.delay >= circuit.topological_delay() // 2
+
+    def test_describe(self):
+        circuit = c17()
+        bound = transition_delay_lower_bound(circuit, random_pairs=16)
+        text = bound.describe(circuit.inputs)
+        assert "lower bound" in text and "pairs tried" in text

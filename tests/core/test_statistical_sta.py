@@ -1,0 +1,124 @@
+import numpy as np
+import pytest
+
+from repro.core import (
+    DiscreteDistribution,
+    arrival_distributions,
+    circuit_delay_distribution,
+    fixed_delay_model,
+    monte_carlo_topological,
+    uniform_delay_model,
+    uniform_variation,
+)
+from repro.network import CircuitBuilder
+
+from tests.helpers import c17
+
+
+class TestDiscreteDistribution:
+    def test_point(self):
+        d = DiscreteDistribution.point(5)
+        assert d.mean == 5 and d.std == 0
+        assert d.cdf(4) == 0.0 and d.cdf(5) == 1.0
+        assert d.quantile(0.5) == 5
+
+    def test_uniform(self):
+        d = DiscreteDistribution.uniform(2, 4)
+        assert abs(d.mean - 3.0) < 1e-12
+        assert abs(d.cdf(3) - 2 / 3) < 1e-12
+        assert d.quantile(1.0) == 4
+        assert d.quantile(0.0) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiscreteDistribution(0, np.array([0.5, 0.4]))  # sums to 0.9
+        with pytest.raises(ValueError):
+            DiscreteDistribution.uniform(3, 1)
+        with pytest.raises(ValueError):
+            DiscreteDistribution.point(0).quantile(2.0)
+
+    def test_add_is_convolution(self):
+        a = DiscreteDistribution.uniform(0, 1)
+        b = DiscreteDistribution.uniform(0, 1)
+        s = a.add(b)
+        assert s.offset == 0 and s.support_max == 2
+        assert abs(s.pmf[1] - 0.5) < 1e-12  # P(sum = 1)
+
+    def test_maximum_of_independent(self):
+        a = DiscreteDistribution.uniform(0, 1)
+        b = DiscreteDistribution.uniform(0, 1)
+        m = a.maximum(b)
+        # P(max = 0) = 1/4, P(max = 1) = 3/4
+        assert abs(m.cdf(0) - 0.25) < 1e-12
+        assert abs(m.cdf(1) - 1.0) < 1e-12
+
+    def test_shift(self):
+        d = DiscreteDistribution.uniform(0, 2).shift(3)
+        assert d.offset == 3 and d.support_max == 5
+
+
+class TestAnalyticalSta:
+    def test_fixed_model_reduces_to_topological(self):
+        circuit = c17()
+        dist = circuit_delay_distribution(circuit, fixed_delay_model())
+        assert dist.mean == circuit.topological_delay()
+        assert dist.std == 0
+
+    def test_exact_on_a_chain(self):
+        # a -> buf -> buf: delay = sum of two independent uniforms on
+        # {0,1,2}; compare against the exact convolution.
+        b = CircuitBuilder("chain")
+        a, = b.inputs("a")
+        g1 = b.buf(a, name="g1")
+        g2 = b.buf(g1, name="g2")
+        b.output(g2)
+        circuit = b.build()
+        dist = circuit_delay_distribution(circuit, uniform_delay_model(1))
+        exact = DiscreteDistribution.uniform(0, 2).add(
+            DiscreteDistribution.uniform(0, 2)
+        )
+        assert dist.offset == exact.offset
+        assert np.allclose(dist.pmf, exact.pmf)
+
+    def test_exact_on_a_tree(self):
+        # Two independent unit-delay branches into an AND: max of two
+        # uniforms plus the AND's own delay.
+        b = CircuitBuilder("tree")
+        a, c = b.inputs("a", "c")
+        g1 = b.buf(a, name="g1")
+        g2 = b.buf(c, name="g2")
+        g3 = b.and_(g1, g2, name="g3")
+        b.output(g3)
+        circuit = b.build()
+        dist = circuit_delay_distribution(circuit, uniform_delay_model(1))
+        u = DiscreteDistribution.uniform(0, 2)
+        exact = u.maximum(u).add(u)
+        assert np.allclose(dist.pmf, exact.pmf)
+
+    def test_against_monte_carlo(self):
+        circuit = c17()
+        analytic = circuit_delay_distribution(circuit, uniform_delay_model(1))
+        sampled = monte_carlo_topological(
+            circuit, num_samples=400, delay_model=uniform_variation(1),
+            seed=11,
+        )
+        # Means agree within sampling noise; the analytic support bounds
+        # every sample.
+        assert abs(analytic.mean - sampled.mean) < 0.4
+        assert analytic.offset <= sampled.min
+        assert analytic.support_max >= sampled.max
+
+    def test_arrival_distributions_monotone_along_paths(self):
+        circuit = c17()
+        arrivals = arrival_distributions(circuit, uniform_delay_model(1))
+        for node in circuit.nodes():
+            for fanin in node.fanins:
+                assert (
+                    arrivals[node.name].mean >= arrivals[fanin].mean
+                )
+
+    def test_no_outputs_rejected(self):
+        b = CircuitBuilder("e")
+        b.input("a")
+        with pytest.raises(ValueError):
+            circuit_delay_distribution(b.circuit)

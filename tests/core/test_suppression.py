@@ -1,0 +1,61 @@
+from repro.boolfn import BddEngine
+from repro.core import (
+    TransitionAnalysis,
+    build_all_functions,
+    compute_transition_delay,
+    suppression_plan,
+)
+from repro.circuits import carry_skip_adder
+
+from tests.helpers import c17
+
+
+class TestSuppressionPlan:
+    def test_high_delta_suppresses_more(self):
+        c = carry_skip_adder(8, 4)
+        omega = c.topological_delay()
+        tight = suppression_plan(c, omega)
+        loose = suppression_plan(c, 1)
+        assert tight.total_needed <= loose.total_needed
+        assert tight.suppressed >= 0
+        assert loose.fraction_suppressed == 0.0
+
+    def test_needed_ranges_within_windows(self):
+        c = c17()
+        plan = suppression_plan(c, 3)
+        analysis = TransitionAnalysis(c, BddEngine())
+        for name, (lo, hi) in plan.ranges.items():
+            if lo > hi:
+                continue
+            assert lo >= analysis.earliest(name)
+            assert hi <= analysis.latest(name)
+
+    def test_rule_matches_paper(self):
+        # Only g_t with t + w_g >= delta - 1 are needed.
+        c = c17()
+        plan = suppression_plan(c, 3)
+        residual = c.residual_delays()
+        for name, (lo, hi) in plan.ranges.items():
+            if lo > hi:
+                continue
+            assert lo + residual[name] >= plan.delta - 1
+
+
+class TestLazySubsumesSuppression:
+    def test_lazy_builds_at_most_plan(self):
+        c = carry_skip_adder(8, 4)
+        analysis = TransitionAnalysis(c, BddEngine())
+        cert = compute_transition_delay(c, analysis=analysis)
+        lazy_built = analysis.num_functions()
+        full_analysis = TransitionAnalysis(c, BddEngine())
+        full = build_all_functions(full_analysis)
+        assert lazy_built <= full
+        assert cert.extra["functions_built"] == lazy_built
+
+    def test_answers_identical_with_and_without_laziness(self):
+        c = carry_skip_adder(8, 4)
+        eager_analysis = TransitionAnalysis(c, BddEngine())
+        build_all_functions(eager_analysis)
+        eager = compute_transition_delay(c, analysis=eager_analysis)
+        lazy = compute_transition_delay(c, engine=BddEngine())
+        assert eager.delay == lazy.delay

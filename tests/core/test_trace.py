@@ -1,0 +1,84 @@
+from repro.boolfn import BddEngine
+from repro.core import (
+    VectorPair,
+    compute_transition_delay,
+    describe_certificate_path,
+    trace_critical_chain,
+)
+from repro.network import path_length
+from repro.circuits import carry_skip_adder, fig2_circuit
+
+from tests.helpers import c17, random_circuit
+
+
+class TestTraceChain:
+    def test_chain_ends_at_computed_delay(self):
+        circuit = c17()
+        cert = compute_transition_delay(circuit, engine=BddEngine())
+        chain = trace_critical_chain(circuit, cert.pair, output=cert.output)
+        assert chain is not None
+        assert chain.end_time == cert.delay
+        assert chain.path[-1] == cert.output
+
+    def test_chain_is_a_structural_path(self):
+        circuit = c17()
+        cert = compute_transition_delay(circuit, engine=BddEngine())
+        chain = trace_critical_chain(circuit, cert.pair, output=cert.output)
+        for upstream, downstream in zip(chain.path, chain.path[1:]):
+            assert upstream in circuit.node(downstream).fanins
+
+    def test_chain_times_consistent_with_delays(self):
+        circuit = carry_skip_adder(8, 4)
+        cert = compute_transition_delay(circuit, engine=BddEngine())
+        chain = trace_critical_chain(circuit, cert.pair, output=cert.output)
+        events = chain.events
+        for (up, t_up, __), (down, t_down, __) in zip(events, events[1:]):
+            assert t_down - t_up == circuit.node(down).delay
+
+    def test_full_chain_starts_at_an_input(self):
+        circuit = c17()
+        cert = compute_transition_delay(circuit, engine=BddEngine())
+        chain = trace_critical_chain(circuit, cert.pair, output=cert.output)
+        assert chain.path[0] in circuit.inputs
+        # The chain length equals the path's graphical length here.
+        assert path_length(circuit, chain.path) == cert.delay
+
+    def test_no_event_returns_none(self):
+        circuit = fig2_circuit()
+        pair = VectorPair({"a": False}, {"a": True})
+        assert trace_critical_chain(circuit, pair) is None
+
+    def test_default_output_selection(self):
+        circuit = c17()
+        cert = compute_transition_delay(circuit, engine=BddEngine())
+        chain = trace_critical_chain(circuit, cert.pair)
+        assert chain.end_time == cert.delay
+
+    def test_random_circuits_chains_valid(self):
+        for seed in range(8):
+            circuit = random_circuit(seed + 50, num_inputs=3, num_gates=6)
+            cert = compute_transition_delay(circuit, engine=BddEngine())
+            if cert.pair is None:
+                continue
+            chain = trace_critical_chain(
+                circuit, cert.pair, output=cert.output
+            )
+            assert chain is not None
+            assert chain.end_time == cert.delay
+            for up, down in zip(chain.path, chain.path[1:]):
+                assert up in circuit.node(down).fanins
+
+    def test_render_and_describe(self):
+        circuit = c17()
+        cert = compute_transition_delay(circuit, engine=BddEngine())
+        chain = trace_critical_chain(circuit, cert.pair, output=cert.output)
+        text = chain.render()
+        assert "->" in text and "@" in text
+        described = describe_certificate_path(circuit, cert)
+        assert "critical chain" in described
+
+    def test_describe_without_pair(self):
+        from repro.core import DelayCertificate
+
+        cert = DelayCertificate(mode="transition", delay=0)
+        assert "no output event" in describe_certificate_path(c17(), cert)

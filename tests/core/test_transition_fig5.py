@@ -1,0 +1,74 @@
+"""Lock in the exact Fig. 5 closed-form symbolic functions of Sec. V-C."""
+
+from repro.boolfn import BddEngine
+from repro.core import TransitionAnalysis
+from repro.circuits import fig5_circuit
+
+
+def build():
+    engine = BddEngine()
+    analysis = TransitionAnalysis(fig5_circuit(), engine)
+    m = engine.manager
+    a_p, a_c = m.var("a@-"), m.var("a@0")
+    b_p, b_c = m.var("b@-"), m.var("b@0")
+    return engine, analysis, m, a_p, a_c, b_p, b_c
+
+
+class TestIntervalFunctions:
+    def test_g0_is_not_a_prev(self):
+        __, analysis, m, a_p, a_c, b_p, b_c = build()
+        assert analysis.function_at("g", 0) == m.not_(a_p)
+
+    def test_g1_is_not_a_cur(self):
+        __, analysis, m, a_p, a_c, b_p, b_c = build()
+        assert analysis.function_at("g", 1) == m.not_(a_c)
+
+    def test_f0_is_aprev_bprev(self):
+        __, analysis, m, a_p, a_c, b_p, b_c = build()
+        assert analysis.function_at("f", 0) == m.and_(m.not_(a_p), b_p)
+
+    def test_f1_mixes_vectors(self):
+        # The paper's key line: f_1 = g_0 b_0 = ~a_- b_0.
+        __, analysis, m, a_p, a_c, b_p, b_c = build()
+        assert analysis.function_at("f", 1) == m.and_(m.not_(a_p), b_c)
+
+    def test_f2_is_final(self):
+        __, analysis, m, a_p, a_c, b_p, b_c = build()
+        assert analysis.function_at("f", 2) == m.and_(m.not_(a_c), b_c)
+
+
+class TestTransitionFormulas:
+    def test_e_g1(self):
+        # e_{g,1} = ~a_- a_0 + a_- ~a_0.
+        __, analysis, m, a_p, a_c, b_p, b_c = build()
+        assert analysis.transition_predicate("g", 1) == m.xor_(a_p, a_c)
+
+    def test_e_f1(self):
+        # e_{f,1} = ~a_- b_- ~b_0 + ~a_- ~b_- b_0.
+        __, analysis, m, a_p, a_c, b_p, b_c = build()
+        expected = m.and_(m.not_(a_p), m.xor_(b_p, b_c))
+        assert analysis.transition_predicate("f", 1) == expected
+
+    def test_e_f2(self):
+        # e_{f,2} = ~a_- a_0 b_0 + a_- ~a_0 b_0.
+        __, analysis, m, a_p, a_c, b_p, b_c = build()
+        expected = m.and_(b_c, m.xor_(a_p, a_c))
+        assert analysis.transition_predicate("f", 2) == expected
+
+    def test_paper_implicant_of_ef2(self):
+        # Implicant ~a_- a_0 b_0 -> pair v1(a,b) = (0,X), v2(a,b) = (1,1).
+        engine, analysis, m, a_p, a_c, b_p, b_c = build()
+        implicant = m.and_many([m.not_(a_p), a_c, b_c])
+        e_f2 = analysis.transition_predicate("f", 2)
+        assert engine.is_tautology(m.implies(implicant, e_f2))
+
+    def test_conjunction_example(self):
+        # ~a_- a_0 ~b_- b_0 is an implicant of e_{f,1} e_{f,2}.
+        engine, analysis, m, a_p, a_c, b_p, b_c = build()
+        both = m.and_(
+            analysis.transition_predicate("f", 1),
+            analysis.transition_predicate("f", 2),
+        )
+        implicant = m.and_many([m.not_(a_p), a_c, m.not_(b_p), b_c])
+        assert engine.is_tautology(m.implies(implicant, both))
+        assert both != engine.const0

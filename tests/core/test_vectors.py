@@ -1,0 +1,70 @@
+from repro.core import (
+    DelayCertificate,
+    VectorPair,
+    cur_var,
+    format_vector,
+    prev_var,
+)
+
+
+class TestVariableNaming:
+    def test_suffixes(self):
+        assert prev_var("a") == "a@-"
+        assert cur_var("a") == "a@0"
+        assert prev_var("a") != cur_var("a")
+
+
+class TestVectorPair:
+    def test_from_model_fills_dont_cares(self):
+        pair = VectorPair.from_model(
+            {"a@-": True, "b@0": True}, ["a", "b"], fill=False
+        )
+        assert pair.v_prev == {"a": True, "b": False}
+        assert pair.v_next == {"a": False, "b": True}
+
+    def test_fill_true(self):
+        pair = VectorPair.from_model({}, ["a"], fill=True)
+        assert pair.v_prev == {"a": True} and pair.v_next == {"a": True}
+
+    def test_to_model_roundtrip(self):
+        pair = VectorPair({"a": True, "b": False}, {"a": False, "b": False})
+        again = VectorPair.from_model(pair.to_model(), ["a", "b"])
+        assert again.v_prev == pair.v_prev and again.v_next == pair.v_next
+
+    def test_changed_inputs(self):
+        pair = VectorPair({"a": True, "b": False}, {"a": False, "b": False})
+        assert pair.changed_inputs() == ["a"]
+
+    def test_render(self):
+        pair = VectorPair({"a": True, "b": False}, {"a": False, "b": True})
+        assert pair.render(["a", "b"]) == "<10, 01>"
+
+
+class TestFormatVector:
+    def test_order_respected(self):
+        assert format_vector({"a": True, "b": False}, ["b", "a"]) == "01"
+
+
+class TestDelayCertificate:
+    def test_describe_transition(self):
+        cert = DelayCertificate(
+            mode="transition",
+            delay=5,
+            output="f",
+            value=True,
+            pair=VectorPair({"a": True}, {"a": False}),
+            checks=3,
+        )
+        text = cert.describe(["a"])
+        assert "transition delay = 5" in text
+        assert "<1, 0>" in text
+        assert "checks          : 3" in text
+
+    def test_describe_floating(self):
+        cert = DelayCertificate(
+            mode="floating", delay=4, output="f", value=False,
+            witness={"a": True}, checks=2,
+        )
+        text = cert.describe(["a"])
+        assert "floating delay = 4" in text
+        assert "witness vector  : 1" in text

@@ -1,0 +1,67 @@
+"""The Sec. VIII mode-agreement condition: extending a floating witness
+into a transition pair at exactly the floating delay."""
+
+from repro.boolfn import BddEngine
+from repro.core import (
+    TransitionAnalysis,
+    compute_floating_delay,
+    compute_transition_delay,
+    extend_floating_witness,
+)
+from repro.sim import EventSimulator
+from repro.circuits import carry_skip_adder, fig2_circuit
+
+from tests.helpers import c17, random_circuit
+
+
+class TestExtension:
+    def test_c17_witness_extends(self):
+        circuit = c17()
+        floating = compute_floating_delay(circuit, engine=BddEngine())
+        pair = extend_floating_witness(circuit, floating)
+        assert pair is not None
+        # v_0 is pinned to the floating witness.
+        assert pair.v_next == floating.witness
+        # The pair really excites an event at the floating delay.
+        sim = EventSimulator(circuit)
+        assert sim.measure_pair_delay(pair.v_prev, pair.v_next) == (
+            floating.delay
+        )
+
+    def test_extension_proves_mode_agreement(self):
+        for seed in range(10):
+            circuit = random_circuit(seed + 900, num_inputs=3, num_gates=6)
+            floating = compute_floating_delay(circuit, engine=BddEngine())
+            analysis = TransitionAnalysis(circuit, BddEngine())
+            pair = extend_floating_witness(
+                circuit, floating, analysis=analysis
+            )
+            transition = compute_transition_delay(
+                circuit, upper=floating.delay, analysis=analysis
+            )
+            if pair is not None:
+                assert transition.delay == floating.delay, seed
+
+    def test_fig2_witness_does_not_extend(self):
+        # Fig. 2: t.d. (0) < f.d. (5); no pair can excite the floating
+        # event, so the sufficient condition must fail.
+        circuit = fig2_circuit()
+        floating = compute_floating_delay(circuit, engine=BddEngine())
+        assert extend_floating_witness(circuit, floating) is None
+
+    def test_carry_skip_extends(self):
+        circuit = carry_skip_adder(8, 4)
+        floating = compute_floating_delay(circuit, engine=BddEngine())
+        pair = extend_floating_witness(circuit, floating)
+        assert pair is not None
+        sim = EventSimulator(circuit)
+        assert sim.measure_pair_delay(pair.v_prev, pair.v_next) == (
+            floating.delay
+        )
+
+    def test_no_witness_returns_none(self):
+        from repro.core import DelayCertificate
+
+        circuit = c17()
+        cert = DelayCertificate(mode="floating", delay=0)
+        assert extend_floating_witness(circuit, cert) is None

@@ -1,0 +1,75 @@
+import pytest
+
+from repro.fsm import (
+    Fsm,
+    FsmTransition,
+    gray_encoding,
+    minimal_binary_encoding,
+    one_hot_encoding,
+)
+
+
+def five_state_fsm():
+    states = [f"s{i}" for i in range(5)]
+    rows = [FsmTransition("-", s, states[(i + 1) % 5], "0")
+            for i, s in enumerate(states)]
+    return Fsm("five", 1, 1, states, "s2", rows)
+
+
+class TestMinimalBinary:
+    def test_width(self):
+        enc = minimal_binary_encoding(five_state_fsm())
+        assert enc.num_bits == 3
+
+    def test_reset_is_zero(self):
+        enc = minimal_binary_encoding(five_state_fsm())
+        assert enc.code("s2") == (False, False, False)
+
+    def test_codes_unique(self):
+        enc = minimal_binary_encoding(five_state_fsm())
+        codes = {enc.code(s) for s in five_state_fsm().states}
+        assert len(codes) == 5
+
+    def test_decode_inverse(self):
+        fsm = five_state_fsm()
+        enc = minimal_binary_encoding(fsm)
+        for state in fsm.states:
+            assert enc.decode(enc.code(state)) == state
+
+    def test_decode_unknown_rejected(self):
+        enc = minimal_binary_encoding(five_state_fsm())
+        with pytest.raises(KeyError):
+            enc.decode((True, True, True))
+
+    def test_single_state_machine(self):
+        fsm = Fsm("one", 1, 1, ["only"], "only",
+                  [FsmTransition("-", "only", "only", "1")])
+        enc = minimal_binary_encoding(fsm)
+        assert enc.num_bits == 1
+
+
+class TestGray:
+    def test_adjacent_codes_differ_by_one_bit(self):
+        enc = gray_encoding(five_state_fsm())
+        fsm = five_state_fsm()
+        ordered = [fsm.reset_state] + [
+            s for s in fsm.states if s != fsm.reset_state
+        ]
+        for left, right in zip(ordered, ordered[1:]):
+            diff = sum(
+                a != b for a, b in zip(enc.code(left), enc.code(right))
+            )
+            assert diff == 1
+
+
+class TestOneHot:
+    def test_width_equals_states(self):
+        enc = one_hot_encoding(five_state_fsm())
+        assert enc.num_bits == 5
+        for state in five_state_fsm().states:
+            assert sum(enc.code(state)) == 1
+
+    def test_var_names(self):
+        enc = one_hot_encoding(five_state_fsm())
+        assert enc.state_vars() == ["s0", "s1", "s2", "s3", "s4"]
+        assert enc.next_state_vars("n")[0] == "n0"

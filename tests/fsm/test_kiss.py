@@ -1,0 +1,64 @@
+import pytest
+
+from repro.fsm import dumps_kiss, loads_kiss
+
+EXAMPLE = """
+.i 2
+.o 1
+.s 3
+.p 4
+.r st0
+0- st0 st1 0
+1- st0 st0 1
+-1 st1 st2 1
+-0 st2 st0 0
+.e
+"""
+
+
+class TestParse:
+    def test_basic(self):
+        fsm = loads_kiss(EXAMPLE, "ex")
+        assert fsm.num_inputs == 2 and fsm.num_outputs == 1
+        assert fsm.reset_state == "st0"
+        assert len(fsm.transitions) == 4
+        assert fsm.states == ["st0", "st1", "st2"]
+
+    def test_default_reset_is_first_row_state(self):
+        text = ".i 1\n.o 1\n0 sA sB 1\n1 sB sA 0\n.e\n"
+        fsm = loads_kiss(text)
+        assert fsm.reset_state == "sA"
+
+    def test_comments_ignored(self):
+        text = "# hello\n.i 1\n.o 1\n0 a a 1 # inline\n"
+        fsm = loads_kiss(text)
+        assert len(fsm.transitions) == 1
+
+    def test_missing_io_rejected(self):
+        with pytest.raises(ValueError):
+            loads_kiss(".i 1\n0 a a 1\n")
+
+    def test_no_rows_rejected(self):
+        with pytest.raises(ValueError):
+            loads_kiss(".i 1\n.o 1\n.e\n")
+
+    def test_bad_row_rejected(self):
+        with pytest.raises(ValueError):
+            loads_kiss(".i 1\n.o 1\n0 a a\n")
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(ValueError):
+            loads_kiss(".i 1\n.o 1\n.magic\n0 a a 1\n")
+
+
+class TestRoundTrip:
+    def test_dump_and_reload(self):
+        fsm = loads_kiss(EXAMPLE, "ex")
+        again = loads_kiss(dumps_kiss(fsm), "ex2")
+        assert again.num_inputs == fsm.num_inputs
+        assert again.reset_state == fsm.reset_state
+        assert again.transitions == fsm.transitions
+
+    def test_dump_contains_counts(self):
+        text = dumps_kiss(loads_kiss(EXAMPLE))
+        assert ".p 4" in text and ".s 3" in text and ".r st0" in text

@@ -1,0 +1,107 @@
+import pytest
+
+from repro.fsm import Fsm, FsmTransition
+
+
+def traffic_fsm():
+    rows = [
+        FsmTransition("1-", "red", "green", "10"),
+        FsmTransition("0-", "red", "red", "00"),
+        FsmTransition("-1", "green", "yellow", "01"),
+        FsmTransition("-0", "green", "green", "10"),
+        FsmTransition("--", "yellow", "red", "00"),
+    ]
+    return Fsm("traffic", 2, 2, ["red", "green", "yellow"], "red", rows)
+
+
+class TestValidation:
+    def test_duplicate_states_rejected(self):
+        with pytest.raises(ValueError):
+            Fsm("f", 1, 1, ["a", "a"], "a", [FsmTransition("1", "a", "a", "1")])
+
+    def test_unknown_reset_rejected(self):
+        with pytest.raises(ValueError):
+            Fsm("f", 1, 1, ["a"], "zz", [FsmTransition("1", "a", "a", "1")])
+
+    def test_row_width_checked(self):
+        with pytest.raises(ValueError):
+            Fsm("f", 2, 1, ["a"], "a", [FsmTransition("1", "a", "a", "1")])
+
+    def test_bad_pattern_char_rejected(self):
+        with pytest.raises(ValueError):
+            Fsm("f", 1, 1, ["a"], "a", [FsmTransition("x", "a", "a", "1")])
+
+    def test_unknown_state_in_row_rejected(self):
+        with pytest.raises(ValueError):
+            Fsm("f", 1, 1, ["a"], "a", [FsmTransition("1", "a", "b", "1")])
+
+
+class TestStep:
+    def test_pattern_matching(self):
+        fsm = traffic_fsm()
+        assert fsm.step("red", [True, False]) == ("green", [True, False])
+        assert fsm.step("red", [False, True]) == ("red", [False, False])
+
+    def test_dont_cares_match_both(self):
+        fsm = traffic_fsm()
+        assert fsm.next_state("yellow", [True, True]) == "red"
+        assert fsm.next_state("yellow", [False, False]) == "red"
+
+    def test_first_match_wins(self):
+        rows = [
+            FsmTransition("1-", "a", "b", "1"),
+            FsmTransition("11", "a", "a", "0"),
+        ]
+        fsm = Fsm("fm", 2, 1, ["a", "b"], "a", rows)
+        assert fsm.step("a", [True, True]) == ("b", [True])
+
+    def test_default_completion_goes_to_reset(self):
+        rows = [FsmTransition("1", "b", "b", "1")]
+        fsm = Fsm("d", 1, 1, ["a", "b"], "a", rows)
+        assert fsm.step("b", [False]) == ("a", [False])
+        assert fsm.step("a", [False]) == ("a", [False])
+
+    def test_input_width_enforced(self):
+        with pytest.raises(ValueError):
+            traffic_fsm().step("red", [True])
+
+
+class TestReachability:
+    def test_all_reachable(self):
+        assert traffic_fsm().reachable_states() == ["red", "green", "yellow"]
+
+    def test_unreachable_state_excluded(self):
+        rows = [
+            FsmTransition("-", "a", "a", "0"),
+            FsmTransition("-", "island", "island", "1"),
+        ]
+        fsm = Fsm("u", 1, 1, ["a", "island"], "a", rows)
+        assert fsm.reachable_states() == ["a"]
+
+    def test_shadowed_row_not_followed(self):
+        rows = [
+            FsmTransition("--", "a", "a", "0"),
+            FsmTransition("11", "a", "b", "1"),  # fully shadowed
+            FsmTransition("--", "b", "b", "0"),
+        ]
+        fsm = Fsm("s", 2, 1, ["a", "b"], "a", rows)
+        assert fsm.reachable_states() == ["a"]
+
+    def test_partially_shadowed_row_followed(self):
+        rows = [
+            FsmTransition("1-", "a", "a", "0"),
+            FsmTransition("-1", "a", "b", "1"),  # live via input 01
+            FsmTransition("--", "b", "b", "0"),
+        ]
+        fsm = Fsm("p", 2, 1, ["a", "b"], "a", rows)
+        assert fsm.reachable_states() == ["a", "b"]
+
+
+class TestSimulate:
+    def test_trace(self):
+        fsm = traffic_fsm()
+        trace = fsm.simulate([[True, False], [False, True], [True, True]])
+        assert [state for state, __ in trace] == ["green", "yellow", "red"]
+
+    def test_repr(self):
+        assert "traffic" in repr(traffic_fsm())

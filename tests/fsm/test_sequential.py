@@ -1,0 +1,100 @@
+import random
+
+import pytest
+
+from repro.boolfn import BddEngine
+from repro.core import (
+    compute_transition_delay,
+    theorem31_min_period,
+)
+from repro.fsm import (
+    SequentialSimulator,
+    loads_kiss,
+    reference_trace,
+    smallest_working_period,
+    synthesize,
+    transition_pair_constraint,
+)
+from repro.circuits.mcnc import sticky_bit_controller
+
+KISS = """
+.i 1
+.o 1
+.r a
+1 a b 1
+0 a a 0
+1 b c 1
+0 b b 0
+1 c a 0
+0 c c 1
+"""
+
+
+def random_inputs(n, width, seed=5):
+    rng = random.Random(seed)
+    return [[bool(rng.getrandbits(1)) for __ in range(width)] for __ in range(n)]
+
+
+class TestSequentialSimulator:
+    def test_slow_clock_matches_table(self):
+        fsm = loads_kiss(KISS, "k")
+        logic = synthesize(fsm, fanin_limit=2)
+        omega = logic.circuit.topological_delay()
+        stimulus = random_inputs(30, fsm.num_inputs)
+        trace = SequentialSimulator(logic, omega).run(stimulus)
+        assert trace.matches_reference(reference_trace(fsm, stimulus))
+
+    def test_certified_period_works(self):
+        fsm = loads_kiss(KISS, "k")
+        logic = synthesize(fsm, fanin_limit=2)
+        cert = compute_transition_delay(
+            logic.circuit,
+            engine=BddEngine(),
+            constraint=transition_pair_constraint(logic),
+        )
+        tau = theorem31_min_period(logic.circuit, cert.delay)
+        stimulus = random_inputs(40, fsm.num_inputs, seed=7)
+        trace = SequentialSimulator(logic, tau).run(stimulus)
+        assert trace.matches_reference(reference_trace(fsm, stimulus))
+
+    def test_period_one_corrupts_state(self):
+        fsm = loads_kiss(KISS, "k")
+        logic = synthesize(fsm, fanin_limit=2)
+        stimulus = random_inputs(30, fsm.num_inputs, seed=3)
+        trace = SequentialSimulator(logic, 1).run(stimulus)
+        assert not trace.matches_reference(reference_trace(fsm, stimulus))
+
+    def test_smallest_working_period_bracketed(self):
+        fsm = loads_kiss(KISS, "k")
+        logic = synthesize(fsm, fanin_limit=2)
+        stimulus = random_inputs(25, fsm.num_inputs, seed=9)
+        cert = compute_transition_delay(
+            logic.circuit,
+            engine=BddEngine(),
+            constraint=transition_pair_constraint(logic),
+        )
+        tau = theorem31_min_period(logic.circuit, cert.delay)
+        empirical = smallest_working_period(logic, stimulus)
+        assert 1 <= empirical <= tau
+
+    def test_sticky_controller_runs_below_floating_delay(self):
+        # The sticky controller's constrained t.d. is f.d. - 1 = 7; with
+        # omega = 8 Theorem 3.1 certifies 7 < f.d. = 8.
+        logic = sticky_bit_controller(chain_len=6)
+        stimulus = random_inputs(40, 1, seed=11)
+        trace = SequentialSimulator(logic, 7).run(stimulus)
+        assert trace.matches_reference(
+            reference_trace(logic.fsm, stimulus)
+        )
+
+    def test_rejects_bad_period(self):
+        fsm = loads_kiss(KISS, "k")
+        logic = synthesize(fsm)
+        with pytest.raises(ValueError):
+            SequentialSimulator(logic, 0)
+
+    def test_empty_stimulus(self):
+        fsm = loads_kiss(KISS, "k")
+        logic = synthesize(fsm)
+        trace = SequentialSimulator(logic, 5).run([])
+        assert trace.states == [] and trace.outputs == []

@@ -1,0 +1,127 @@
+import itertools
+
+import pytest
+
+from repro.fsm import (
+    Fsm,
+    FsmTransition,
+    loads_kiss,
+    make_disjoint,
+    one_hot_encoding,
+    synthesize,
+)
+
+KISS = """
+.i 2
+.o 2
+.r st0
+0- st0 st1 01
+1- st0 st2 10
+-1 st1 st2 11
+-0 st1 st0 00
+11 st2 st0 01
+10 st2 st1 10
+0- st2 st2 00
+"""
+
+OVERLAPPING = """
+.i 2
+.o 1
+.r a
+1- a b 1
+11 a a 0
+-- a a 0
+-1 b a 1
+-- b b 0
+"""
+
+
+def check_logic_matches_table(fsm, logic):
+    for state in fsm.states:
+        for bits in itertools.product([False, True], repeat=fsm.num_inputs):
+            expect = fsm.step(state, list(bits))
+            got = logic.evaluate_step(state, list(bits))
+            assert got == (expect[0], expect[1]), (state, bits)
+
+
+class TestMakeDisjoint:
+    def test_rows_become_disjoint(self):
+        fsm = loads_kiss(OVERLAPPING, "ov")
+        disjoint = make_disjoint(fsm)
+        by_state = {}
+        for row in disjoint.transitions:
+            by_state.setdefault(row.state, []).append(row)
+        for rows in by_state.values():
+            for r1, r2 in itertools.combinations(rows, 2):
+                overlap = all(
+                    a == "-" or b == "-" or a == b
+                    for a, b in zip(r1.inputs, r2.inputs)
+                )
+                assert not overlap, (r1, r2)
+
+    def test_behaviour_preserved(self):
+        fsm = loads_kiss(OVERLAPPING, "ov")
+        disjoint = make_disjoint(fsm)
+        for state in fsm.states:
+            for bits in itertools.product([False, True], repeat=2):
+                assert fsm.step(state, list(bits)) == disjoint.step(
+                    state, list(bits)
+                )
+
+
+class TestSynthesize:
+    def test_exact_realisation(self):
+        fsm = loads_kiss(KISS, "demo")
+        logic = synthesize(fsm)
+        check_logic_matches_table(fsm, logic)
+
+    def test_overlapping_rows_realised(self):
+        fsm = loads_kiss(OVERLAPPING, "ov")
+        logic = synthesize(fsm)
+        check_logic_matches_table(fsm, logic)
+
+    def test_unoptimized_also_exact(self):
+        fsm = loads_kiss(KISS, "demo")
+        logic = synthesize(fsm, optimize=False)
+        check_logic_matches_table(fsm, logic)
+
+    def test_optimization_reduces_literals(self):
+        fsm = loads_kiss(KISS, "demo")
+        optimized = synthesize(fsm, optimize=True, fanin_limit=None)
+        raw = synthesize(fsm, optimize=False, fanin_limit=None)
+        assert (
+            optimized.circuit.literal_count() <= raw.circuit.literal_count()
+        )
+
+    def test_fanin_limit_respected(self):
+        fsm = loads_kiss(KISS, "demo")
+        logic = synthesize(fsm, fanin_limit=2)
+        assert all(
+            len(node.fanins) <= 2 for node in logic.circuit.nodes()
+        )
+        check_logic_matches_table(fsm, logic)
+
+    def test_io_naming(self):
+        fsm = loads_kiss(KISS, "demo")
+        logic = synthesize(fsm)
+        assert logic.input_names == ["i0", "i1"]
+        assert logic.state_names == ["s0", "s1"]
+        assert logic.circuit.outputs == ["ns0", "ns1", "o0", "o1"]
+
+    def test_one_hot_encoding_works(self):
+        fsm = loads_kiss(KISS, "demo")
+        logic = synthesize(fsm, encoding=one_hot_encoding(fsm))
+        check_logic_matches_table(fsm, logic)
+
+    def test_encoded_io_counts(self):
+        # Table I convention: inputs + state bits / outputs + state bits.
+        fsm = loads_kiss(KISS, "demo")
+        logic = synthesize(fsm)
+        assert len(logic.circuit.inputs) == fsm.num_inputs + 2
+        assert len(logic.circuit.outputs) == fsm.num_outputs + 2
+
+    def test_constant_output_bit(self):
+        rows = [FsmTransition("-", "a", "a", "0")]
+        fsm = Fsm("k", 1, 1, ["a"], "a", rows)
+        logic = synthesize(fsm)
+        assert logic.evaluate_step("a", [True]) == ("a", [False])

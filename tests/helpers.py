@@ -1,0 +1,123 @@
+"""Shared test fixtures: reference circuits, oracles, and hypothesis
+strategies for random circuits."""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Dict, List, Tuple
+
+from repro.network import Circuit, CircuitBuilder, GateType, loads_bench
+from repro.sim import EventSimulator, all_input_vectors
+
+C17_BENCH = """
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+"""
+
+
+def c17() -> Circuit:
+    return loads_bench(C17_BENCH, "c17")
+
+
+def tiny_and_or() -> Circuit:
+    """f = (a AND b) OR c with unit delays."""
+    b = CircuitBuilder("tiny")
+    a, bb, c = b.inputs("a", "b", "c")
+    g = b.and_(a, bb, name="g")
+    f = b.or_(g, c, name="f")
+    b.output(f)
+    return b.build()
+
+
+def exhaustive_transition_delay(circuit: Circuit) -> int:
+    """Oracle: max single-stepping pair delay over every vector pair."""
+    sim = EventSimulator(circuit)
+    vectors = all_input_vectors(circuit)
+    return max(
+        sim.measure_pair_delay(prev, nxt)
+        for prev in vectors
+        for nxt in vectors
+    )
+
+
+def exhaustive_floating_delay(circuit: Circuit) -> int:
+    """Oracle for the floating delay under the monotone-speedup model:
+    the latest time any output can still change over all *integer* delay
+    assignments (each gate in [0, d]) and all vector pairs.
+
+    This equals the exact floating delay for circuits whose critical event
+    is achievable with integer delays (true for unit-delay circuits); used
+    on tiny circuits only.
+    """
+    from repro.network.transform import apply_speedup
+
+    gates = [
+        node.name
+        for node in circuit.nodes()
+        if node.gate_type != GateType.INPUT
+    ]
+    ranges = [range(circuit.node(name).delay + 1) for name in gates]
+    worst = 0
+    vectors = all_input_vectors(circuit)
+    for assignment in itertools.product(*ranges):
+        sped = apply_speedup(circuit, dict(zip(gates, assignment)))
+        sim = EventSimulator(sped)
+        for prev in vectors:
+            for nxt in vectors:
+                worst = max(worst, sim.measure_pair_delay(prev, nxt))
+    return worst
+
+
+def random_circuit(
+    seed: int,
+    num_inputs: int = 3,
+    num_gates: int = 6,
+    max_delay: int = 2,
+) -> Circuit:
+    """Small random circuit for oracle-based property tests."""
+    rng = random.Random(seed)
+    types = [
+        GateType.AND,
+        GateType.NAND,
+        GateType.OR,
+        GateType.NOR,
+        GateType.XOR,
+        GateType.NOT,
+        GateType.BUF,
+    ]
+    b = CircuitBuilder(f"rand{seed}")
+    nodes = [b.input(f"x{i}") for i in range(num_inputs)]
+    for g in range(num_gates):
+        gate_type = types[rng.randrange(len(types))]
+        delay = rng.randint(1, max_delay)
+        if gate_type in (GateType.NOT, GateType.BUF):
+            fanins = [nodes[rng.randrange(len(nodes))]]
+        else:
+            arity = rng.randint(2, min(3, len(nodes)))
+            fanins = rng.sample(nodes, arity)
+        nodes.append(b.gate(gate_type, fanins, name=f"g{g}", delay=delay))
+    # Expose the last couple of gates as outputs.
+    b.output(nodes[-1])
+    if num_gates >= 2:
+        b.output(nodes[-2])
+    return b.build()
+
+
+def assert_same_function(left: Circuit, right: Circuit) -> None:
+    """Exhaustive functional equivalence for small circuits."""
+    assert set(left.inputs) == set(right.inputs)
+    assert left.outputs == right.outputs
+    for vec in all_input_vectors(left):
+        assert left.evaluate_outputs(vec) == right.evaluate_outputs(vec)

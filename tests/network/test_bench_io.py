@@ -1,0 +1,64 @@
+import pytest
+
+from repro.network import dumps_bench, loads_bench
+
+from tests.helpers import C17_BENCH, assert_same_function, c17
+
+
+class TestParsing:
+    def test_c17(self):
+        c = c17()
+        assert len(c.inputs) == 5 and len(c.outputs) == 2
+
+    def test_comments_and_blank_lines(self):
+        text = "# hi\n\nINPUT(a)\nOUTPUT(f)\nf = NOT(a)  # trailing\n"
+        c = loads_bench(text)
+        assert c.evaluate_outputs({"a": False}) == {"f": True}
+
+    def test_forward_references_allowed(self):
+        text = "INPUT(a)\nOUTPUT(f)\nf = BUFF(g)\ng = NOT(a)\n"
+        c = loads_bench(text)
+        assert c.evaluate_outputs({"a": True}) == {"f": False}
+
+    def test_all_gate_types(self):
+        text = (
+            "INPUT(a)\nINPUT(b)\nOUTPUT(f)\n"
+            "g1 = AND(a, b)\ng2 = OR(a, b)\ng3 = XOR(g1, g2)\n"
+            "g4 = NOR(g3, a)\ng5 = XNOR(g4, b)\ng6 = INV(g5)\n"
+            "f = BUFF(g6)\n"
+        )
+        c = loads_bench(text)
+        assert c.num_gates == 7
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(ValueError):
+            loads_bench("INPUT(a)\nf = FROB(a)\n")
+
+    def test_garbage_line_rejected(self):
+        with pytest.raises(ValueError):
+            loads_bench("INPUT(a)\nwhat is this\n")
+
+    def test_missing_fanin_rejected(self):
+        with pytest.raises(ValueError):
+            loads_bench("INPUT(a)\nOUTPUT(f)\nf = NOT(ghost)\n")
+
+
+class TestRoundTrip:
+    def test_c17_roundtrip_function(self):
+        c = c17()
+        again = loads_bench(dumps_bench(c), "c17")
+        assert_same_function(c, again)
+
+    def test_roundtrip_preserves_io_order(self):
+        c = c17()
+        again = loads_bench(dumps_bench(c))
+        assert again.inputs == c.inputs
+        assert again.outputs == c.outputs
+
+    def test_generated_circuits_roundtrip(self):
+        from repro.circuits import carry_skip_adder
+
+        c = carry_skip_adder(8, 4)
+        again = loads_bench(dumps_bench(c))
+        vec = {name: (i % 3 == 0) for i, name in enumerate(c.inputs)}
+        assert again.evaluate_outputs(vec) == c.evaluate_outputs(vec)

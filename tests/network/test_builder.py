@@ -1,0 +1,53 @@
+import pytest
+
+from repro.network import CircuitBuilder, GateType
+
+
+class TestBuilder:
+    def test_auto_names_unique(self):
+        b = CircuitBuilder()
+        a, c = b.inputs("a", "c")
+        g1 = b.and_(a, c)
+        g2 = b.and_(a, c, delay=2)
+        assert g1 != g2
+
+    def test_named_gates(self):
+        b = CircuitBuilder()
+        a, = b.inputs("a")
+        g = b.not_(a, name="inv", delay=3)
+        assert g == "inv"
+        assert b.circuit.node("inv").delay == 3
+
+    def test_all_helpers(self):
+        b = CircuitBuilder()
+        a, c = b.inputs("a", "c")
+        nodes = [
+            b.and_(a, c), b.nand(a, c), b.or_(a, c), b.nor(a, c),
+            b.xor_(a, c), b.xnor(a, c), b.not_(a), b.buf(c),
+            b.const0(), b.const1(),
+        ]
+        f = b.or_(*nodes[:4])
+        b.output(f)
+        circuit = b.build()
+        assert circuit.num_gates == 11
+
+    def test_build_validates(self):
+        b = CircuitBuilder()
+        b.input("a")
+        b.circuit.set_outputs(["ghost"])
+        with pytest.raises(ValueError):
+            b.build()
+
+    def test_output_dedup(self):
+        b = CircuitBuilder()
+        a, = b.inputs("a")
+        g = b.buf(a)
+        b.output(g)
+        b.output(g)
+        assert b.build().outputs == [g]
+
+    def test_const_gates_have_no_delay(self):
+        b = CircuitBuilder()
+        k = b.const1()
+        assert b.circuit.node(k).delay == 0
+        assert b.circuit.node(k).gate_type == GateType.CONST1

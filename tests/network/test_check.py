@@ -1,0 +1,70 @@
+from repro.network import CircuitBuilder, GateType, lint
+
+from tests.helpers import c17
+
+
+class TestLint:
+    def test_clean_circuit(self):
+        assert lint(c17()) == []
+
+    def test_unused_input(self):
+        b = CircuitBuilder("u")
+        a, x = b.inputs("a", "x")
+        b.output(b.not_(a, name="f"))
+        findings = lint(b.build())
+        assert any(
+            f.code == "unused-input" and f.node == "x" for f in findings
+        )
+
+    def test_dangling_gate(self):
+        b = CircuitBuilder("d")
+        a, = b.inputs("a")
+        b.not_(a, name="dead")
+        b.output(b.buf(a, name="f"))
+        findings = lint(b.build())
+        assert any(f.code == "dangling-gate" for f in findings)
+
+    def test_duplicate_fanin(self):
+        b = CircuitBuilder("dup")
+        a, = b.inputs("a")
+        g = b.gate(GateType.AND, [a, a], name="g")
+        b.output(g)
+        findings = lint(b.build())
+        assert any(f.code == "duplicate-fanin" for f in findings)
+
+    def test_constant_driver_and_degenerate(self):
+        b = CircuitBuilder("k")
+        a, = b.inputs("a")
+        k = b.const1()
+        g = b.gate(GateType.AND, [k], name="g")
+        b.output(g)
+        findings = lint(b.build())
+        codes = {f.code for f in findings}
+        assert "constant-driver" in codes
+        assert "degenerate-gate" in codes
+
+    def test_zero_delay_flagged(self):
+        b = CircuitBuilder("z")
+        a, = b.inputs("a")
+        g = b.buf(a, name="g", delay=0)
+        b.output(g)
+        findings = lint(b.build())
+        assert any(f.code == "zero-delay-gate" for f in findings)
+
+    def test_warnings_sorted_first(self):
+        b = CircuitBuilder("s")
+        a, x = b.inputs("a", "x")
+        g = b.buf(a, name="g", delay=0)
+        b.output(g)
+        findings = lint(b.build())
+        severities = [f.severity for f in findings]
+        assert severities == sorted(
+            severities, key=lambda s: 0 if s == "warning" else 1
+        )
+
+    def test_str_rendering(self):
+        b = CircuitBuilder("r")
+        a, x = b.inputs("a", "x")
+        b.output(b.buf(a, name="f"))
+        findings = lint(b.build())
+        assert "unused-input" in str(findings[0])

@@ -1,0 +1,65 @@
+import pytest
+
+from repro.network import render_cone, render_levels
+
+from tests.helpers import c17, tiny_and_or
+
+
+class TestRenderLevels:
+    def test_header_and_levels(self):
+        text = render_levels(c17())
+        assert "5 inputs, 6 gates, depth 3" in text
+        assert "t=0" in text and "t=3" in text
+
+    def test_outputs_marked(self):
+        text = render_levels(c17())
+        assert "G22*(NAND)" in text
+
+    def test_truncation(self):
+        from repro.circuits import parity_tree
+
+        text = render_levels(parity_tree(32), max_nodes_per_level=4)
+        assert "more" in text
+
+
+class TestRenderCone:
+    def test_tree_shape(self):
+        text = render_cone(tiny_and_or(), "f")
+        lines = text.splitlines()
+        assert lines[0].startswith("f (OR")
+        assert any("g (AND" in line for line in lines)
+        assert any("(PI)" in line for line in lines)
+
+    def test_shared_nodes_referenced_once(self):
+        text = render_cone(c17(), "G23")
+        # G11 feeds both G16 and G19; the second visit is a reference.
+        assert text.count("G11 (NAND") == 1
+        assert "<G11 ...>" in text
+
+    def test_depth_limit(self):
+        text = render_cone(c17(), "G22", max_depth=1)
+        assert "..." in text
+
+    def test_unknown_root_rejected(self):
+        with pytest.raises(KeyError):
+            render_cone(c17(), "nope")
+
+
+class TestCliShow:
+    def test_show_levels(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.network import dump_bench
+
+        path = tmp_path / "c.bench"
+        dump_bench(c17(), str(path))
+        assert main(["show", str(path)]) == 0
+        assert "depth 3" in capsys.readouterr().out
+
+    def test_show_cone(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.network import dump_bench
+
+        path = tmp_path / "c.bench"
+        dump_bench(c17(), str(path))
+        assert main(["show", str(path), "--cone", "G22"]) == 0
+        assert "G22 (NAND" in capsys.readouterr().out

@@ -1,0 +1,139 @@
+import itertools
+
+import pytest
+
+from repro.boolfn import BddEngine
+from repro.network import (
+    GateType,
+    controlling_value,
+    evaluate_gate,
+    gate_function,
+    gate_settle,
+    is_inverting,
+    noncontrolling_value,
+)
+
+BINARY_GATES = [
+    GateType.AND,
+    GateType.NAND,
+    GateType.OR,
+    GateType.NOR,
+    GateType.XOR,
+    GateType.XNOR,
+]
+
+
+class TestControllingValues:
+    def test_and_family(self):
+        assert controlling_value(GateType.AND) is False
+        assert controlling_value(GateType.NAND) is False
+        assert noncontrolling_value(GateType.AND) is True
+
+    def test_or_family(self):
+        assert controlling_value(GateType.OR) is True
+        assert controlling_value(GateType.NOR) is True
+        assert noncontrolling_value(GateType.NOR) is False
+
+    def test_xor_has_none(self):
+        assert controlling_value(GateType.XOR) is None
+        assert noncontrolling_value(GateType.XNOR) is None
+
+    def test_inverting(self):
+        assert is_inverting(GateType.NAND)
+        assert is_inverting(GateType.NOT)
+        assert not is_inverting(GateType.AND)
+        assert not is_inverting(GateType.BUF)
+
+
+class TestEvaluateGate:
+    @pytest.mark.parametrize("gate", BINARY_GATES)
+    def test_matches_python_semantics(self, gate):
+        reference = {
+            GateType.AND: lambda a, b: a and b,
+            GateType.NAND: lambda a, b: not (a and b),
+            GateType.OR: lambda a, b: a or b,
+            GateType.NOR: lambda a, b: not (a or b),
+            GateType.XOR: lambda a, b: a != b,
+            GateType.XNOR: lambda a, b: a == b,
+        }[gate]
+        for a, b in itertools.product([False, True], repeat=2):
+            assert evaluate_gate(gate, [a, b]) == reference(a, b)
+
+    def test_unary_and_constants(self):
+        assert evaluate_gate(GateType.NOT, [False]) is True
+        assert evaluate_gate(GateType.BUF, [True]) is True
+        assert evaluate_gate(GateType.CONST0, []) is False
+        assert evaluate_gate(GateType.CONST1, []) is True
+
+    def test_wide_gates(self):
+        assert evaluate_gate(GateType.AND, [True, True, True])
+        assert not evaluate_gate(GateType.AND, [True, False, True])
+        assert evaluate_gate(GateType.XOR, [True, True, True])
+        assert not evaluate_gate(GateType.XOR, [True, True])
+
+    def test_cannot_evaluate_input(self):
+        with pytest.raises(ValueError):
+            evaluate_gate(GateType.INPUT, [])
+
+
+class TestGateFunction:
+    @pytest.mark.parametrize("gate", BINARY_GATES + [GateType.NOT, GateType.BUF])
+    def test_symbolic_matches_concrete(self, gate):
+        engine = BddEngine()
+        a, b = engine.var("a"), engine.var("b")
+        arity = 1 if gate in (GateType.NOT, GateType.BUF) else 2
+        f = gate_function(engine, gate, [a, b][:arity])
+        for va, vb in itertools.product([False, True], repeat=2):
+            env = {"a": va, "b": vb}
+            assert engine.evaluate(f, env) == evaluate_gate(
+                gate, [va, vb][:arity]
+            )
+
+
+class TestGateSettle:
+    @pytest.mark.parametrize("gate", BINARY_GATES)
+    def test_settled_inputs_partition(self, gate):
+        """With fully settled inputs (S1, S0 = f, ~f) the settle pair is
+        exactly (onset, offset) of the gate function."""
+        engine = BddEngine()
+        a, b = engine.var("a"), engine.var("b")
+        pairs = [(a, engine.not_(a)), (b, engine.not_(b))]
+        s1, s0 = gate_settle(engine, gate, pairs)
+        f = gate_function(engine, gate, [a, b])
+        assert engine.equiv(s1, f)
+        assert engine.equiv(s0, engine.not_(f))
+
+    def test_controlling_input_settles_alone(self):
+        """An AND gate with one input settled to 0 is settled to 0 even if
+        the other input is fully unsettled."""
+        engine = BddEngine()
+        a = engine.var("a")
+        settled_zero = (engine.const0, engine.not_(a))
+        unsettled = (engine.const0, engine.const0)
+        s1, s0 = gate_settle(engine, GateType.AND, [settled_zero, unsettled])
+        assert engine.equiv(s0, engine.not_(a))
+        assert s1 == engine.const0
+
+    def test_noncontrolled_needs_all_inputs(self):
+        engine = BddEngine()
+        a = engine.var("a")
+        settled_one = (a, engine.const0)
+        unsettled = (engine.const0, engine.const0)
+        s1, s0 = gate_settle(engine, GateType.AND, [settled_one, unsettled])
+        assert s1 == engine.const0
+        assert s0 == engine.const0
+
+    def test_xor_needs_all_inputs_even_for_zero(self):
+        engine = BddEngine()
+        a = engine.var("a")
+        settled = (a, engine.not_(a))
+        unsettled = (engine.const0, engine.const0)
+        s1, s0 = gate_settle(engine, GateType.XOR, [settled, unsettled])
+        assert s1 == engine.const0 and s0 == engine.const0
+
+    def test_not_swaps(self):
+        engine = BddEngine()
+        a = engine.var("a")
+        s1, s0 = gate_settle(engine, GateType.NOT, [(a, engine.not_(a))])
+        assert engine.equiv(s1, engine.not_(a))
+        assert engine.equiv(s0, a)

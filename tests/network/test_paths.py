@@ -1,0 +1,113 @@
+import pytest
+
+from repro.network import (
+    CircuitBuilder,
+    count_paths,
+    enumerate_paths,
+    is_statically_sensitizable,
+    k_longest_paths,
+    longest_path,
+    path_length,
+    side_inputs,
+)
+from repro.circuits import fig2_circuit
+
+from tests.helpers import c17
+
+
+class TestEnumeration:
+    def test_c17_path_count(self):
+        c = c17()
+        paths = list(enumerate_paths(c))
+        assert len(paths) == 11
+        assert count_paths(c) == 11
+
+    def test_paths_are_input_to_output(self):
+        c = c17()
+        for path in enumerate_paths(c):
+            assert path[0] in c.inputs
+            assert path[-1] in c.outputs
+
+    def test_limit_enforced(self):
+        c = c17()
+        with pytest.raises(RuntimeError):
+            list(enumerate_paths(c, limit=3))
+
+
+class TestLongest:
+    def test_longest_path_length_matches_topological(self):
+        c = c17()
+        assert path_length(c, longest_path(c)) == c.topological_delay()
+
+    def test_k_longest_matches_enumeration(self):
+        c = c17()
+        lengths = sorted(
+            (path_length(c, p) for p in enumerate_paths(c)), reverse=True
+        )
+        klp = k_longest_paths(c, len(lengths) + 5)
+        assert [l for l, __ in klp] == lengths
+
+    def test_k_longest_truncates(self):
+        c = c17()
+        assert len(k_longest_paths(c, 3)) == 3
+
+    def test_k_longest_descending(self):
+        c = fig2_circuit()
+        klp = k_longest_paths(c, 10)
+        values = [l for l, __ in klp]
+        assert values == sorted(values, reverse=True)
+        assert values[0] == 6
+
+    def test_output_with_fanout_still_reported(self):
+        b = CircuitBuilder("of")
+        a, = b.inputs("a")
+        mid = b.buf(a, name="mid")
+        end = b.not_(mid, name="end")
+        b.output(mid)
+        b.output(end)
+        c = b.build()
+        klp = k_longest_paths(c, 10)
+        found = {tuple(p) for __, p in klp}
+        assert ("a", "mid") in found
+        assert ("a", "mid", "end") in found
+
+
+class TestSideInputs:
+    def test_fig2_critical_path_side_inputs(self):
+        c = fig2_circuit()
+        sides = side_inputs(c, ["a", "x1", "x2", "x3", "d", "e"])
+        assert ("d", "b") in sides
+        assert ("e", "c") in sides
+        assert len(sides) == 2
+
+    def test_fig2_path_statically_sensitizable(self):
+        c = fig2_circuit()
+        vector = is_statically_sensitizable(
+            c, ["a", "x1", "x2", "x3", "d", "e"]
+        )
+        # The paper: <a=1> statically sensitizes {a, d, e}.
+        assert vector == {"a": True}
+
+    def test_reconvergent_path_is_statically_sensitizable(self):
+        # Static sensitization only inspects steady-state side-input
+        # values: the path a -> g in (g = a AND NOT a) *is* statically
+        # sensitizable by a=0 even though g is constant — exactly the
+        # optimism the paper warns about.
+        b = CircuitBuilder("u")
+        a, = b.inputs("a")
+        na = b.not_(a, name="na")
+        g = b.and_(a, na, name="g")
+        b.output(g)
+        c = b.build()
+        assert is_statically_sensitizable(c, ["a", "g"]) == {"a": False}
+
+    def test_unsensitizable_path(self):
+        # Side inputs demand b=1 at gate g and b=0 at gate h: impossible.
+        b = CircuitBuilder("u2")
+        a, bb = b.inputs("a", "bb")
+        nb = b.not_(bb, name="nb")
+        g = b.and_(a, bb, name="g")
+        h = b.and_(g, nb, name="h")
+        b.output(h)
+        c = b.build()
+        assert is_statically_sensitizable(c, ["a", "g", "h"]) is None

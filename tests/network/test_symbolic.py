@@ -1,0 +1,75 @@
+import itertools
+
+import pytest
+
+from repro.boolfn import BddEngine, SatEngine
+from repro.network.symbolic import (
+    circuit_function,
+    circuit_functions,
+    circuits_equivalent,
+)
+from repro.network import CircuitBuilder
+
+from tests.helpers import c17, tiny_and_or
+
+
+@pytest.fixture(params=[BddEngine, SatEngine])
+def engine(request):
+    return request.param()
+
+
+class TestCircuitFunction:
+    def test_matches_evaluation(self, engine):
+        c = tiny_and_or()
+        f = circuit_function(engine, c, "f")
+        for bits in itertools.product([False, True], repeat=3):
+            env = dict(zip(["a", "b", "c"], bits))
+            assert engine.evaluate(f, env) == c.evaluate(env)["f"]
+
+    def test_custom_input_var(self, engine):
+        c = tiny_and_or()
+        f = circuit_function(
+            engine, c, "f", input_var=lambda n: engine.var(n + "@-")
+        )
+        env = {"a@-": True, "b@-": True, "c@-": False}
+        assert engine.evaluate(f, env) is True
+
+    def test_shared_traversal(self, engine):
+        c = c17()
+        fns = circuit_functions(engine, c, ["G22", "G23"])
+        vec = {"G1": 1, "G2": 0, "G3": 1, "G6": 1, "G7": 0}
+        values = c.evaluate(vec)
+        env = {k: bool(v) for k, v in vec.items()}
+        assert engine.evaluate(fns["G22"], env) == values["G22"]
+        assert engine.evaluate(fns["G23"], env) == values["G23"]
+
+
+class TestEquivalence:
+    def test_equivalent_restructuring(self, engine):
+        b1 = CircuitBuilder("one")
+        a, c = b1.inputs("a", "c")
+        b1.output(b1.nand(a, c, name="f"))
+        left = b1.build()
+
+        b2 = CircuitBuilder("two")
+        a, c = b2.inputs("a", "c")
+        g = b2.and_(a, c, name="g")
+        b2.output(b2.not_(g, name="f"))
+        right = b2.build()
+        assert circuits_equivalent(engine, left, right)
+
+    def test_inequivalent_detected(self, engine):
+        b1 = CircuitBuilder("one")
+        a, c = b1.inputs("a", "c")
+        b1.output(b1.and_(a, c, name="f"))
+        left = b1.build()
+
+        b2 = CircuitBuilder("two")
+        a, c = b2.inputs("a", "c")
+        b2.output(b2.or_(a, c, name="f"))
+        right = b2.build()
+        assert not circuits_equivalent(engine, left, right)
+
+    def test_io_mismatch_rejected(self, engine):
+        with pytest.raises(ValueError):
+            circuits_equivalent(engine, c17(), tiny_and_or())

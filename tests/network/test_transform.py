@@ -1,0 +1,143 @@
+import pytest
+
+from repro.network import (
+    CircuitBuilder,
+    GateType,
+    apply_speedup,
+    insert_wire_delay,
+    limit_fanin,
+    normalize_delays,
+    refined_delay_annotation,
+    scale_delays,
+)
+
+from tests.helpers import assert_same_function, c17
+
+
+def multi_delay_circuit():
+    b = CircuitBuilder("md")
+    a, x = b.inputs("a", "x")
+    g = b.and_(a, x, name="g", delay=3)
+    h = b.not_(g, name="h", delay=2)
+    b.output(h)
+    return b.build()
+
+
+class TestNormalizeDelays:
+    def test_all_delays_at_most_one(self):
+        n = normalize_delays(multi_delay_circuit())
+        assert all(node.delay <= 1 for node in n.nodes())
+
+    def test_topological_delay_preserved(self):
+        c = multi_delay_circuit()
+        assert normalize_delays(c).topological_delay() == c.topological_delay()
+
+    def test_function_preserved(self):
+        c = multi_delay_circuit()
+        assert_same_function(c, normalize_delays(c))
+
+    def test_signal_names_preserved(self):
+        n = normalize_delays(multi_delay_circuit())
+        assert "g" in n and "h" in n
+        assert n.outputs == ["h"]
+
+    def test_unit_circuit_unchanged(self):
+        c = c17()
+        n = normalize_delays(c)
+        assert n.num_gates == c.num_gates
+
+
+class TestSpeedup:
+    def test_lowers_delay(self):
+        c = multi_delay_circuit()
+        sped = apply_speedup(c, {"g": 1})
+        assert sped.node("g").delay == 1
+        assert c.node("g").delay == 3  # original untouched
+
+    def test_rejects_slowdown(self):
+        with pytest.raises(ValueError):
+            apply_speedup(multi_delay_circuit(), {"g": 4})
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            apply_speedup(multi_delay_circuit(), {"g": -1})
+
+
+class TestScaleDelays:
+    def test_scales(self):
+        c = multi_delay_circuit()
+        assert scale_delays(c, 3).topological_delay() == 3 * c.topological_delay()
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            scale_delays(multi_delay_circuit(), 0)
+
+
+class TestRefinedAnnotation:
+    def test_function_preserved(self):
+        c = c17()
+        assert_same_function(c, refined_delay_annotation(c))
+
+    def test_fanout_loading(self):
+        c = c17()
+        refined = refined_delay_annotation(c, base_scale=4, load_per_fanout=1)
+        # G16 feeds two gates, G22 feeds none.
+        assert refined.node("G16").delay == 4 + 2
+        assert refined.node("G22").delay == 4
+
+    def test_custom_model(self):
+        c = c17()
+        refined = refined_delay_annotation(c, custom=lambda name: 9)
+        assert all(
+            node.delay == 9
+            for node in refined.nodes()
+            if node.gate_type != GateType.INPUT
+        )
+
+
+class TestLimitFanin:
+    def test_wide_and_decomposed(self):
+        b = CircuitBuilder("w")
+        ins = b.inputs(*[f"x{i}" for i in range(9)])
+        g = b.and_(*ins, name="g")
+        b.output(g)
+        c = b.build()
+        mapped = limit_fanin(c, 3)
+        assert all(len(n.fanins) <= 3 for n in mapped.nodes())
+        assert_same_function(c, mapped)
+
+    def test_inverting_root_preserved(self):
+        b = CircuitBuilder("w2")
+        ins = b.inputs(*[f"x{i}" for i in range(6)])
+        g = b.nor(*ins, name="g")
+        b.output(g)
+        c = b.build()
+        mapped = limit_fanin(c, 2)
+        assert all(len(n.fanins) <= 2 for n in mapped.nodes())
+        assert_same_function(c, mapped)
+
+    def test_xnor_decomposition(self):
+        b = CircuitBuilder("w3")
+        ins = b.inputs(*[f"x{i}" for i in range(5)])
+        g = b.xnor(*ins, name="g")
+        b.output(g)
+        c = b.build()
+        assert_same_function(c, limit_fanin(c, 2))
+
+    def test_rejects_limit_below_two(self):
+        with pytest.raises(ValueError):
+            limit_fanin(c17(), 1)
+
+    def test_narrow_gates_untouched(self):
+        c = c17()
+        mapped = limit_fanin(c, 4)
+        assert mapped.num_gates == c.num_gates
+
+
+class TestWireDelay:
+    def test_inserts_buffer(self):
+        c = c17()
+        wired = insert_wire_delay(c, "G10", "G22", 5)
+        # Longest path is now G1/G3 -> G10 -> wire(5) -> G22.
+        assert wired.topological_delay() == 1 + 5 + 1
+        assert_same_function(c, wired)

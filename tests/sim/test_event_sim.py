@@ -1,0 +1,167 @@
+import itertools
+
+import pytest
+
+from repro.network import CircuitBuilder
+from repro.sim import EventSimulator, all_input_vectors
+from repro.circuits import fig1_circuit, fig1_vector_pair, fig2_circuit
+
+from tests.helpers import c17, random_circuit
+
+
+class TestSingleStepping:
+    def test_final_values_match_functional(self):
+        c = c17()
+        sim = EventSimulator(c)
+        vectors = all_input_vectors(c)
+        for prev, nxt in zip(vectors, reversed(vectors)):
+            result = sim.simulate_transition(prev, nxt)
+            assert result.output_values() == c.evaluate_outputs(nxt)
+
+    def test_no_change_no_events(self):
+        c = c17()
+        sim = EventSimulator(c)
+        vec = {"G1": 1, "G2": 0, "G3": 1, "G6": 0, "G7": 1}
+        result = sim.simulate_transition(vec, vec)
+        assert result.delay == 0
+        assert all(result.waveforms[n].is_stable() for n in result.waveforms)
+
+    def test_settles_within_topological_delay(self):
+        for seed in range(15):
+            c = random_circuit(seed)
+            sim = EventSimulator(c)
+            omega = max(c.levels().values())
+            vectors = all_input_vectors(c)
+            for prev in vectors[:4]:
+                for nxt in vectors[-4:]:
+                    result = sim.simulate_transition(prev, nxt)
+                    assert result.waveforms.last_event_time() <= omega
+
+    def test_delay_bounded_by_output_arrival(self):
+        c = c17()
+        sim = EventSimulator(c)
+        vectors = all_input_vectors(c)
+        for prev in vectors:
+            for nxt in vectors:
+                assert sim.measure_pair_delay(prev, nxt) <= 3
+
+    def test_event_times_respect_min_delay(self):
+        b = CircuitBuilder("slow")
+        a, = b.inputs("a")
+        g = b.not_(a, name="g", delay=4)
+        b.output(g)
+        c = b.build()
+        sim = EventSimulator(c)
+        result = sim.simulate_transition({"a": 0}, {"a": 1})
+        assert result.waveforms["g"].events == [(4, False)]
+
+    def test_staggered_input_times(self):
+        b = CircuitBuilder("st")
+        a, x = b.inputs("a", "x")
+        g = b.and_(a, x, name="g")
+        b.output(g)
+        c = b.build()
+        sim = EventSimulator(c)
+        result = sim.simulate_transition(
+            {"a": 0, "x": 0}, {"a": 1, "x": 1}, input_times={"a": 0, "x": 5}
+        )
+        assert result.waveforms["g"].events == [(6, True)]
+
+
+class TestGlitchSemantics:
+    def test_zero_width_glitch_suppressed(self):
+        # Both AND inputs swap simultaneously: output must not pulse.
+        b = CircuitBuilder("z")
+        a, = b.inputs("a")
+        na = b.not_(a, name="na", delay=0)
+        g = b.and_(a, na, name="g", delay=1)
+        b.output(g)
+        c = b.build()
+        sim = EventSimulator(c)
+        result = sim.simulate_transition({"a": 0}, {"a": 1})
+        assert result.waveforms["g"].is_stable()
+
+    def test_unit_width_pulse_propagates(self):
+        # na lags a by one unit: the AND sees (1,1) during [0? ...] and
+        # emits a real pulse (transport semantics, Sec. IV-A).
+        b = CircuitBuilder("p")
+        a, = b.inputs("a")
+        na = b.not_(a, name="na", delay=1)
+        g = b.and_(a, na, name="g", delay=1)
+        b.output(g)
+        c = b.build()
+        sim = EventSimulator(c)
+        result = sim.simulate_transition({"a": 0}, {"a": 1})
+        assert result.waveforms["g"].events == [(1, True), (2, False)]
+
+    def test_fig1_glitch_chain_masks_critical_event(self):
+        c = fig1_circuit()
+        sim = EventSimulator(c)
+        prev, nxt = fig1_vector_pair()
+        result = sim.simulate_transition(prev, nxt)
+        # g2 glitches during [2,3), g3 during [3,4), g1 rises at 4;
+        # the output has a single early rise at 3 and nothing after.
+        assert result.waveforms["g2"].events == [(2, True), (3, False)]
+        assert result.waveforms["g3"].events == [(3, True), (4, False)]
+        assert result.waveforms["g1"].events == [(4, True)]
+        assert result.waveforms["f"].events == [(3, True)]
+        assert result.delay == 3
+
+    def test_fig2_output_never_moves(self):
+        c = fig2_circuit()
+        sim = EventSimulator(c)
+        for prev in (False, True):
+            for nxt in (False, True):
+                result = sim.simulate_transition({"a": prev}, {"a": nxt})
+                assert result.waveforms["e"].is_stable()
+                assert result.delay == 0
+
+    def test_fig2_internal_glitch_on_falling_a(self):
+        c = fig2_circuit()
+        sim = EventSimulator(c)
+        result = sim.simulate_transition({"a": True}, {"a": False})
+        # d glitches low during [4,5) while c holds e at 1.
+        assert result.waveforms["d"].events == [(4, False), (5, True)]
+
+
+class TestClockedMode:
+    def test_valid_period_matches_reference(self):
+        c = c17()
+        sim = EventSimulator(c)
+        vectors = all_input_vectors(c)[:10]
+        clocked = sim.simulate_clocked(vectors, period=4)
+        for k in range(1, len(vectors)):
+            assert clocked.sampled[k - 1] == c.evaluate_outputs(vectors[k])
+
+    def test_too_short_period_can_mislatch(self):
+        b = CircuitBuilder("sl")
+        a, = b.inputs("a")
+        g = b.buf(a, name="g", delay=6)
+        b.output(g)
+        c = b.build()
+        sim = EventSimulator(c)
+        vectors = [{"a": 0}, {"a": 1}, {"a": 0}]
+        clocked = sim.simulate_clocked(vectors, period=3)
+        assert clocked.sampled[0] != c.evaluate_outputs(vectors[1])
+
+    def test_rejects_bad_arguments(self):
+        sim = EventSimulator(c17())
+        with pytest.raises(ValueError):
+            sim.simulate_clocked([], 4)
+        with pytest.raises(ValueError):
+            sim.simulate_clocked([{n: 0 for n in c17().inputs}], 0)
+
+
+class TestOracleAgreement:
+    def test_pair_delay_equals_waveform_last_output_event(self):
+        c = c17()
+        sim = EventSimulator(c)
+        vectors = all_input_vectors(c)
+        for prev in vectors[:8]:
+            for nxt in vectors[-8:]:
+                result = sim.simulate_transition(prev, nxt)
+                latest = 0
+                for out in c.outputs:
+                    t = result.waveforms[out].last_event_time
+                    latest = max(latest, t or 0)
+                assert result.delay == latest

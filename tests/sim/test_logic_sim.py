@@ -1,0 +1,69 @@
+import random
+
+from repro.sim import (
+    all_input_vectors,
+    functional_sequence,
+    settle,
+    settle_outputs,
+    simulate_words,
+)
+
+from tests.helpers import c17, tiny_and_or
+
+
+class TestSettle:
+    def test_values_for_all_nodes(self):
+        c = tiny_and_or()
+        values = settle(c, {"a": True, "b": True, "c": False})
+        assert values == {
+            "a": True, "b": True, "c": False, "g": True, "f": True
+        }
+
+    def test_settle_outputs(self):
+        c = tiny_and_or()
+        assert settle_outputs(c, {"a": 0, "b": 1, "c": 0}) == {"f": False}
+
+
+class TestBitParallel:
+    def test_words_agree_with_scalar(self):
+        c = c17()
+        rng = random.Random(7)
+        words = {name: rng.getrandbits(64) for name in c.inputs}
+        result = simulate_words(c, words)
+        for lane in range(64):
+            vec = {
+                name: bool((words[name] >> lane) & 1) for name in c.inputs
+            }
+            expected = c.evaluate(vec)
+            for name, word in result.items():
+                assert bool((word >> lane) & 1) == expected[name], name
+
+    def test_constants_and_xor(self):
+        from repro.network import CircuitBuilder
+
+        b = CircuitBuilder("k")
+        a, = b.inputs("a")
+        k1 = b.const1()
+        x = b.xor_(a, k1, name="x")
+        b.output(x)
+        c = b.build()
+        out = simulate_words(c, {"a": 0b1010})
+        assert out["x"] & 0b1111 == 0b0101
+
+
+class TestVectorHelpers:
+    def test_all_input_vectors_count(self):
+        c = tiny_and_or()
+        vectors = all_input_vectors(c)
+        assert len(vectors) == 8
+        assert len({tuple(sorted(v.items())) for v in vectors}) == 8
+
+    def test_functional_sequence(self):
+        c = tiny_and_or()
+        seq = [
+            {"a": 1, "b": 1, "c": 0},
+            {"a": 0, "b": 1, "c": 0},
+            {"a": 0, "b": 0, "c": 1},
+        ]
+        outs = functional_sequence(c, seq)
+        assert [o["f"] for o in outs] == [True, False, True]

@@ -1,0 +1,67 @@
+"""The stateful TimingSession API (beyond what EventSimulator wraps)."""
+
+import pytest
+
+from repro.network import CircuitBuilder
+from repro.sim import EventSimulator
+
+from tests.helpers import c17
+
+
+def chain_circuit():
+    b = CircuitBuilder("chain")
+    a, = b.inputs("a")
+    g = b.buf(a, name="g", delay=4)
+    b.output(g)
+    return b.build()
+
+
+class TestSession:
+    def test_settled_start(self):
+        sim = EventSimulator(chain_circuit())
+        session = sim.session({"a": True})
+        assert session.value_at_sample("g") is True
+        assert session.quiescent
+        assert session.now == 0
+
+    def test_incremental_injection(self):
+        sim = EventSimulator(chain_circuit())
+        session = sim.session({"a": False})
+        session.inject(0, {"a": True})
+        session.advance(until=3)
+        assert session.value_at_sample("g") is False  # still in flight
+        session.advance(until=4)
+        assert session.value_at_sample("g") is True
+
+    def test_interleaved_inject_and_advance(self):
+        sim = EventSimulator(chain_circuit())
+        session = sim.session({"a": False})
+        session.inject(0, {"a": True})
+        session.advance(until=2)
+        session.inject(3, {"a": False})   # mid-flight reversal
+        session.advance()
+        # a's pulse 0->1 at 0 then 1->0 at 3: g pulses [4, 7).
+        assert session.waveforms["g"].events == [(4, True), (7, False)]
+
+    def test_cannot_inject_into_past(self):
+        sim = EventSimulator(chain_circuit())
+        session = sim.session({"a": False})
+        session.advance(until=10)
+        with pytest.raises(ValueError):
+            session.inject(5, {"a": True})
+
+    def test_advance_to_quiescence(self):
+        sim = EventSimulator(c17())
+        session = sim.session({n: False for n in c17().inputs})
+        session.inject(0, {n: True for n in c17().inputs})
+        session.advance()
+        assert session.quiescent
+        final = c17().evaluate({n: True for n in c17().inputs})
+        for out in c17().outputs:
+            assert session.value_at_sample(out) == final[out]
+
+    def test_now_tracks_until(self):
+        sim = EventSimulator(chain_circuit())
+        session = sim.session({"a": False})
+        session.advance(until=17)
+        assert session.now == 17

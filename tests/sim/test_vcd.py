@@ -1,0 +1,66 @@
+from repro.sim import EventSimulator, Waveform, WaveformSet, dumps_vcd, loads_vcd
+
+from tests.helpers import c17
+
+
+def sample_set():
+    a = Waveform(False)
+    a.append(2, True)
+    a.append(5, False)
+    b = Waveform(True)
+    return WaveformSet({"sig_a": a, "sig_b": b})
+
+
+class TestDump:
+    def test_header_and_vars(self):
+        text = dumps_vcd(sample_set())
+        assert "$timescale 1ns $end" in text
+        assert "$var wire 1" in text
+        assert "sig_a" in text and "sig_b" in text
+        assert "$enddefinitions $end" in text
+
+    def test_initial_values_dumped(self):
+        text = dumps_vcd(sample_set())
+        dump_block = text.split("$dumpvars")[1].split("$end")[0]
+        assert "0" in dump_block and "1" in dump_block
+
+    def test_subset_of_names(self):
+        text = dumps_vcd(sample_set(), names=["sig_a"])
+        assert "sig_b" not in text
+
+    def test_identifiers_unique_for_many_signals(self):
+        waves = WaveformSet(
+            {f"n{i}": Waveform(False) for i in range(200)}
+        )
+        text = dumps_vcd(waves)
+        ids = [
+            line.split()[3]
+            for line in text.splitlines()
+            if line.startswith("$var")
+        ]
+        assert len(set(ids)) == 200
+
+
+class TestRoundTrip:
+    def test_simple_roundtrip(self):
+        original = sample_set()
+        again = loads_vcd(dumps_vcd(original))
+        for name in original.names():
+            assert again[name].initial == original[name].initial
+            assert again[name].events == original[name].events
+
+    def test_simulation_roundtrip(self):
+        # VCD starts at time 0, so compare sampled values from 0 onward
+        # (the pre-zero initial is not representable).
+        circuit = c17()
+        sim = EventSimulator(circuit)
+        prev = {"G1": 0, "G2": 1, "G3": 0, "G6": 1, "G7": 0}
+        nxt = {"G1": 1, "G2": 0, "G3": 1, "G6": 0, "G7": 1}
+        result = sim.simulate_transition(prev, nxt)
+        again = loads_vcd(dumps_vcd(result.waveforms))
+        horizon = result.waveforms.last_event_time() + 1
+        for name in result.waveforms.names():
+            for t in range(0, horizon + 1):
+                assert again[name].value_at(t) == result.waveforms[
+                    name
+                ].value_at(t), (name, t)

@@ -1,0 +1,85 @@
+import pytest
+
+from repro.sim import Waveform, WaveformSet
+
+
+class TestWaveform:
+    def test_append_and_query(self):
+        w = Waveform(False)
+        w.append(3, True)
+        w.append(5, False)
+        assert w.value_at(0) is False
+        assert w.value_at(3) is True   # right-continuous
+        assert w.value_before(3) is False
+        assert w.value_at(4) is True
+        assert w.value_at(9) is False
+        assert w.final is False
+        assert w.last_event_time == 5
+
+    def test_no_op_append_ignored(self):
+        w = Waveform(True)
+        w.append(2, True)
+        assert w.is_stable()
+
+    def test_same_time_overwrite(self):
+        w = Waveform(False)
+        w.append(2, True)
+        w.append(2, False)
+        assert w.is_stable()
+
+    def test_same_time_overwrite_keeps_real_change(self):
+        w = Waveform(False)
+        w.append(2, True)
+        w.append(4, False)
+        w.append(4, True)
+        assert w.events == [(2, True)]
+
+    def test_out_of_order_rejected(self):
+        w = Waveform(False)
+        w.append(5, True)
+        with pytest.raises(ValueError):
+            w.append(3, False)
+
+    def test_transition_times_and_glitches(self):
+        w = Waveform(False)
+        w.append(1, True)
+        w.append(2, False)
+        w.append(4, True)
+        assert w.transition_times() == [1, 2, 4]
+        assert w.num_transitions() == 3
+        assert w.glitches() == 2
+
+    def test_glitches_none_when_monotone(self):
+        w = Waveform(False)
+        w.append(3, True)
+        assert w.glitches() == 0
+
+    def test_render_length(self):
+        w = Waveform(False)
+        w.append(2, True)
+        strip = w.render(4)
+        assert len(strip) == 5
+        assert strip[0] != strip[2]
+
+
+class TestWaveformSet:
+    def make(self):
+        a = Waveform(False)
+        a.append(2, True)
+        b = Waveform(True)
+        return WaveformSet({"a": a, "b": b})
+
+    def test_access(self):
+        ws = self.make()
+        assert "a" in ws and "z" not in ws
+        assert sorted(ws.names()) == ["a", "b"]
+        assert ws["b"].is_stable()
+
+    def test_last_event_time(self):
+        ws = self.make()
+        assert ws.last_event_time() == 2
+        assert ws.last_event_time(["b"]) == 0
+
+    def test_render_includes_all_names(self):
+        text = self.make().render()
+        assert "a" in text and "b" in text

@@ -1,0 +1,66 @@
+import pytest
+
+from repro.network import CircuitBuilder, path_length
+from repro.sta import analyze, arrival_times, gate_depth, topological_delay
+
+from tests.helpers import c17
+
+
+class TestAnalyze:
+    def test_default_period_gives_zero_worst_slack(self):
+        analysis = analyze(c17())
+        assert analysis.clock_period == 3
+        assert analysis.worst_slack == 0
+
+    def test_relaxed_period_adds_slack(self):
+        analysis = analyze(c17(), clock_period=10)
+        assert analysis.worst_slack == 7
+
+    def test_arrival_and_required_consistent(self):
+        analysis = analyze(c17())
+        slack = analysis.slack
+        for name in analysis.arrival:
+            assert slack[name] == analysis.required[name] - analysis.arrival[name]
+            assert slack[name] >= 0
+
+    def test_critical_path_is_longest(self):
+        c = c17()
+        analysis = analyze(c)
+        path = analysis.critical_path()
+        assert path_length(c, path) == c.topological_delay()
+        assert path[0] in c.inputs and path[-1] in c.outputs
+
+    def test_critical_nodes_nonempty(self):
+        analysis = analyze(c17())
+        critical = analysis.critical_nodes()
+        assert critical
+        slack = analysis.slack
+        assert all(slack[name] == 0 for name in critical)
+
+    def test_unbalanced_circuit(self):
+        b = CircuitBuilder("u")
+        a, x = b.inputs("a", "x")
+        slow = b.buf(a, name="slow", delay=9)
+        g = b.and_(slow, x, name="g")
+        b.output(g)
+        c = b.build()
+        analysis = analyze(c)
+        assert analysis.slack["x"] == 9
+        assert analysis.slack["slow"] == 0
+
+
+class TestHelpers:
+    def test_topological_delay(self):
+        assert topological_delay(c17()) == 3
+
+    def test_arrival_times(self):
+        arrivals = arrival_times(c17())
+        assert arrivals["G22"] == 3 and arrivals["G10"] == 1
+
+    def test_gate_depth_ignores_delays(self):
+        b = CircuitBuilder("d")
+        a, = b.inputs("a")
+        g = b.buf(a, name="g", delay=100)
+        h = b.not_(g, name="h", delay=1)
+        b.output(h)
+        assert gate_depth(b.build()) == 2

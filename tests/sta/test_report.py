@@ -1,0 +1,37 @@
+from repro.sta import render_table, statistics_row, timing_report
+
+from tests.helpers import c17
+
+
+class TestRenderTable:
+    def test_alignment_and_content(self):
+        text = render_table(
+            ["name", "value"], [["alpha", 1], ["b", 22]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert all(len(line) == len(lines[1]) for line in lines[3:])
+
+    def test_empty_rows(self):
+        text = render_table(["a"], [])
+        assert "a" in text
+
+
+class TestTimingReport:
+    def test_contains_paths_and_slack(self):
+        report = timing_report(c17(), max_paths=2)
+        assert "worst slack" in report
+        assert "path #1" in report and "path #2" in report
+        assert "NAND" in report
+
+    def test_respects_clock_period(self):
+        report = timing_report(c17(), clock_period=9)
+        assert "clock period : 9" in report
+        assert "worst slack  : 6" in report
+
+
+class TestStatisticsRow:
+    def test_c17_row(self):
+        row = statistics_row(c17())
+        assert row == ["c17", 5, 2, 12, 3]

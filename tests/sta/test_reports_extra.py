@@ -1,0 +1,55 @@
+"""Additional report-layer coverage."""
+
+from repro.sta import analyze, render_table, timing_report
+
+from tests.helpers import c17, tiny_and_or
+
+
+class TestRenderTableEdges:
+    def test_no_title(self):
+        text = render_table(["x"], [["1"]])
+        assert text.splitlines()[0].strip() == "x"
+
+    def test_mixed_types(self):
+        text = render_table(
+            ["name", "n", "flag"], [["a", 1, True], ["bb", 22, False]]
+        )
+        assert "True" in text and "22" in text
+
+    def test_column_width_driven_by_longest_cell(self):
+        text = render_table(["h"], [["exceedingly-long-cell"]])
+        header_line = text.splitlines()[0]
+        assert len(header_line) == len("exceedingly-long-cell")
+
+
+class TestTimingReportEdges:
+    def test_single_path_default(self):
+        report = timing_report(tiny_and_or())
+        assert "path #1" in report and "path #2" not in report
+
+    def test_arrival_column_monotone(self):
+        report = timing_report(c17())
+        arrivals = [
+            int(line.rsplit("arrival=", 1)[1])
+            for line in report.splitlines()
+            if "arrival=" in line
+        ]
+        assert arrivals == sorted(arrivals)
+
+
+class TestAnalyzeEdges:
+    def test_dangling_node_gets_default_requirement(self):
+        from repro.network import Circuit, GateType
+
+        circuit = Circuit("d")
+        circuit.add_input("a")
+        circuit.add_gate("used", GateType.BUF, ["a"])
+        circuit.add_gate("dangling", GateType.NOT, ["a"])
+        circuit.set_outputs(["used"])
+        analysis = analyze(circuit)
+        assert analysis.required["dangling"] == analysis.clock_period
+
+    def test_critical_path_with_relaxed_clock(self):
+        analysis = analyze(c17(), clock_period=50)
+        path = analysis.critical_path()
+        assert path[-1] in c17().outputs

@@ -1,0 +1,59 @@
+"""Cross-validation of two independent bounded-delay implementations.
+
+``repro.core.bounded`` builds *symbolic* guaranteed-value functions over
+the doubled vector-pair space; ``repro.sim.ternary`` computes the same
+guarantees *concretely* for one pair.  Both implement the identical
+interval semantics, so evaluating the symbolic functions on a concrete
+pair must reproduce the ternary grid exactly."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.boolfn import BddEngine
+from repro.core import BoundedAnalysis, monotone_speedup_bounds
+from repro.core.vectors import VectorPair
+from repro.sim import (
+    ONE,
+    X,
+    ZERO,
+    bounded_transition_analysis,
+    monotone_bounds,
+)
+from repro.sim.logic_sim import all_input_vectors
+
+from tests.helpers import random_circuit
+
+SEEDS = st.integers(min_value=0, max_value=5_000)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=SEEDS, pair_index=st.integers(0, 63))
+def test_symbolic_guarantees_match_ternary_grid(seed, pair_index):
+    circuit = random_circuit(seed, num_inputs=3, num_gates=5, max_delay=2)
+    vectors = all_input_vectors(circuit)
+    v_prev = vectors[pair_index % len(vectors)]
+    v_next = vectors[(pair_index // len(vectors)) % len(vectors)]
+    pair = VectorPair(dict(v_prev), dict(v_next))
+    env = pair.to_model()
+
+    engine = BddEngine()
+    analysis = BoundedAnalysis(
+        circuit, bounds=monotone_speedup_bounds(circuit), engine=engine
+    )
+    grid = bounded_transition_analysis(
+        circuit, v_prev, v_next, monotone_bounds(circuit)
+    )
+    horizon = max(analysis.latest(o) for o in circuit.outputs)
+    for name in circuit.topological_order():
+        if circuit.node(name).gate_type.value == "INPUT":
+            continue
+        for t in range(0, horizon + 1):
+            u1, u0 = analysis.guaranteed_pair(name, t)
+            sym = (
+                ONE
+                if engine.evaluate(u1, env)
+                else ZERO
+                if engine.evaluate(u0, env)
+                else X
+            )
+            concrete = grid[name][min(t, len(grid[name]) - 1)]
+            assert sym == concrete, (name, t, sym, concrete)

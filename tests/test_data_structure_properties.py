@@ -1,0 +1,177 @@
+"""Hypothesis properties of the core data structures themselves."""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.boolfn import BddManager, Cube, Sop
+from repro.fsm import Fsm, FsmTransition, dumps_kiss, loads_kiss
+from repro.sim import Waveform, WaveformSet, dumps_vcd, loads_vcd
+
+# ----------------------------------------------------------------------
+# Waveforms
+# ----------------------------------------------------------------------
+event_lists = st.lists(
+    st.tuples(st.integers(0, 40), st.booleans()), max_size=12
+).map(lambda evs: sorted(evs, key=lambda e: e[0]))
+
+
+@settings(max_examples=120, deadline=None)
+@given(initial=st.booleans(), events=event_lists)
+def test_waveform_value_semantics(initial, events):
+    wave = Waveform(initial)
+    applied = []
+    last_time = None
+    for time, value in events:
+        wave.append(time, value)
+        if last_time == time and applied:
+            applied[-1] = (time, value)
+        else:
+            applied.append((time, value))
+        last_time = time
+    # Right-continuity: the value at any t equals the last applied value
+    # at or before t.
+    for t in range(0, 42):
+        expected = initial
+        for time, value in applied:
+            if time <= t:
+                expected = value
+        assert wave.value_at(t) == expected
+        expected_before = initial
+        for time, value in applied:
+            if time < t:
+                expected_before = value
+        assert wave.value_before(t) == expected_before
+
+
+@settings(max_examples=80, deadline=None)
+@given(initial=st.booleans(), events=event_lists)
+def test_waveform_events_are_strict_alternations(initial, events):
+    wave = Waveform(initial)
+    for time, value in events:
+        wave.append(time, value)
+    previous = initial
+    last_time = -1
+    for time, value in wave.events:
+        assert value != previous          # every stored event is a change
+        assert time > last_time           # strictly increasing
+        previous, last_time = value, time
+    assert wave.glitches() >= 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    initial=st.booleans(),
+    events=event_lists.filter(
+        lambda evs: len({t for t, __ in evs}) == len(evs)
+    ),
+)
+def test_vcd_roundtrip_preserves_sampled_values(initial, events):
+    wave = Waveform(initial)
+    for time, value in events:
+        wave.append(time, value)
+    waves = WaveformSet({"sig": wave})
+    again = loads_vcd(dumps_vcd(waves))
+    for t in range(0, 42):
+        assert again["sig"].value_at(t) == wave.value_at(t)
+
+
+# ----------------------------------------------------------------------
+# Cubes and covers
+# ----------------------------------------------------------------------
+VARS = ["a", "b", "c", "d"]
+cube_strategy = st.dictionaries(
+    st.sampled_from(VARS), st.booleans(), max_size=4
+).map(Cube)
+
+
+def assignments():
+    for bits in itertools.product([False, True], repeat=4):
+        yield dict(zip(VARS, bits))
+
+
+@settings(max_examples=80, deadline=None)
+@given(left=cube_strategy, right=cube_strategy)
+def test_cube_containment_is_semantic(left, right):
+    if left.contains(right):
+        for env in assignments():
+            if right.evaluate(env):
+                assert left.evaluate(env)
+
+
+@settings(max_examples=80, deadline=None)
+@given(left=cube_strategy, right=cube_strategy)
+def test_cube_intersects_is_semantic(left, right):
+    semantically = any(
+        left.evaluate(env) and right.evaluate(env) for env in assignments()
+    )
+    assert left.intersects(right) == semantically
+
+
+@settings(max_examples=60, deadline=None)
+@given(cubes=st.lists(cube_strategy, max_size=6))
+def test_sop_merged_preserves_function(cubes):
+    sop = Sop(cubes)
+    merged = sop.merged()
+    for env in assignments():
+        assert merged.evaluate(env) == sop.evaluate(env)
+    assert merged.literal_count() <= sop.literal_count()
+
+
+@settings(max_examples=60, deadline=None)
+@given(cubes=st.lists(cube_strategy, max_size=6))
+def test_single_cube_containment_preserves_function(cubes):
+    sop = Sop(cubes)
+    reduced = sop.single_cube_containment()
+    assert len(reduced) <= len(sop)
+    for env in assignments():
+        assert reduced.evaluate(env) == sop.evaluate(env)
+
+
+# ----------------------------------------------------------------------
+# BDD model counting
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_bdd_sat_count_matches_enumeration(data):
+    mgr = BddManager()
+    variables = {n: mgr.var(n) for n in VARS}
+
+    def build(depth):
+        op = data.draw(st.sampled_from(["var", "and", "or", "xor", "not"]))
+        if depth == 0 or op == "var":
+            return variables[data.draw(st.sampled_from(VARS))]
+        if op == "not":
+            return mgr.not_(build(depth - 1))
+        f, g = build(depth - 1), build(depth - 1)
+        return {"and": mgr.and_, "or": mgr.or_, "xor": mgr.xor_}[op](f, g)
+
+    f = build(3)
+    count = sum(1 for env in assignments() if mgr.evaluate(f, env))
+    assert mgr.sat_count(f, 4) == count
+
+
+# ----------------------------------------------------------------------
+# KISS round trips
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_kiss_roundtrip_random_machines(data):
+    num_states = data.draw(st.integers(1, 5))
+    states = [f"s{i}" for i in range(num_states)]
+    rows = []
+    for state in states:
+        for pattern in ("0", "1"):
+            nxt = states[data.draw(st.integers(0, num_states - 1))]
+            out = data.draw(st.sampled_from(["0", "1", "-"]))
+            rows.append(FsmTransition(pattern, state, nxt, out))
+    fsm = Fsm("rand", 1, 1, states, states[0], rows)
+    again = loads_kiss(dumps_kiss(fsm), "rand")
+    assert again.transitions == fsm.transitions
+    # The reader records states in first-appearance order; the *set* and
+    # the behaviour must survive the round trip.
+    assert set(again.states) == set(fsm.states)
+    assert again.reset_state == fsm.reset_state
+    for state in states:
+        for bit in (False, True):
+            assert again.step(state, [bit]) == fsm.step(state, [bit])

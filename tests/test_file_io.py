@@ -1,0 +1,73 @@
+"""File-based load/dump helpers across all formats."""
+
+import pytest
+
+from repro.fsm import dump_kiss, load_kiss, loads_kiss
+from repro.network import (
+    dump_bench,
+    dump_blif,
+    dump_verilog,
+    load_bench,
+    load_blif,
+    load_verilog,
+)
+from repro.sim import EventSimulator, dump_vcd, loads_vcd
+
+from tests.helpers import assert_same_function, c17
+
+KISS = """
+.i 1
+.o 1
+.r a
+1 a b 1
+0 a a 0
+- b a 0
+"""
+
+
+class TestNetlistFiles:
+    def test_bench_file_roundtrip(self, tmp_path):
+        path = tmp_path / "c.bench"
+        dump_bench(c17(), str(path))
+        again = load_bench(str(path))
+        assert_same_function(c17(), again)
+
+    def test_blif_file_roundtrip(self, tmp_path):
+        path = tmp_path / "c.blif"
+        dump_blif(c17(), str(path))
+        again = load_blif(str(path))
+        assert_same_function(c17(), again)
+
+    def test_verilog_file_roundtrip(self, tmp_path):
+        path = tmp_path / "c.v"
+        dump_verilog(c17(), str(path))
+        again = load_verilog(str(path))
+        assert_same_function(c17(), again)
+
+    def test_load_bench_default_name_is_path(self, tmp_path):
+        path = tmp_path / "thing.bench"
+        dump_bench(c17(), str(path))
+        assert load_bench(str(path)).name == str(path)
+
+
+class TestKissFiles:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "m.kiss2"
+        fsm = loads_kiss(KISS, "m")
+        dump_kiss(fsm, str(path))
+        again = load_kiss(str(path), "m")
+        assert again.transitions == fsm.transitions
+        assert again.reset_state == fsm.reset_state
+
+
+class TestVcdFiles:
+    def test_dump_and_parse(self, tmp_path):
+        path = tmp_path / "run.vcd"
+        sim = EventSimulator(c17())
+        result = sim.simulate_transition(
+            {"G1": 0, "G2": 0, "G3": 0, "G6": 0, "G7": 0},
+            {"G1": 1, "G2": 1, "G3": 1, "G6": 1, "G7": 1},
+        )
+        dump_vcd(result.waveforms, str(path))
+        parsed = loads_vcd(path.read_text())
+        assert set(parsed.names()) == set(result.waveforms.names())

@@ -1,0 +1,107 @@
+"""Cross-module properties: the symbolic engines against brute-force
+oracles on small random circuits (hypothesis-driven)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.boolfn import BddEngine
+from repro.core import (
+    compute_bounded_transition_delay,
+    compute_floating_delay,
+    compute_transition_delay,
+)
+from repro.sim import EventSimulator, all_input_vectors
+
+from tests.helpers import (
+    exhaustive_floating_delay,
+    exhaustive_transition_delay,
+    random_circuit,
+)
+
+SEEDS = st.integers(min_value=0, max_value=10_000)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=SEEDS)
+def test_transition_delay_matches_exhaustive_simulation(seed):
+    """The headline oracle: symbolic vector-pair simulation computes
+    exactly the worst single-stepping delay over all 2^(2n) pairs."""
+    circuit = random_circuit(seed, num_inputs=3, num_gates=6)
+    cert = compute_transition_delay(circuit, engine=BddEngine())
+    assert cert.delay == exhaustive_transition_delay(circuit)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=SEEDS)
+def test_delay_ordering_chain(seed):
+    """t.d. <= f.d. <= l.d. and bounded t.d. <= l.d."""
+    circuit = random_circuit(seed, num_inputs=3, num_gates=6)
+    floating = compute_floating_delay(circuit, engine=BddEngine())
+    transition = compute_transition_delay(
+        circuit, engine=BddEngine(), upper=floating.delay
+    )
+    bounded = compute_bounded_transition_delay(circuit, engine=BddEngine())
+    omega = circuit.topological_delay()
+    assert transition.delay <= floating.delay <= omega
+    assert transition.delay <= bounded.delay <= omega
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=SEEDS)
+def test_witness_pair_replays_to_computed_delay(seed):
+    circuit = random_circuit(seed, num_inputs=3, num_gates=6)
+    cert = compute_transition_delay(circuit, engine=BddEngine())
+    if cert.pair is None:
+        assert cert.delay == 0
+        return
+    simulator = EventSimulator(circuit)
+    observed = simulator.measure_pair_delay(cert.pair.v_prev, cert.pair.v_next)
+    assert observed == cert.delay
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=SEEDS)
+def test_floating_witness_settles_last(seed):
+    """The floating witness vector's settling (from any previous vector)
+    never exceeds the floating delay, and the floating delay bounds every
+    observable pair delay."""
+    circuit = random_circuit(seed, num_inputs=3, num_gates=6)
+    floating = compute_floating_delay(circuit, engine=BddEngine())
+    simulator = EventSimulator(circuit)
+    for prev in all_input_vectors(circuit):
+        for nxt in all_input_vectors(circuit):
+            assert simulator.measure_pair_delay(prev, nxt) <= floating.delay
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=500))
+def test_speedup_oracle_below_bounded_analysis(seed):
+    """Every integer monotone speedup's worst pair delay is covered by the
+    conservative bounded-delay analysis."""
+    circuit = random_circuit(seed, num_inputs=2, num_gates=4, max_delay=2)
+    bounded = compute_bounded_transition_delay(circuit, engine=BddEngine())
+    oracle = exhaustive_floating_delay(circuit)  # max over speedups+pairs
+    assert oracle <= bounded.delay
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=SEEDS)
+def test_floating_delay_bounds_speedup_oracle(seed):
+    """The floating delay is safe under monotone speedups: no integer
+    speedup assignment produces a later output event."""
+    circuit = random_circuit(seed, num_inputs=2, num_gates=4, max_delay=2)
+    floating = compute_floating_delay(circuit, engine=BddEngine())
+    oracle = exhaustive_floating_delay(circuit)
+    assert oracle <= floating.delay
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=SEEDS)
+def test_per_output_pairs_replay(seed):
+    from repro.core import collect_certification_pairs
+
+    circuit = random_circuit(seed, num_inputs=3, num_gates=6)
+    pairs = collect_certification_pairs(circuit)
+    simulator = EventSimulator(circuit)
+    for out, (t, pair) in pairs.items():
+        result = simulator.simulate_transition(pair.v_prev, pair.v_next)
+        assert result.waveforms[out].last_event_time == t

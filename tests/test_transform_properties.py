@@ -1,0 +1,107 @@
+"""Invariance properties tying the transforms to the delay semantics."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.boolfn import BddEngine
+from repro.core import (
+    TransitionAnalysis,
+    compute_floating_delay,
+    compute_transition_delay,
+)
+from repro.network import CircuitBuilder, GateType, normalize_delays
+from repro.sim import EventSimulator, all_input_vectors
+
+from tests.helpers import random_circuit
+
+SEEDS = st.integers(min_value=0, max_value=10_000)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=SEEDS)
+def test_normalization_preserves_transition_delay(seed):
+    """The Sec. V-E reduction (delay-d gate -> unit gate + buffer chain)
+    must not change the transition delay."""
+    circuit = random_circuit(seed, num_inputs=3, num_gates=5, max_delay=3)
+    normalized = normalize_delays(circuit)
+    original = compute_transition_delay(circuit, engine=BddEngine())
+    reduced = compute_transition_delay(normalized, engine=BddEngine())
+    assert original.delay == reduced.delay
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=SEEDS)
+def test_normalization_preserves_floating_delay(seed):
+    circuit = random_circuit(seed, num_inputs=3, num_gates=5, max_delay=3)
+    normalized = normalize_delays(circuit)
+    original = compute_floating_delay(circuit, engine=BddEngine())
+    reduced = compute_floating_delay(normalized, engine=BddEngine())
+    assert original.delay == reduced.delay
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=SEEDS)
+def test_normalization_preserves_pair_waveforms_at_outputs(seed):
+    circuit = random_circuit(seed, num_inputs=3, num_gates=5, max_delay=3)
+    normalized = normalize_delays(circuit)
+    sim_orig = EventSimulator(circuit)
+    sim_norm = EventSimulator(normalized)
+    vectors = all_input_vectors(circuit)
+    for prev in vectors[:3]:
+        for nxt in vectors[-3:]:
+            left = sim_orig.simulate_transition(prev, nxt)
+            right = sim_norm.simulate_transition(prev, nxt)
+            for out in circuit.outputs:
+                assert (
+                    left.waveforms[out].events == right.waveforms[out].events
+                )
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2_000))
+def test_input_clock_times_equal_buffered_inputs(seed):
+    """Clocking input x at time T (Sec. V-C) is equivalent to clocking it
+    at 0 behind a delay-T buffer."""
+    circuit = random_circuit(seed, num_inputs=3, num_gates=5, max_delay=1)
+    shift = (seed % 3) + 1
+    target = circuit.inputs[0]
+
+    # Variant with an explicit buffer on the chosen input.
+    b = CircuitBuilder("buffered")
+    for name in circuit.inputs:
+        b.input(name + "#pi")
+    alias = {name: name + "#pi" for name in circuit.inputs}
+    b.buf(alias[target], name=target + "#dly", delay=shift)
+    alias[target] = target + "#dly"
+    for node_name in circuit.topological_order():
+        node = circuit.node(node_name)
+        if node.gate_type == GateType.INPUT:
+            continue
+        fanins = [alias.get(f, f) for f in node.fanins]
+        b.gate(node.gate_type, fanins, name=node_name, delay=node.delay)
+        alias[node_name] = node_name
+    for out in circuit.outputs:
+        b.output(out)
+    buffered = b.build()
+
+    staggered = compute_transition_delay(
+        circuit,
+        engine=BddEngine(),
+        input_times={target: shift},
+    )
+    explicit = compute_transition_delay(buffered, engine=BddEngine())
+    assert staggered.delay == explicit.delay
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=SEEDS)
+def test_windows_shift_with_input_times(seed):
+    circuit = random_circuit(seed, num_inputs=3, num_gates=5, max_delay=1)
+    base = TransitionAnalysis(circuit, BddEngine())
+    shifted = TransitionAnalysis(
+        circuit,
+        BddEngine(),
+        input_times={name: 5 for name in circuit.inputs},
+    )
+    for out in circuit.outputs:
+        assert shifted.earliest(out) == base.earliest(out) + 5
+        assert shifted.latest(out) == base.latest(out) + 5
