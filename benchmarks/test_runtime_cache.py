@@ -1,0 +1,107 @@
+"""Runtime subsystem benchmark: warm-cache speedup and shard equivalence.
+
+Acceptance checks for the parallel/caching runtime:
+
+* a warm-cache rerun of the Table II core queries is measurably faster
+  than the cold run and returns byte-identical certificates,
+* ``jobs=1`` and ``jobs=4`` produce identical certification pairs on a
+  medium ISCAS stand-in,
+* the metrics counters actually record the hits (the durable record goes
+  to ``benchmarks/results/runtime_cache*.txt``).
+"""
+
+import time
+
+from repro.circuits import iscas
+from repro.core import (
+    collect_certification_pairs,
+    compute_floating_delay,
+    compute_transition_delay,
+)
+from repro.runtime import METRICS, DelayCache
+
+from .common import render_rows, write_metrics, write_result
+
+
+def _timed_run(circuit, cache):
+    start = time.perf_counter()
+    floating = compute_floating_delay(circuit, cache=cache)
+    transition = compute_transition_delay(
+        circuit, upper=floating.delay, cache=cache
+    )
+    return time.perf_counter() - start, floating, transition
+
+
+def test_warm_cache_rerun_is_faster_and_identical(tmp_path):
+    circuit = iscas.build("c432")
+    cache = DelayCache(cache_dir=str(tmp_path))
+    METRICS.reset()
+    cold_s, cold_f, cold_t = _timed_run(circuit, cache)
+    warm_s, warm_f, warm_t = _timed_run(circuit, cache)
+
+    assert warm_f.delay == cold_f.delay
+    assert warm_f.witness == cold_f.witness
+    assert warm_t.delay == cold_t.delay
+    assert warm_t.output == cold_t.output
+    if cold_t.pair is not None:
+        assert warm_t.pair.v_prev == cold_t.pair.v_prev
+        assert warm_t.pair.v_next == cold_t.pair.v_next
+
+    # Cache-tier accounting: the warm run must be pure hits.
+    assert METRICS.counter("cache.stores") >= 2
+    assert METRICS.counter("cache.memory_hits") >= 2
+    # A hit skips the whole symbolic build; anything less than 10x means
+    # the cache is broken, so 2x is a flake-proof floor.
+    assert warm_s < cold_s / 2
+
+    # A fresh process would miss the memory tier and hit the disk tier.
+    disk_only = DelayCache(cache_dir=str(tmp_path))
+    disk_s, disk_f, disk_t = _timed_run(circuit, disk_only)
+    assert (disk_f.delay, disk_t.delay) == (cold_f.delay, cold_t.delay)
+    assert METRICS.counter("cache.disk_hits") >= 2
+    assert disk_s < cold_s / 2
+
+    rows = [
+        ["cold", f"{cold_s*1000:.1f}", cold_f.delay, cold_t.delay],
+        ["warm (memory)", f"{warm_s*1000:.1f}", warm_f.delay, warm_t.delay],
+        ["warm (disk)", f"{disk_s*1000:.1f}", disk_f.delay, disk_t.delay],
+    ]
+    write_result(
+        "runtime_cache",
+        render_rows(
+            "warm-cache rerun, c432 stand-in",
+            rows,
+            headers=["run", "ms", "f.d.", "t.d."],
+        ),
+    )
+    write_metrics("runtime_cache")
+
+
+def test_sharded_pairs_match_serial_on_medium_circuit():
+    circuit = iscas.build("c880")
+    METRICS.reset()
+    with METRICS.phase("bench.serial"):
+        serial = collect_certification_pairs(circuit, jobs=1)
+    with METRICS.phase("bench.jobs4"):
+        sharded = collect_certification_pairs(circuit, jobs=4)
+    assert list(sharded) == list(serial)
+    for out in serial:
+        t_serial, pair_serial = serial[out]
+        t_sharded, pair_sharded = sharded[out]
+        assert t_serial == t_sharded, out
+        assert pair_serial.v_prev == pair_sharded.v_prev, out
+        assert pair_serial.v_next == pair_sharded.v_next, out
+    rows = [
+        ["jobs=1", f"{METRICS.phase_seconds('bench.serial')*1000:.1f}",
+         len(serial)],
+        ["jobs=4", f"{METRICS.phase_seconds('bench.jobs4')*1000:.1f}",
+         len(sharded)],
+    ]
+    write_result(
+        "runtime_parallel",
+        render_rows(
+            "certification pairs, c880 stand-in (identical results)",
+            rows,
+            headers=["run", "ms", "outputs"],
+        ),
+    )

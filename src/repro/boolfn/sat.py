@@ -274,7 +274,7 @@ class SatSolver:
             assert reason_clause is not None
             # Put p first so the skip (start=1) drops it from resolution.
             if reason_clause[0] != p:
-                reason_clause = [p] + [l for l in reason_clause if l != p]
+                reason_clause = [p] + [lit for lit in reason_clause if lit != p]
             reason = reason_clause
         learned[0] = p ^ 1
         if len(learned) == 1:

@@ -11,7 +11,7 @@ deterministic.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from ..network.builder import CircuitBuilder
 from ..network.circuit import Circuit

@@ -50,6 +50,7 @@ from .network import (
     render_cone,
     render_levels,
 )
+from .runtime import METRICS, configure_cache
 from .sim import EventSimulator, dumps_vcd
 from .sta import render_table, statistics_row, timing_report
 
@@ -136,7 +137,9 @@ def cmd_delays(args) -> int:
 
 def cmd_vectors(args) -> int:
     circuit = load_circuit(args.netlist)
-    pairs = collect_certification_pairs(circuit, engine_name=args.engine)
+    pairs = collect_certification_pairs(
+        circuit, engine_name=args.engine, jobs=args.jobs
+    )
     rows = [
         [out, t, pair.render(circuit.inputs)]
         for out, (t, pair) in sorted(pairs.items())
@@ -158,6 +161,7 @@ def cmd_certify(args) -> int:
         accurate_circuit=accurate,
         engine_name=args.engine,
         statistical_samples=args.samples,
+        jobs=args.jobs,
     )
     print(report.describe())
     return 0 if report.verdict.value.startswith("CERTIFIED") else 1
@@ -170,7 +174,7 @@ def cmd_faults(args) -> int:
         TestStrength.NON_ROBUST if args.non_robust else TestStrength.ROBUST
     )
     coverage = generator.generate_for_longest_paths(
-        args.paths, strength=strength
+        args.paths, strength=strength, jobs=args.jobs
     )
     rows = [
         [str(t.fault), t.path_length, t.pair.render(circuit.inputs)]
@@ -265,6 +269,32 @@ def build_parser() -> argparse.ArgumentParser:
             default="auto",
             help="Boolean function engine (default: auto)",
         )
+        p.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            metavar="N",
+            help="worker processes for sharded queries "
+            "(1 = serial, 0 = all cores; default: 1)",
+        )
+        p.add_argument(
+            "--cache",
+            default=None,
+            metavar="DIR",
+            help="enable the result cache with an on-disk store under DIR",
+        )
+        p.add_argument(
+            "--no-cache",
+            action="store_true",
+            help="disable result caching (overrides --cache and "
+            "REPRO_CACHE_DIR)",
+        )
+        p.add_argument(
+            "--metrics",
+            action="store_true",
+            help="print runtime metrics (probes, cache hits, phase "
+            "times) to stderr after the command",
+        )
         p.set_defaults(func=fn)
         return p
 
@@ -317,14 +347,25 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _configure_runtime(args) -> None:
+    if getattr(args, "no_cache", False):
+        configure_cache(enabled=False)
+    elif getattr(args, "cache", None):
+        configure_cache(enabled=True, cache_dir=args.cache)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    _configure_runtime(args)
     try:
         return args.func(args)
     except (ValueError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    finally:
+        if getattr(args, "metrics", False):
+            print(METRICS.report(), file=sys.stderr)
 
 
 if __name__ == "__main__":

@@ -37,6 +37,8 @@ from .statistical import (
     StatisticalTimingResult,
     monte_carlo_delay,
     monte_carlo_topological,
+    resolve_delay_model,
+    sample_delay_once,
     speedup_only_variation,
     uniform_variation,
 )
@@ -62,13 +64,16 @@ from .transition import (
     collect_certification_pairs,
     compute_transition_delay,
     extend_floating_witness,
+    pairs_for_outputs,
     query_delay_at_least,
 )
 from .vectors import (
     CUR_SUFFIX,
     PREV_SUFFIX,
+    AttributionError,
     DelayCertificate,
     VectorPair,
+    canonical_input_order,
     cur_var,
     format_vector,
     prev_var,
@@ -80,6 +85,7 @@ __all__ = [
     "TransitionAnalysis",
     "compute_transition_delay",
     "collect_certification_pairs",
+    "pairs_for_outputs",
     "extend_floating_witness",
     "query_delay_at_least",
     "LowerBoundResult",
@@ -111,6 +117,8 @@ __all__ = [
     "StatisticalTimingResult",
     "monte_carlo_delay",
     "monte_carlo_topological",
+    "resolve_delay_model",
+    "sample_delay_once",
     "uniform_variation",
     "speedup_only_variation",
     "DiscreteDistribution",
@@ -118,6 +126,8 @@ __all__ = [
     "circuit_delay_distribution",
     "uniform_delay_model",
     "fixed_delay_model",
+    "AttributionError",
+    "canonical_input_order",
     "DelayCertificate",
     "VectorPair",
     "prev_var",

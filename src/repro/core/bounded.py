@@ -29,8 +29,17 @@ from typing import Callable, Dict, Optional, Tuple
 from ..boolfn.interface import make_engine
 from ..network.circuit import Circuit
 from ..network.gates import GateType, gate_function, gate_settle
+from ..runtime.cache import resolve_cache
+from ..runtime.metrics import METRICS, record_engine_metrics
 from .transition import PairConstraintBuilder
-from .vectors import DelayCertificate, VectorPair, cur_var, prev_var
+from .vectors import (
+    AttributionError,
+    DelayCertificate,
+    VectorPair,
+    canonical_input_order,
+    cur_var,
+    prev_var,
+)
 
 Bounds = Callable[[str], Tuple[int, int]]
 
@@ -41,6 +50,9 @@ def monotone_speedup_bounds(circuit: Circuit) -> Bounds:
     def bounds(name: str) -> Tuple[int, int]:
         return 0, circuit.node(name).delay
 
+    # Derived purely from the circuit's own delays (already part of the
+    # cache fingerprint), so results under these bounds are cacheable.
+    bounds.cache_id = "monotone-speedup"
     return bounds
 
 
@@ -51,7 +63,18 @@ def fixed_delay_bounds(circuit: Circuit) -> Bounds:
         d = circuit.node(name).delay
         return d, d
 
+    bounds.cache_id = "fixed-delay"
     return bounds
+
+
+def _bounds_cache_id(bounds: Optional[Bounds]) -> Optional[str]:
+    """Identity of a bounds callable for cache keying, or None."""
+    if bounds is None:
+        return "monotone-speedup"
+    tag = getattr(bounds, "cache_id", None)
+    if isinstance(tag, str) and tag:
+        return tag
+    return None
 
 
 class BoundedAnalysis:
@@ -68,6 +91,11 @@ class BoundedAnalysis:
         circuit.validate()
         self.circuit = circuit
         self.engine = engine or make_engine(engine_name, circuit.num_gates)
+        # Canonical doubled-variable order, as in TransitionAnalysis: makes
+        # witnesses independent of which signal's functions build first.
+        for name in canonical_input_order(circuit):
+            self.engine.var(prev_var(name))
+            self.engine.var(cur_var(name))
         self.bounds = bounds or monotone_speedup_bounds(circuit)
         self.input_times = dict(input_times or {})
         for name in circuit.gate_names():
@@ -202,6 +230,7 @@ def compute_bounded_transition_delay(
     constraint: Optional[PairConstraintBuilder] = None,
     input_times: Optional[Dict[str, int]] = None,
     analysis: Optional[BoundedAnalysis] = None,
+    cache=None,
 ) -> DelayCertificate:
     """Bounded-delay transition delay (a safe upper bound) with a witness
     vector pair — the Table III computation.
@@ -209,25 +238,52 @@ def compute_bounded_transition_delay(
     With ``monotone_speedup_bounds`` (the default) this is the
     monotone-speedup-safe transition delay; on the combinational benchmarks
     it validates the floating delay, exactly as the paper reports.
+
+    Cacheable (see :mod:`repro.runtime.cache`) when no explicit ``engine``
+    or ``analysis`` is supplied and ``bounds`` is either the default or a
+    callable tagged with a ``cache_id``.
     """
     from .floating import with_bdd_fallback
 
     if analysis is None:
-        return with_bdd_fallback(
-            lambda eng: compute_bounded_transition_delay(
+        store = None
+        token = None
+        bounds_id = _bounds_cache_id(bounds)
+        if engine is None and bounds_id is not None:
+            store = resolve_cache(cache)
+            token = store.token(
                 circuit,
-                bounds=bounds,
-                engine_name=engine_name,
-                upper=upper,
-                constraint=constraint,
-                input_times=input_times,
-                analysis=BoundedAnalysis(
-                    circuit, bounds, eng, engine_name, input_times
+                "bounded-transition",
+                engine_name,
+                constraint,
+                {
+                    "input_times": input_times or {},
+                    "upper": upper,
+                    "bounds": bounds_id,
+                },
+            )
+            cached = store.get(token)
+            if cached is not None:
+                return cached
+        with METRICS.phase("core.bounded"):
+            result = with_bdd_fallback(
+                lambda eng: compute_bounded_transition_delay(
+                    circuit,
+                    bounds=bounds,
+                    engine_name=engine_name,
+                    upper=upper,
+                    constraint=constraint,
+                    input_times=input_times,
+                    analysis=BoundedAnalysis(
+                        circuit, bounds, eng, engine_name, input_times
+                    ),
                 ),
-            ),
-            engine,
-            engine_name,
-        )
+                engine,
+                engine_name,
+            )
+        if store is not None:
+            store.put(token, result)
+        return result
     engine = analysis.engine
     outputs = circuit.outputs
     if not outputs:
@@ -274,14 +330,26 @@ def compute_bounded_transition_delay(
                 continue
             pair = VectorPair.from_model(model, circuit.inputs)
             env = pair.to_model()
-            out = eligible[0]
+            out = None
             for candidate in eligible:
                 if engine.evaluate(
                     analysis.possibly_transitioning(candidate, t), env
                 ):
                     out = candidate
                     break
+            if out is None:
+                # Same invariant as the fixed-delay search: the witness
+                # must re-satisfy some candidate under the completion the
+                # certificate reports, or the output name would be wrong.
+                raise AttributionError(
+                    f"bounded witness at t={t} excites none of the "
+                    f"eligible outputs of {circuit.name!r} under the "
+                    "reported don't-care completion"
+                )
         value = circuit.evaluate(pair.v_next)[out]
+        record_engine_metrics(
+            "bounded", engine, analysis.num_functions(), checks
+        )
         return DelayCertificate(
             mode="bounded-transition",
             delay=t,
@@ -291,6 +359,7 @@ def compute_bounded_transition_delay(
             checks=checks,
             extra={"functions_built": analysis.num_functions()},
         )
+    record_engine_metrics("bounded", engine, analysis.num_functions(), checks)
     return DelayCertificate(
         mode="bounded-transition",
         delay=0,

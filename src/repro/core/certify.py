@@ -23,9 +23,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..network.circuit import Circuit
+from ..runtime.cache import resolve_cache
+from ..runtime.fingerprint import circuit_fingerprint
+from ..runtime.metrics import METRICS
 from ..sim.event_sim import EventSimulator
 from .clocking import theorem31_min_period
 from .floating import compute_floating_delay
@@ -122,6 +125,8 @@ def certify(
     per_output_pairs: bool = True,
     statistical_samples: int = 0,
     seed: int = 97,
+    jobs: int = 1,
+    cache=None,
 ) -> CertificationReport:
     """Run the complete certified-timing-verification flow.
 
@@ -130,8 +135,40 @@ def certify(
     verifier's own model only.  ``constraint``/``floating_constraint``
     restrict the vector spaces (FSM benchmarks).  ``statistical_samples``
     > 0 enables the Monte Carlo follow-up when the verdict is conservative.
+
+    ``jobs`` shards the per-output pair collection and the Monte Carlo
+    follow-up across worker processes (``1`` = serial, bit-identical to
+    the historical flow; ``0`` = all cores).  Unconstrained runs are
+    served whole from the runtime cache (the entire report is cached,
+    keyed by both circuits' fingerprints and the flow parameters).
     """
     circuit.validate()
+    store = None
+    token = None
+    if constraint is None and floating_constraint is None:
+        store = resolve_cache(cache)
+        token = store.token(
+            circuit,
+            "certify",
+            engine_name,
+            None,
+            {
+                "accurate": (
+                    circuit_fingerprint(accurate_circuit)
+                    if accurate_circuit is not None
+                    else None
+                ),
+                "per_output_pairs": per_output_pairs,
+                "samples": statistical_samples,
+                "seed": seed,
+                # jobs only matters to the report via the Monte Carlo
+                # draw mode (serial stream vs per-sample sub-streams).
+                "mc_mode": "serial" if jobs == 1 else "sharded",
+            },
+        )
+        cached = store.get(token)
+        if cached is not None:
+            return cached
     omega = circuit.topological_delay()
 
     # Step 1: the upper bound delta by floating-delay computation.
@@ -173,15 +210,23 @@ def certify(
         )
     pairs: Dict[str, Tuple[int, VectorPair]] = {}
     if per_output_pairs:
-        pairs = collect_certification_pairs(
-            circuit, analysis=analysis, constraint=constraint
-        )
+        if jobs != 1 and constraint is None:
+            # Fan the per-output queries across workers; canonical engine
+            # variable order makes the result identical to the serial
+            # shared-analysis path.
+            pairs = collect_certification_pairs(
+                circuit, engine_name=engine_name, jobs=jobs
+            )
+        else:
+            pairs = collect_certification_pairs(
+                circuit, analysis=analysis, constraint=constraint
+            )
     elif transition.pair is not None and transition.output is not None:
         pairs = {transition.output: (transition.delay, transition.pair)}
 
     notes: List[str] = []
     if not pairs:
-        return CertificationReport(
+        report = CertificationReport(
             circuit_name=circuit.name,
             topological_delay=omega,
             floating=floating,
@@ -193,27 +238,34 @@ def certify(
             certified_min_period=theorem31_min_period(circuit, 0),
             notes=["no vector pair produces any output transition"],
         )
+        if store is not None:
+            store.put(token, report)
+        return report
 
     # Step 3: replay on the verifier's model (an internal self-check: the
     # event simulator must observe exactly the computed transition delay).
     simulator = EventSimulator(circuit)
-    model_replay = max(
-        simulator.measure_pair_delay(pair.v_prev, pair.v_next)
-        for __, pair in pairs.values()
-    )
+    with METRICS.phase("certify.replay"):
+        model_replay = max(
+            simulator.measure_pair_delay(pair.v_prev, pair.v_next)
+            for __, pair in pairs.values()
+        )
     if model_replay != transition.delay:
         notes.append(
-            f"self-check: replay on the verifier model observed "
+            "self-check: replay on the verifier model observed "
             f"{model_replay}, computed {transition.delay}"
         )
 
     accurate_replay: Optional[int] = None
     if accurate_circuit is not None:
         accurate_simulator = EventSimulator(accurate_circuit)
-        accurate_replay = max(
-            accurate_simulator.measure_pair_delay(pair.v_prev, pair.v_next)
-            for __, pair in pairs.values()
-        )
+        with METRICS.phase("certify.replay"):
+            accurate_replay = max(
+                accurate_simulator.measure_pair_delay(
+                    pair.v_prev, pair.v_next
+                )
+                for __, pair in pairs.values()
+            )
 
     # Step 4: verdict.
     gamma = accurate_replay if accurate_replay is not None else model_replay
@@ -235,14 +287,16 @@ def certify(
 
     statistics: Optional[StatisticalTimingResult] = None
     if statistical_samples > 0:
-        statistics = monte_carlo_delay(
-            accurate_circuit if accurate_circuit is not None else circuit,
-            [pair for __, pair in pairs.values()],
-            num_samples=statistical_samples,
-            seed=seed,
-        )
+        with METRICS.phase("certify.statistical"):
+            statistics = monte_carlo_delay(
+                accurate_circuit if accurate_circuit is not None else circuit,
+                [pair for __, pair in pairs.values()],
+                num_samples=statistical_samples,
+                seed=seed,
+                jobs=jobs,
+            )
 
-    return CertificationReport(
+    report = CertificationReport(
         circuit_name=circuit.name,
         topological_delay=omega,
         floating=floating,
@@ -255,3 +309,6 @@ def certify(
         statistics=statistics,
         notes=notes,
     )
+    if store is not None:
+        store.put(token, report)
+    return report

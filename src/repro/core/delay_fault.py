@@ -35,7 +35,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from ..network.circuit import Circuit
 from ..network.gates import GateType, controlling_value
@@ -87,6 +87,11 @@ class PathFaultGenerator:
         self.circuit = circuit
         self.analysis = TransitionAnalysis(circuit, engine, engine_name)
         self.engine = self.analysis.engine
+        self._engine_name = engine_name
+        # Sharding rebuilds the generator in worker processes, which is
+        # only transparent when the engine is generator-owned and the care
+        # set is unrestricted (constraints are unpicklable closures).
+        self._shardable = engine is None and constraint is None
         self._care = self.engine.const1
         if constraint is not None:
             self._care = constraint(self.engine, self.engine.var)
@@ -192,19 +197,45 @@ class PathFaultGenerator:
         strength: TestStrength = TestStrength.ROBUST,
         strong: bool = False,
         directions: Sequence[bool] = (True, False),
+        jobs: int = 1,
     ) -> "FaultCoverage":
         """Tests for both transition directions of the ``count`` longest
-        paths — the practical 'test the critical paths' flow."""
-        tests: List[PathFaultTest] = []
-        untestable: List[PathFault] = []
+        paths — the practical 'test the critical paths' flow.
+
+        Each (path, direction) query is independent; ``jobs != 1`` fans
+        them across worker processes (``0`` = all cores) and merges by
+        task index, yielding the same coverage as the serial loop."""
+        tasks = []
         for __, path in k_longest_paths(self.circuit, count):
             for rising in directions:
+                tasks.append((len(tasks), tuple(path), rising,
+                              strength.value, strong))
+        if jobs != 1 and self._shardable and len(tasks) > 1:
+            from ..runtime.parallel import shard_fault_tests
+
+            outcomes = shard_fault_tests(
+                self.circuit, tasks, engine_name=self._engine_name,
+                jobs=jobs,
+            )
+        else:
+            outcomes = []
+            for __, path, rising, strength_value, strong_flag in tasks:
                 fault = PathFault(list(path), rising)
-                test = self.generate(fault, strength, strong)
-                if test is None:
-                    untestable.append(fault)
-                else:
-                    tests.append(test)
+                outcomes.append(
+                    (
+                        fault,
+                        self.generate(
+                            fault, TestStrength(strength_value), strong_flag
+                        ),
+                    )
+                )
+        tests: List[PathFaultTest] = []
+        untestable: List[PathFault] = []
+        for fault, test in outcomes:
+            if test is None:
+                untestable.append(fault)
+            else:
+                tests.append(test)
         return FaultCoverage(tests, untestable)
 
 

@@ -26,13 +26,15 @@ the negation one step earlier is the floating-delay witness vector.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from ..boolfn.bdd import BddOverflow
 from ..boolfn.interface import SatEngine, make_engine
 from ..network.circuit import Circuit
 from ..network.gates import GateType, gate_settle
-from .vectors import DelayCertificate
+from ..runtime.cache import resolve_cache
+from ..runtime.metrics import METRICS, record_engine_metrics
+from .vectors import AttributionError, DelayCertificate, canonical_input_order
 
 
 def with_bdd_fallback(compute, engine, engine_name: str):
@@ -69,6 +71,13 @@ class FloatingAnalysis:
         circuit.validate()
         self.circuit = circuit
         self.engine = engine or make_engine(engine_name, circuit.num_gates)
+        # Declare the input variables up front, in canonical cone order:
+        # pins engine state (and hence sat_one witnesses) to the circuit
+        # content so worker-process analyses match serial runs, without
+        # the BDD blowup a declaration-order would cause on arithmetic
+        # circuits (see canonical_input_order).
+        for name in canonical_input_order(circuit):
+            self.engine.var(name)
         self.input_times = dict(input_times or {})
         self._delta: Dict[str, int] = {}
         self._Delta: Dict[str, int] = {}
@@ -147,6 +156,7 @@ def compute_floating_delay(
     input_times: Optional[Dict[str, int]] = None,
     upper: Optional[int] = None,
     search: str = "auto",
+    cache=None,
 ) -> DelayCertificate:
     """The exact floating delay and its witness vector.
 
@@ -165,14 +175,42 @@ def compute_floating_delay(
 
     Returns a :class:`DelayCertificate` with ``mode="floating"``; its
     ``checks`` field counts satisfiability checks (the '#check' column).
+
+    Results are served from the runtime cache (``repro.runtime.cache``)
+    when no explicit ``engine`` instance is passed and the constraint is
+    absent or carries a ``cache_id``; ``cache`` overrides the process
+    global (pass a disabled :class:`~repro.runtime.cache.DelayCache` to
+    opt out for one call).
     """
-    return with_bdd_fallback(
-        lambda eng: _compute_floating_delay(
-            circuit, eng, engine_name, constraint, input_times, upper, search
-        ),
-        engine,
-        engine_name,
-    )
+    store = resolve_cache(cache) if engine is None else None
+    token = None
+    if store is not None:
+        token = store.token(
+            circuit,
+            "floating",
+            engine_name,
+            constraint,
+            {
+                "input_times": input_times or {},
+                "upper": upper,
+                "search": search,
+            },
+        )
+        cached = store.get(token)
+        if cached is not None:
+            return cached
+    with METRICS.phase("core.floating"):
+        result = with_bdd_fallback(
+            lambda eng: _compute_floating_delay(
+                circuit, eng, engine_name, constraint, input_times, upper,
+                search
+            ),
+            engine,
+            engine_name,
+        )
+    if store is not None:
+        store.put(token, result)
+    return result
 
 
 def _compute_floating_delay(
@@ -205,7 +243,10 @@ def _compute_floating_delay(
                 analysis.unsettled(out, t), env
             ):
                 return out
-        return outputs[0]
+        raise AttributionError(
+            f"floating witness at t={t} leaves no eligible output of "
+            f"{circuit.name!r} unsettled"
+        )
 
     def witness_at(t: int):
         """A ``(model, output-or-None)`` pair not settled by time ``t``,
@@ -234,11 +275,15 @@ def _compute_floating_delay(
             return None
         return model, None
 
-    checks += 1
-    if engine.sat_one(care) is None:
-        # The care set admits no vector at all (e.g. an FSM with no
-        # reachable states): no event can ever be excited.
-        return DelayCertificate(mode="floating", delay=0, checks=checks)
+    if constraint is not None:
+        # Emptiness probe only when a care set was actually supplied —
+        # on const1 it is trivially SAT and would inflate the '#check'
+        # column of every combinational run.
+        checks += 1
+        if engine.sat_one(care) is None:
+            # The care set admits no vector at all (e.g. an FSM with no
+            # reachable states): no event can ever be excited.
+            return DelayCertificate(mode="floating", delay=0, checks=checks)
 
     if search == "auto":
         search = (
@@ -278,6 +323,7 @@ def _compute_floating_delay(
                 best = (result[0], result[1], t)
                 break
 
+    record_engine_metrics("floating", engine, analysis.num_functions(), checks)
     if best is None:
         # Every output settled as early as possible.
         return DelayCertificate(

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..network.circuit import Circuit
@@ -32,6 +32,9 @@ def uniform_variation(spread: int = 1) -> DelayModel:
     def model(rng: random.Random, nominal: int) -> int:
         return max(0, nominal + rng.randint(-spread, spread))
 
+    # Closures do not cross process boundaries; the spec tuple lets the
+    # parallel sharder rebuild this model inside a worker.
+    model.spec = ("uniform", spread)
     return model
 
 
@@ -41,7 +44,18 @@ def speedup_only_variation() -> DelayModel:
     def model(rng: random.Random, nominal: int) -> int:
         return rng.randint(0, nominal)
 
+    model.spec = ("speedup",)
     return model
+
+
+def resolve_delay_model(spec: Tuple) -> DelayModel:
+    """Rebuild a delay model from its picklable spec tuple (workers)."""
+    kind = spec[0]
+    if kind == "uniform":
+        return uniform_variation(spec[1])
+    if kind == "speedup":
+        return speedup_only_variation()
+    raise ValueError(f"unknown delay-model spec {spec!r}")
 
 
 @dataclass
@@ -94,40 +108,81 @@ class StatisticalTimingResult:
         return [(tau, self.yield_at(tau)) for tau in range(lo, hi + 1)]
 
 
+def _nominal_delays(circuit: Circuit) -> Dict[str, int]:
+    return {
+        node.name: node.delay
+        for node in circuit.nodes()
+        if node.gate_type != GateType.INPUT
+    }
+
+
+def sample_delay_once(
+    circuit: Circuit,
+    pairs: Sequence[VectorPair],
+    delay_model: DelayModel,
+    rng: random.Random,
+    nominal: Optional[Dict[str, int]] = None,
+) -> int:
+    """One Monte Carlo trial: draw every gate's delay from ``delay_model``
+    (in node order, one draw per gate) and replay all pairs, returning the
+    worst observed delay.  Shared by the serial loop and the workers of
+    :mod:`repro.runtime.parallel`."""
+    if nominal is None:
+        nominal = _nominal_delays(circuit)
+    sample_circuit = circuit.copy()
+    for name, nom in nominal.items():
+        sample_circuit.set_delay(name, delay_model(rng, nom))
+    simulator = EventSimulator(sample_circuit)
+    worst = 0
+    for pair in pairs:
+        worst = max(
+            worst, simulator.measure_pair_delay(pair.v_prev, pair.v_next)
+        )
+    return worst
+
+
 def monte_carlo_delay(
     circuit: Circuit,
     pairs: Sequence[VectorPair],
     num_samples: int = 100,
     delay_model: Optional[DelayModel] = None,
     seed: int = 97,
+    jobs: int = 1,
 ) -> StatisticalTimingResult:
     """Sample per-gate delays and replay the certification pairs.
 
     Each sample draws every gate's delay independently from ``delay_model``
     (default: +/-1 uniform variation) and records the worst delay observed
     over all ``pairs`` in single-stepping mode.
+
+    ``jobs=1`` (the default) consumes one rng stream across all samples
+    and reproduces the historical sample sequence bit-for-bit.  ``jobs !=
+    1`` shards samples across worker processes using per-sample seeded
+    sub-streams merged in index order: the sample list is then a pure
+    function of ``(circuit, pairs, num_samples, seed, model)`` — the same
+    for every ``jobs >= 2`` — but intentionally a *different* (equally
+    valid) draw than the serial stream.  Sharding requires a model carrying
+    a picklable ``spec`` (the built-in models do); custom closures fall
+    back to the serial loop.
     """
     if not pairs:
         raise ValueError("need at least one certification vector pair")
     delay_model = delay_model or uniform_variation(1)
-    rng = random.Random(seed)
-    nominal = {
-        node.name: node.delay
-        for node in circuit.nodes()
-        if node.gate_type != GateType.INPUT
-    }
-    samples: List[int] = []
-    for __ in range(num_samples):
-        sample_circuit = circuit.copy()
-        for name, nom in nominal.items():
-            sample_circuit.set_delay(name, delay_model(rng, nom))
-        simulator = EventSimulator(sample_circuit)
-        worst = 0
-        for pair in pairs:
-            worst = max(
-                worst, simulator.measure_pair_delay(pair.v_prev, pair.v_next)
+    if jobs != 1:
+        spec = getattr(delay_model, "spec", None)
+        if spec is not None:
+            from ..runtime.parallel import shard_monte_carlo
+
+            samples = shard_monte_carlo(
+                circuit, list(pairs), num_samples, seed, spec, jobs
             )
-        samples.append(worst)
+            return StatisticalTimingResult(samples, len(pairs))
+    rng = random.Random(seed)
+    nominal = _nominal_delays(circuit)
+    samples = [
+        sample_delay_once(circuit, pairs, delay_model, rng, nominal)
+        for __ in range(num_samples)
+    ]
     return StatisticalTimingResult(samples, len(pairs))
 
 

@@ -22,7 +22,6 @@ from typing import Callable, Dict, Optional
 import numpy as np
 
 from ..network.circuit import Circuit
-from ..network.gates import GateType
 
 
 @dataclass

@@ -11,10 +11,11 @@ reports can show *which* path sets the clock period, not just the number.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from ..network.circuit import Circuit
 from ..network.gates import GateType
+from ..runtime.metrics import METRICS
 from ..sim.event_sim import EventSimulator, TransitionResult
 from .vectors import VectorPair
 
@@ -52,9 +53,11 @@ def trace_critical_chain(
     (default: the output with the latest event).  Returns None when the
     pair produces no output event at all."""
     if result is None:
-        result = EventSimulator(circuit).simulate_transition(
-            pair.v_prev, pair.v_next
-        )
+        with METRICS.phase("trace.replay"):
+            result = EventSimulator(circuit).simulate_transition(
+                pair.v_prev, pair.v_next
+            )
+    METRICS.incr("trace.chains")
     waveforms = result.waveforms
     if output is None:
         candidates = [

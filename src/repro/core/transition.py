@@ -24,14 +24,18 @@ explicit ``w_g`` accounting).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..boolfn.interface import make_engine
 from ..network.circuit import Circuit
 from ..network.gates import GateType, gate_function
+from ..runtime.cache import resolve_cache
+from ..runtime.metrics import METRICS, record_engine_metrics
 from .vectors import (
+    AttributionError,
     DelayCertificate,
     VectorPair,
+    canonical_input_order,
     cur_var,
     prev_var,
 )
@@ -55,6 +59,14 @@ class TransitionAnalysis:
         circuit.validate()
         self.circuit = circuit
         self.engine = engine or make_engine(engine_name, circuit.num_gates)
+        # Pre-declare the doubled variables in canonical cone order so
+        # engine state (BDD variable order, AIG signature streams) — and
+        # hence the witnesses sat_one picks — is a function of the circuit
+        # content alone, identical between a serial run and a fresh
+        # worker-process analysis (see canonical_input_order).
+        for name in canonical_input_order(circuit):
+            self.engine.var(prev_var(name))
+            self.engine.var(cur_var(name))
         #: Per-input clock time: ``a@0`` takes effect at this time
         #: (Sec. V-C: "the inputs need not be clocked at the same time").
         self.input_times = dict(input_times or {})
@@ -204,6 +216,7 @@ def compute_transition_delay(
     constraint: Optional[PairConstraintBuilder] = None,
     input_times: Optional[Dict[str, int]] = None,
     analysis: Optional[TransitionAnalysis] = None,
+    cache=None,
 ) -> DelayCertificate:
     """The exact transition delay under fixed gate delays (single-stepping
     mode), with a certification vector pair.
@@ -212,22 +225,45 @@ def compute_transition_delay(
     the circuit >= delta?") — the natural ``upper`` is the floating delay,
     which bounds the transition delay from above (Sec. VII).  ``checks``
     counts satisfiability checks (the '#check' column of Table II).
+
+    When neither an ``engine`` nor an ``analysis`` is supplied, the result
+    is served from the runtime cache (keyed by circuit fingerprint; see
+    :mod:`repro.runtime.cache`).
     """
     from .floating import with_bdd_fallback
 
     if analysis is None:
-        return with_bdd_fallback(
-            lambda eng: compute_transition_delay(
+        store = resolve_cache(cache) if engine is None else None
+        token = None
+        if store is not None:
+            token = store.token(
                 circuit,
-                engine_name=engine_name,
-                upper=upper,
-                constraint=constraint,
-                input_times=input_times,
-                analysis=TransitionAnalysis(circuit, eng, engine_name, input_times),
-            ),
-            engine,
-            engine_name,
-        )
+                "transition",
+                engine_name,
+                constraint,
+                {"input_times": input_times or {}, "upper": upper},
+            )
+            cached = store.get(token)
+            if cached is not None:
+                return cached
+        with METRICS.phase("core.transition"):
+            result = with_bdd_fallback(
+                lambda eng: compute_transition_delay(
+                    circuit,
+                    engine_name=engine_name,
+                    upper=upper,
+                    constraint=constraint,
+                    input_times=input_times,
+                    analysis=TransitionAnalysis(
+                        circuit, eng, engine_name, input_times
+                    ),
+                ),
+                engine,
+                engine_name,
+            )
+        if store is not None:
+            store.put(token, result)
+        return result
     engine = analysis.engine
     outputs = circuit.outputs
     if not outputs:
@@ -265,7 +301,8 @@ def compute_transition_delay(
                     break
             if model is None:
                 continue
-            env = _complete_model(model, circuit, analysis)
+            pair = VectorPair.from_model(model, circuit.inputs)
+            env = pair.to_model()
         else:
             combined = engine.or_many(
                 analysis.transition_predicate(out, t) for out in eligible
@@ -274,16 +311,31 @@ def compute_transition_delay(
             model = engine.sat_one(engine.and_(care, combined))
             if model is None:
                 continue
-            env = _complete_model(model, circuit, analysis)
-            out = eligible[0]
+            # Attribute the critical output under the *same* don't-care
+            # completion the certificate reports (VectorPair pins absent
+            # variables to False).  A witness that satisfies the batched
+            # disjunction but none of the candidates under this completion
+            # would mean the certificate mis-names the output — raise
+            # rather than silently report eligible[0].
+            pair = VectorPair.from_model(model, circuit.inputs)
+            env = pair.to_model()
+            out = None
             for candidate in eligible:
                 if engine.evaluate(
                     analysis.transition_predicate(candidate, t), env
                 ):
                     out = candidate
                     break
-        pair = VectorPair.from_model(model, circuit.inputs)
+            if out is None:
+                raise AttributionError(
+                    f"transition witness at t={t} excites none of the "
+                    f"eligible outputs of {circuit.name!r} under the "
+                    "reported don't-care completion"
+                )
         value = engine.evaluate(analysis.function_at(out, t), env)
+        record_engine_metrics(
+            "transition", engine, analysis.num_functions(), checks
+        )
         return DelayCertificate(
             mode="transition",
             delay=t,
@@ -293,23 +345,15 @@ def compute_transition_delay(
             checks=checks,
             extra={"functions_built": analysis.num_functions()},
         )
+    record_engine_metrics(
+        "transition", engine, analysis.num_functions(), checks
+    )
     return DelayCertificate(
         mode="transition",
         delay=0,
         checks=checks,
         extra={"functions_built": analysis.num_functions()},
     )
-
-
-def _complete_model(
-    model: Dict[str, bool], circuit: Circuit, analysis: TransitionAnalysis
-) -> Dict[str, bool]:
-    """Fill don't-care doubled variables so evaluation is total."""
-    complete = dict(model)
-    for name in circuit.inputs:
-        complete.setdefault(prev_var(name), False)
-        complete.setdefault(cur_var(name), False)
-    return complete
 
 
 def query_delay_at_least(
@@ -394,27 +438,18 @@ def extend_floating_witness(
     return None
 
 
-def collect_certification_pairs(
-    circuit: Circuit,
-    analysis: Optional[TransitionAnalysis] = None,
-    engine_name: str = "auto",
-    constraint: Optional[PairConstraintBuilder] = None,
+def pairs_for_outputs(
+    analysis: TransitionAnalysis,
+    care: int,
+    outputs: Sequence[str],
 ) -> Dict[str, Tuple[int, VectorPair]]:
-    """Per-output certification vectors: for every primary output, the
-    latest satisfiable transition time and a vector pair exciting it.
-
-    This is the "comprehensive path coverage" vector set of Sec. VII —
-    replaying every pair on the accurate timing simulator exercises the
-    critical event of each output.
-    """
-    if analysis is None:
-        analysis = TransitionAnalysis(circuit, engine_name=engine_name)
+    """The per-output query loop: latest satisfiable transition time and a
+    witness pair for each of ``outputs``.  Shared by the serial path and
+    the worker processes of :mod:`repro.runtime.parallel`."""
     engine = analysis.engine
-    care = engine.const1
-    if constraint is not None:
-        care = constraint(engine, engine.var)
+    circuit = analysis.circuit
     result: Dict[str, Tuple[int, VectorPair]] = {}
-    for out in circuit.outputs:
+    for out in outputs:
         for t in range(analysis.latest(out), analysis.earliest(out) - 1, -1):
             predicate = engine.and_(care, analysis.transition_predicate(out, t))
             model = engine.sat_one(predicate)
@@ -424,4 +459,77 @@ def collect_certification_pairs(
                     VectorPair.from_model(model, circuit.inputs),
                 )
                 break
+    return result
+
+
+def collect_certification_pairs(
+    circuit: Circuit,
+    analysis: Optional[TransitionAnalysis] = None,
+    engine_name: str = "auto",
+    constraint: Optional[PairConstraintBuilder] = None,
+    input_times: Optional[Dict[str, int]] = None,
+    jobs: int = 1,
+    cache=None,
+) -> Dict[str, Tuple[int, VectorPair]]:
+    """Per-output certification vectors: for every primary output, the
+    latest satisfiable transition time and a vector pair exciting it.
+
+    This is the "comprehensive path coverage" vector set of Sec. VII —
+    replaying every pair on the accurate timing simulator exercises the
+    critical event of each output.
+
+    The per-output queries are independent; ``jobs != 1`` fans them across
+    worker processes (``0`` = all cores) when no shared ``analysis`` and no
+    ``constraint`` closure pin the work to this process.  Both routes
+    return identical results (canonical engine variable order — see
+    :mod:`repro.runtime.parallel`), and both are served from the runtime
+    cache when no ``analysis`` is supplied.
+    """
+    store = None
+    token = None
+    if analysis is None:
+        store = resolve_cache(cache)
+        token = store.token(
+            circuit,
+            "certification-pairs",
+            engine_name,
+            constraint,
+            {"input_times": input_times or {}},
+        )
+        cached = store.get(token)
+        if cached is not None:
+            return cached
+    if (
+        jobs != 1
+        and analysis is None
+        and constraint is None
+        and len(circuit.outputs) > 1
+    ):
+        from ..runtime.parallel import shard_certification_pairs
+
+        result = shard_certification_pairs(
+            circuit, engine_name=engine_name, input_times=input_times,
+            jobs=jobs,
+        )
+    elif analysis is None:
+        from .floating import with_bdd_fallback
+
+        def run(eng):
+            fresh = TransitionAnalysis(circuit, eng, engine_name, input_times)
+            care = fresh.engine.const1
+            if constraint is not None:
+                care = constraint(fresh.engine, fresh.engine.var)
+            with METRICS.phase("core.certification_pairs"):
+                return pairs_for_outputs(fresh, care, circuit.outputs)
+
+        result = with_bdd_fallback(run, None, engine_name)
+    else:
+        engine = analysis.engine
+        care = engine.const1
+        if constraint is not None:
+            care = constraint(engine, engine.var)
+        with METRICS.phase("core.certification_pairs"):
+            result = pairs_for_outputs(analysis, care, circuit.outputs)
+    if store is not None:
+        store.put(token, result)
     return result

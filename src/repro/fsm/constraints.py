@@ -13,10 +13,13 @@ These builders plug into the ``constraint=`` parameters of
 
 from __future__ import annotations
 
+import hashlib
+import json
 from typing import Callable, List
 
 from ..core.vectors import cur_var, prev_var
 from ..network.symbolic import circuit_functions
+from ..runtime.fingerprint import circuit_fingerprint
 from .machine import Fsm
 from .synth import FsmLogic
 
@@ -33,6 +36,27 @@ def _state_code_function(engine, var, logic: FsmLogic, state: str,
     return result
 
 
+def _logic_cache_id(kind: str, logic: FsmLogic,
+                    reachable: List[str]) -> str:
+    """Content hash identifying a constraint built from this FSM logic,
+    so constrained results are keyable in the runtime cache."""
+    payload = json.dumps(
+        {
+            "circuit": circuit_fingerprint(logic.circuit),
+            "states": reachable,
+            "codes": {
+                state: [int(b) for b in logic.encoding.code(state)]
+                for state in reachable
+            },
+            "state_names": list(logic.state_names),
+            "next_state_names": list(logic.next_state_names),
+        },
+        sort_keys=True,
+    )
+    digest = hashlib.sha256(payload.encode()).hexdigest()
+    return f"{kind}:{digest}"
+
+
 def reachable_states_constraint(logic: FsmLogic):
     """Floating-mode care set: the present-state bits carry a reachable
     state's code (single-vector space, plain variable names)."""
@@ -45,6 +69,7 @@ def reachable_states_constraint(logic: FsmLogic):
         ]
         return engine.or_many(terms)
 
+    build.cache_id = _logic_cache_id("fsm-reach", logic, reachable)
     return build
 
 
@@ -75,4 +100,5 @@ def transition_pair_constraint(logic: FsmLogic):
             consistent = engine.and_(consistent, same)
         return engine.and_(reach, consistent)
 
+    build.cache_id = _logic_cache_id("fsm-pair", logic, reachable)
     return build

@@ -14,7 +14,7 @@ transition vector pairs ``<i1@s1, i2@s2>`` must satisfy
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
 
 
 @dataclass(frozen=True)

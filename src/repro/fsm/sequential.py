@@ -11,8 +11,8 @@ period really corrupts the machine's state trajectory.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 from ..sim.event_sim import EventSimulator
 from .machine import Fsm

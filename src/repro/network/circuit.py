@@ -9,7 +9,7 @@ and pin-to-pin delays are modelled by inserting buffers
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from .gates import (
@@ -264,12 +264,15 @@ class Circuit:
     # Copies
     # ------------------------------------------------------------------
     def copy(self, name: Optional[str] = None) -> "Circuit":
+        # Inputs are re-declared in their original order, not in
+        # topological order: declaration order fixes vector rendering,
+        # engine variable order, and the content fingerprint.
         clone = Circuit(name or self.name)
+        for input_name in self._inputs:
+            clone.add_input(input_name)
         for node_name in self.topological_order():
             node = self._nodes[node_name]
-            if node.gate_type == GateType.INPUT:
-                clone.add_input(node.name)
-            else:
+            if node.gate_type != GateType.INPUT:
                 clone.add_gate(node.name, node.gate_type, node.fanins, node.delay)
         clone.set_outputs(self._outputs)
         return clone

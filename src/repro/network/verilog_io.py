@@ -21,7 +21,7 @@ format of this library.
 from __future__ import annotations
 
 import re
-from typing import Dict, List, Optional, Tuple
+from typing import List
 
 from .circuit import Circuit
 from .gates import GateType

@@ -1,0 +1,49 @@
+"""Production runtime services: fingerprinting, caching, sharding, metrics.
+
+The delay computations in :mod:`repro.core` are pure functions of the
+circuit content plus a handful of parameters.  This package exploits that:
+
+* :mod:`repro.runtime.fingerprint` — canonical content hash of a
+  :class:`~repro.network.circuit.Circuit`, so analyses are keyable;
+* :mod:`repro.runtime.cache` — two-tier (memory LRU + optional disk)
+  result cache keyed by ``(fingerprint, kind, engine, constraint, params)``;
+* :mod:`repro.runtime.parallel` — a process-pool sharder for the
+  per-output / per-path / per-sample fan-out of the delay cores;
+* :mod:`repro.runtime.metrics` — counters and phase timers threaded
+  through the cores and reported by the CLI and the benchmark harness.
+"""
+
+from .cache import (
+    CACHE_SCHEMA,
+    DelayCache,
+    configure_cache,
+    constraint_cache_id,
+    get_cache,
+    resolve_cache,
+)
+from .fingerprint import circuit_fingerprint, circuit_signature, params_token
+from .metrics import METRICS, Metrics
+from .parallel import (
+    resolve_jobs,
+    shard_certification_pairs,
+    shard_fault_tests,
+    shard_monte_carlo,
+)
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "DelayCache",
+    "configure_cache",
+    "constraint_cache_id",
+    "get_cache",
+    "resolve_cache",
+    "circuit_fingerprint",
+    "circuit_signature",
+    "params_token",
+    "METRICS",
+    "Metrics",
+    "resolve_jobs",
+    "shard_certification_pairs",
+    "shard_fault_tests",
+    "shard_monte_carlo",
+]

@@ -1,0 +1,221 @@
+"""Two-tier certificate/result cache keyed by circuit content.
+
+Keys are ``sha256(schema | fingerprint | kind | engine | constraint-id |
+params)``.  Because the circuit fingerprint is a content hash, entries can
+never go stale — editing a circuit in any observable way changes the key.
+The only invalidation rule needed is the :data:`CACHE_SCHEMA` version salt,
+bumped whenever the *meaning* of a cached payload changes (see
+``docs/RUNTIME.md``).
+
+Tiers:
+
+* an in-memory LRU (``OrderedDict``), always on when the cache is enabled;
+* an optional on-disk pickle store under ``cache_dir`` for cross-process
+  reuse (warm benchmark reruns, CLI ``--cache DIR``).
+
+Constraints are opaque callables, so a result computed under a constraint
+is cacheable only when the callable carries a ``cache_id`` attribute that
+identifies it; otherwise :meth:`DelayCache.token` returns ``None`` and the
+callers skip the cache entirely (miss-safe by construction).
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import os
+import pickle
+import tempfile
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from .fingerprint import circuit_fingerprint, params_token
+from .metrics import METRICS
+
+#: Version salt baked into every key.  Bump when cached payloads change
+#: meaning (e.g. a certificate field is redefined).
+CACHE_SCHEMA = "1"
+
+
+def constraint_cache_id(constraint) -> Optional[str]:
+    """Stable identity for a constraint callable, or ``None`` if unkeyable.
+
+    ``None`` constraints key as the empty id.  Callables advertise identity
+    via a ``cache_id`` string attribute (e.g. reachability constraints tag
+    themselves with the FSM fingerprint).  Anything else is uncacheable.
+    """
+    if constraint is None:
+        return "-"
+    tag = getattr(constraint, "cache_id", None)
+    if isinstance(tag, str) and tag:
+        return "c:" + tag
+    return None
+
+
+class DelayCache:
+    """Memory-LRU + optional disk store for delay/certification results."""
+
+    def __init__(
+        self,
+        memory_items: int = 256,
+        cache_dir: Optional[str] = None,
+        enabled: bool = True,
+    ) -> None:
+        self._memory: "OrderedDict[str, Any]" = OrderedDict()
+        self._memory_items = max(0, int(memory_items))
+        self._dir = Path(cache_dir) if cache_dir else None
+        self._enabled = bool(enabled)
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    @property
+    def cache_dir(self) -> Optional[Path]:
+        return self._dir
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    # -- keying -------------------------------------------------------
+    def token(
+        self,
+        circuit,
+        kind: str,
+        engine: str = "auto",
+        constraint=None,
+        params: Optional[Dict[str, object]] = None,
+    ) -> Optional[str]:
+        """Cache key for an analysis, or ``None`` when uncacheable."""
+        if not self._enabled:
+            return None
+        cid = constraint_cache_id(constraint)
+        if cid is None:
+            return None
+        payload = "|".join(
+            [
+                CACHE_SCHEMA,
+                circuit_fingerprint(circuit),
+                kind,
+                engine,
+                cid,
+                params_token(params),
+            ]
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    # -- lookup / store -----------------------------------------------
+    def get(self, token: Optional[str]) -> Any:
+        if token is None or not self._enabled:
+            return None
+        if token in self._memory:
+            self._memory.move_to_end(token)
+            METRICS.incr("cache.memory_hits")
+            # Deep-copied so callers may mutate results freely.
+            return copy.deepcopy(self._memory[token])
+        value = self._disk_get(token)
+        if value is not None:
+            METRICS.incr("cache.disk_hits")
+            self._memory_put(token, value)
+            return copy.deepcopy(value)
+        METRICS.incr("cache.misses")
+        return None
+
+    def put(self, token: Optional[str], value: Any) -> None:
+        if token is None or not self._enabled or value is None:
+            return
+        METRICS.incr("cache.stores")
+        self._memory_put(token, value)
+        self._disk_put(token, value)
+
+    # -- memory tier --------------------------------------------------
+    def _memory_put(self, token: str, value: Any) -> None:
+        if self._memory_items == 0:
+            return
+        self._memory[token] = copy.deepcopy(value)
+        self._memory.move_to_end(token)
+        while len(self._memory) > self._memory_items:
+            self._memory.popitem(last=False)
+
+    # -- disk tier ----------------------------------------------------
+    def _disk_path(self, token: str) -> Path:
+        # Two-level fan-out keeps directories small on big stores.
+        return self._dir / token[:2] / (token + ".pkl")
+
+    def _disk_get(self, token: str) -> Any:
+        if self._dir is None:
+            return None
+        path = self._disk_path(token)
+        try:
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        except (OSError, pickle.PickleError, EOFError, AttributeError):
+            # Missing or corrupt entry — treat as a miss.
+            return None
+
+    def _disk_put(self, token: str, value: Any) -> None:
+        if self._dir is None:
+            return
+        path = self._disk_path(token)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=str(path.parent), suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(value, handle, pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        except (OSError, pickle.PickleError):
+            # A read-only or full disk must never fail the analysis.
+            pass
+
+
+_GLOBAL: Optional[DelayCache] = None
+
+
+def _cache_from_env() -> DelayCache:
+    """Build the default cache from ``REPRO_CACHE`` / ``REPRO_CACHE_DIR``.
+
+    The cache is *disabled* by default so test and library behaviour is
+    bit-identical with and without this package.  ``REPRO_CACHE_DIR=<dir>``
+    enables memory + disk tiers; ``REPRO_CACHE=1`` enables memory only;
+    ``REPRO_CACHE=0`` force-disables even when a dir is set.
+    """
+    cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
+    flag = os.environ.get("REPRO_CACHE", "")
+    enabled = (bool(cache_dir) or flag == "1") and flag != "0"
+    return DelayCache(cache_dir=cache_dir, enabled=enabled)
+
+
+def get_cache() -> DelayCache:
+    """The process-global cache (lazily built from the environment)."""
+    global _GLOBAL
+    if _GLOBAL is None:
+        _GLOBAL = _cache_from_env()
+    return _GLOBAL
+
+
+def configure_cache(
+    enabled: bool = True,
+    cache_dir: Optional[str] = None,
+    memory_items: int = 256,
+) -> DelayCache:
+    """Replace the process-global cache (CLI flags, benchmark harness)."""
+    global _GLOBAL
+    _GLOBAL = DelayCache(
+        memory_items=memory_items, cache_dir=cache_dir, enabled=enabled
+    )
+    return _GLOBAL
+
+
+def resolve_cache(cache: Optional[DelayCache]) -> DelayCache:
+    """An explicit per-call cache wins; otherwise the process global."""
+    return cache if cache is not None else get_cache()

@@ -1,0 +1,51 @@
+"""Canonical content fingerprints for circuits and analysis parameters.
+
+Two circuits with the same fingerprint are byte-for-byte the same analysis
+input: same node names, gate types, fanin lists (order matters — XOR chains
+aside, fanin order fixes witness attribution), delays, and the same primary
+I/O declarations in the same order.  The fingerprint is therefore a sound
+cache key: a cached certificate can never go stale, because any edit to the
+circuit changes the key (content-addressed invalidation — see
+``docs/RUNTIME.md``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, Optional
+
+
+def circuit_signature(circuit) -> str:
+    """Canonical, deterministic serialisation of a circuit's content.
+
+    Node records are sorted by name so that construction order does not
+    leak into the signature; the input/output lists keep their declared
+    order because vector rendering and witness extraction depend on it.
+    """
+    payload = {
+        "name": circuit.name,
+        "inputs": circuit.inputs,
+        "outputs": circuit.outputs,
+        "nodes": [
+            [node.name, node.gate_type.value, list(node.fanins), node.delay]
+            for node in sorted(circuit.nodes(), key=lambda n: n.name)
+        ],
+    }
+    return json.dumps(payload, separators=(",", ":"), sort_keys=True)
+
+
+def circuit_fingerprint(circuit) -> str:
+    """SHA-256 hex digest of the canonical circuit signature."""
+    return hashlib.sha256(circuit_signature(circuit).encode()).hexdigest()
+
+
+def params_token(params: Optional[Dict[str, object]]) -> str:
+    """Canonical serialisation of an analysis-parameter mapping.
+
+    Values must be JSON-representable (ints, strings, bools, None, and
+    flat dicts such as ``input_times``); anything else is stringified,
+    which is safe because a collision then only costs a cache miss on
+    re-keying, never a wrong hit (``repr`` differences separate keys).
+    """
+    return json.dumps(params or {}, sort_keys=True, default=repr)

@@ -1,0 +1,107 @@
+"""Lightweight runtime counters and phase timers.
+
+A single process-global :data:`METRICS` instance is threaded through the
+delay cores, the cache, the sharder, the trace replayer, the CLI, and the
+benchmark harness.  Everything is plain dict arithmetic — cheap enough to
+stay enabled unconditionally.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+
+class Metrics:
+    """Named counters, max-gauges, and cumulative phase wall times."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, int] = {}
+        self._phases: Dict[str, float] = {}
+
+    # -- counters -----------------------------------------------------
+    def incr(self, name: str, amount: int = 1) -> None:
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def counter(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    # -- gauges (high-water marks, e.g. peak BDD nodes) ---------------
+    def gauge_max(self, name: str, value: int) -> None:
+        if value > self._gauges.get(name, 0):
+            self._gauges[name] = value
+
+    def gauge(self, name: str) -> int:
+        return self._gauges.get(name, 0)
+
+    # -- phase timing -------------------------------------------------
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._phases[name] = self._phases.get(name, 0.0) + elapsed
+
+    def phase_seconds(self, name: str) -> float:
+        return self._phases.get(name, 0.0)
+
+    # -- reporting ----------------------------------------------------
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        return {
+            "counters": dict(self._counters),
+            "gauges": dict(self._gauges),
+            "phases": dict(self._phases),
+        }
+
+    def merge_counters(self, counters: Dict[str, int]) -> None:
+        """Fold counters returned by a worker process into this instance."""
+        for name, amount in counters.items():
+            self.incr(name, amount)
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._phases.clear()
+
+    def report(self) -> str:
+        """Aligned plain-text report, stable order for golden output."""
+        lines = ["runtime metrics"]
+        if self._counters:
+            lines.append("  counters:")
+            width = max(len(k) for k in self._counters)
+            for name in sorted(self._counters):
+                lines.append(f"    {name:<{width}}  {self._counters[name]}")
+        if self._gauges:
+            lines.append("  gauges:")
+            width = max(len(k) for k in self._gauges)
+            for name in sorted(self._gauges):
+                lines.append(f"    {name:<{width}}  {self._gauges[name]}")
+        if self._phases:
+            lines.append("  phases:")
+            width = max(len(k) for k in self._phases)
+            for name in sorted(self._phases):
+                lines.append(
+                    f"    {name:<{width}}  {self._phases[name]*1000:.1f} ms"
+                )
+        if len(lines) == 1:
+            lines.append("  (no activity recorded)")
+        return "\n".join(lines)
+
+
+METRICS = Metrics()
+
+
+def record_engine_metrics(kind: str, engine, functions: int, checks: int) -> None:
+    """Fold one delay computation's accounting into :data:`METRICS`."""
+    METRICS.incr(f"{kind}.checks", checks)
+    METRICS.incr(f"{kind}.functions_built", functions)
+    manager = getattr(engine, "manager", None)
+    num_nodes = getattr(manager, "num_nodes", None)
+    if callable(num_nodes):  # method-style managers
+        num_nodes = num_nodes()
+    if isinstance(num_nodes, int):
+        METRICS.gauge_max("boolfn.peak_nodes", num_nodes)

@@ -1,0 +1,199 @@
+"""Process-pool sharding for the embarrassingly parallel delay queries.
+
+Three fan-outs in the cores are independent per item:
+
+* per-output certification pairs (``collect_certification_pairs``),
+* per-path / per-direction delay-fault tests
+  (``PathFaultGenerator.generate_for_longest_paths``),
+* per-sample Monte Carlo replays (``monte_carlo_delay``).
+
+Each worker process rebuilds its analysis from a pickled :class:`Circuit`
+— engines are constructed with a canonical variable order (the analyses
+pre-declare the input variables in cone-traversal first-touch order, see
+:func:`repro.core.vectors.canonical_input_order`, computed on the full
+circuit rather than the worker's chunk), so a worker finds the *same*
+witnesses as a serial run.  ``jobs=1`` always takes the
+caller's serial path; sharded results are merged deterministically
+(outputs in declaration order, faults and samples by original index), so
+``jobs=1`` and ``jobs=N`` runs are result-identical.
+
+Workers also return their probe counters, which the parent folds into the
+global :data:`~repro.runtime.metrics.METRICS` instance.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .metrics import METRICS
+
+
+def resolve_jobs(jobs: Optional[int], task_count: Optional[int] = None) -> int:
+    """Normalise a ``--jobs`` value: ``0``/``None``/negative mean "all
+    cores"; never more workers than tasks."""
+    if jobs is None or jobs <= 0:
+        jobs = os.cpu_count() or 1
+    jobs = max(1, int(jobs))
+    if task_count is not None:
+        jobs = min(jobs, max(1, task_count))
+    return jobs
+
+
+def _chunk_round_robin(items: Sequence, jobs: int) -> List[list]:
+    """Round-robin split — balances the typical "neighbouring outputs cost
+    alike" workload better than contiguous slabs."""
+    chunks = [list(items[i::jobs]) for i in range(jobs)]
+    return [chunk for chunk in chunks if chunk]
+
+
+def _run_sharded(worker, payloads: Sequence, jobs: int) -> list:
+    with ProcessPoolExecutor(max_workers=min(jobs, len(payloads))) as pool:
+        return list(pool.map(worker, payloads))
+
+
+def _engine_counters(prefix: str, engine) -> Dict[str, int]:
+    return {f"{prefix}.sat_probes": getattr(engine, "num_sat_checks", 0)}
+
+
+# ----------------------------------------------------------------------
+# Per-output certification pairs
+# ----------------------------------------------------------------------
+def _pairs_worker(payload):
+    circuit, engine_name, input_times, outputs = payload
+    from ..core.floating import with_bdd_fallback
+    from ..core.transition import TransitionAnalysis, pairs_for_outputs
+
+    def run(eng):
+        fresh = TransitionAnalysis(circuit, eng, engine_name, input_times)
+        return fresh, pairs_for_outputs(fresh, fresh.engine.const1, outputs)
+
+    # Mirror the serial path's auto BDD->SAT overflow fallback.
+    analysis, pairs = with_bdd_fallback(run, None, engine_name)
+    counters = _engine_counters("pairs", analysis.engine)
+    counters["pairs.functions_built"] = analysis.num_functions()
+    return pairs, counters
+
+
+def shard_certification_pairs(
+    circuit,
+    engine_name: str = "auto",
+    input_times: Optional[Dict[str, int]] = None,
+    jobs: int = 2,
+):
+    """Per-output certification pairs, one worker per output chunk.
+
+    Only the unconstrained query is sharded (constraint builders are
+    closures and do not cross process boundaries); the caller falls back
+    to its serial loop otherwise.
+    """
+    outputs = list(circuit.outputs)
+    jobs = resolve_jobs(jobs, len(outputs))
+    chunks = _chunk_round_robin(outputs, jobs)
+    payloads = [
+        (circuit, engine_name, input_times, chunk) for chunk in chunks
+    ]
+    with METRICS.phase("parallel.certification_pairs"):
+        results = _run_sharded(_pairs_worker, payloads, jobs)
+    merged: Dict[str, Tuple[int, object]] = {}
+    for pairs, counters in results:
+        merged.update(pairs)
+        METRICS.merge_counters(counters)
+    # Re-impose output declaration order on the merged dict.
+    return {out: merged[out] for out in outputs if out in merged}
+
+
+# ----------------------------------------------------------------------
+# Path-delay-fault coverage over the K longest paths
+# ----------------------------------------------------------------------
+def _fault_worker(payload):
+    circuit, engine_name, tasks = payload
+    from ..core.delay_fault import PathFault, PathFaultGenerator, TestStrength
+
+    generator = PathFaultGenerator(circuit, engine_name=engine_name)
+    results = []
+    for index, path, rising, strength_value, strong in tasks:
+        fault = PathFault(list(path), rising)
+        test = generator.generate(
+            fault, TestStrength(strength_value), strong
+        )
+        results.append((index, fault, test))
+    return results, _engine_counters("faults", generator.engine)
+
+
+def shard_fault_tests(
+    circuit,
+    tasks: Sequence[Tuple[int, Sequence[str], bool, str, bool]],
+    engine_name: str = "auto",
+    jobs: int = 2,
+):
+    """Run fault-test generation tasks across workers.
+
+    ``tasks`` entries are ``(index, path, rising, strength-value, strong)``;
+    the return value is ``[(fault, test-or-None)]`` sorted by ``index`` so
+    the merge is deterministic regardless of worker timing.
+    """
+    jobs = resolve_jobs(jobs, len(tasks))
+    chunks = _chunk_round_robin(list(tasks), jobs)
+    payloads = [(circuit, engine_name, chunk) for chunk in chunks]
+    with METRICS.phase("parallel.fault_tests"):
+        results = _run_sharded(_fault_worker, payloads, jobs)
+    merged = []
+    for entries, counters in results:
+        merged.extend(entries)
+        METRICS.merge_counters(counters)
+    merged.sort(key=lambda item: item[0])
+    return [(fault, test) for __, fault, test in merged]
+
+
+# ----------------------------------------------------------------------
+# Monte Carlo delay sampling
+# ----------------------------------------------------------------------
+def sample_seed(seed: int, index: int) -> str:
+    """Seed of the ``index``-th Monte Carlo sub-stream.
+
+    String seeds hash through SHA-512 inside :class:`random.Random`, so
+    sub-streams are deterministic across processes and platforms (int
+    tuple hashing would work too, but string seeding is explicit about
+    not depending on ``PYTHONHASHSEED`` semantics).
+    """
+    return f"mc:{seed}:{index}"
+
+
+def _monte_carlo_worker(payload):
+    circuit, pairs, indices, seed, model_spec = payload
+    from ..core.statistical import resolve_delay_model, sample_delay_once
+
+    delay_model = resolve_delay_model(model_spec)
+    samples = []
+    for index in indices:
+        rng = random.Random(sample_seed(seed, index))
+        samples.append((index, sample_delay_once(circuit, pairs, delay_model, rng)))
+    return samples
+
+
+def shard_monte_carlo(
+    circuit,
+    pairs: Sequence,
+    num_samples: int,
+    seed: int,
+    model_spec: Tuple,
+    jobs: int = 2,
+) -> List[int]:
+    """Monte Carlo samples across workers with per-sample seeded
+    sub-streams and an index-ordered merge: the returned sample list is a
+    pure function of ``(circuit, pairs, num_samples, seed, model_spec)``,
+    independent of ``jobs`` (for ``jobs >= 2``) and of scheduling."""
+    jobs = resolve_jobs(jobs, num_samples)
+    chunks = _chunk_round_robin(range(num_samples), jobs)
+    payloads = [
+        (circuit, list(pairs), chunk, seed, model_spec) for chunk in chunks
+    ]
+    with METRICS.phase("parallel.monte_carlo"):
+        results = _run_sharded(_monte_carlo_worker, payloads, jobs)
+    METRICS.incr("monte_carlo.samples", num_samples)
+    merged = [delay for chunk in results for delay in chunk]
+    merged.sort(key=lambda item: item[0])
+    return [delay for __, delay in merged]

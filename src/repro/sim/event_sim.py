@@ -78,6 +78,9 @@ class TimingSession:
         )
         self._events: Dict[int, Dict[str, bool]] = {}
         self._heap: List[int] = []
+        # Highest timestamp whose batch is already committed; injections
+        # at or below this must merge, never queue a second batch.
+        self._drained = -1
 
     # ------------------------------------------------------------------
     def _schedule(self, time: int, node: str, value: bool) -> None:
@@ -89,9 +92,26 @@ class TimingSession:
         bucket[node] = value
 
     def inject(self, time: int, changes: Dict[str, bool]) -> None:
-        """Schedule primary-input changes at ``time`` (>= now)."""
+        """Schedule primary-input changes at ``time`` (>= now).
+
+        An injection at a timestamp the session has already committed
+        (``time == now`` right after an ``advance`` drained that time
+        point — the regime of the sequential state-feedback loop) is
+        *merged* into that time point immediately rather than queued:
+        applying it as a second batch at the same time would let a
+        zero-width input pulse straddle the two batches and defeat the
+        Sec. IV-A instantaneous-glitch suppression.  Merging re-applies
+        the batch semantics: a late change that reverts a value set at
+        ``time`` coalesces to no event at all, and downstream projections
+        are recomputed accordingly.
+        """
         if time < self.now:
             raise ValueError("cannot inject into the past")
+        if time <= self._drained:
+            self._apply_batch(
+                time, {node: bool(value) for node, value in changes.items()}
+            )
+            return
         for node, value in changes.items():
             self._schedule(time, node, bool(value))
 
@@ -99,61 +119,66 @@ class TimingSession:
         """Current (edge-inclusive) value of a signal."""
         return self.current[name]
 
-    def advance(self, until: Optional[int] = None) -> int:
-        """Process events up to and including time ``until`` (or to
-        quiescence).  Returns the simulation time reached."""
+    def _apply_batch(self, t: int, changes: Dict[str, bool]) -> None:
+        """Commit one timestamp's batch: apply all changes at ``t`` before
+        re-evaluating any gate (the zero-width glitch filter), cascade
+        zero-delay gates within the timestamp, and schedule the rest."""
         circuit = self._sim.circuit
         fanouts = self._sim._fanouts
         topo_index = self._sim._topo_index
         current, projected = self.current, self._projected
         waveforms = self.waveforms
+        self.now = max(self.now, t)
+        self._drained = max(self._drained, t)
+        eval_heap: List[Tuple[int, str]] = []
+        queued = set()
+        for node, value in changes.items():
+            if circuit.node(node).gate_type == GateType.INPUT:
+                projected[node] = value
+            if current[node] == value:
+                continue
+            current[node] = value
+            waveforms[node].append(t, value)
+            for fo in fanouts[node]:
+                if fo not in queued:
+                    queued.add(fo)
+                    heapq.heappush(eval_heap, (topo_index[fo], fo))
+        # Evaluate affected gates in topological order; zero-delay
+        # gates cascade within the same timestamp.
+        while eval_heap:
+            __, gate = heapq.heappop(eval_heap)
+            queued.discard(gate)
+            node = circuit.node(gate)
+            value = evaluate_gate(
+                node.gate_type, [current[f] for f in node.fanins]
+            )
+            if node.delay == 0:
+                if value != current[gate]:
+                    current[gate] = value
+                    projected[gate] = value
+                    waveforms[gate].append(t, value)
+                    for fo in fanouts[gate]:
+                        if fo not in queued:
+                            queued.add(fo)
+                            heapq.heappush(eval_heap, (topo_index[fo], fo))
+            else:
+                if value != projected[gate]:
+                    projected[gate] = value
+                    self._schedule(t + node.delay, gate, value)
+
+    def advance(self, until: Optional[int] = None) -> int:
+        """Process events up to and including time ``until`` (or to
+        quiescence).  Returns the simulation time reached."""
         while self._heap:
             t = self._heap[0]
             if until is not None and t > until:
                 break
             heapq.heappop(self._heap)
             changes = self._events.pop(t)
-            self.now = max(self.now, t)
-            # Batch-apply all changes at time t (zero-width glitch filter).
-            eval_heap: List[Tuple[int, str]] = []
-            queued = set()
-            for node, value in changes.items():
-                if circuit.node(node).gate_type == GateType.INPUT:
-                    projected[node] = value
-                if current[node] == value:
-                    continue
-                current[node] = value
-                waveforms[node].append(t, value)
-                for fo in fanouts[node]:
-                    if fo not in queued:
-                        queued.add(fo)
-                        heapq.heappush(eval_heap, (topo_index[fo], fo))
-            # Evaluate affected gates in topological order; zero-delay
-            # gates cascade within the same timestamp.
-            while eval_heap:
-                __, gate = heapq.heappop(eval_heap)
-                queued.discard(gate)
-                node = circuit.node(gate)
-                value = evaluate_gate(
-                    node.gate_type, [current[f] for f in node.fanins]
-                )
-                if node.delay == 0:
-                    if value != current[gate]:
-                        current[gate] = value
-                        projected[gate] = value
-                        waveforms[gate].append(t, value)
-                        for fo in fanouts[gate]:
-                            if fo not in queued:
-                                queued.add(fo)
-                                heapq.heappush(
-                                    eval_heap, (topo_index[fo], fo)
-                                )
-                else:
-                    if value != projected[gate]:
-                        projected[gate] = value
-                        self._schedule(t + node.delay, gate, value)
+            self._apply_batch(t, changes)
         if until is not None:
             self.now = max(self.now, until)
+            self._drained = max(self._drained, until)
         return self.now
 
     @property

@@ -9,7 +9,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from ..network.circuit import Circuit
-from .graph_delay import TimingAnalysis, analyze
+from .graph_delay import analyze
 
 
 def render_table(
@@ -43,7 +43,7 @@ def timing_report(
     max_paths: int = 1,
 ) -> str:
     """A conventional STA report: worst paths, arrival times, slack."""
-    from ..network.paths import k_longest_paths, path_length
+    from ..network.paths import k_longest_paths
 
     analysis = analyze(circuit, clock_period)
     lines = [

@@ -1,6 +1,5 @@
 """Edge-case coverage for the Boolean engines."""
 
-import pytest
 
 from repro.boolfn import Aig, BddManager, CONST0, CONST1, FALSE, TRUE
 

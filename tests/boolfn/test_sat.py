@@ -80,7 +80,8 @@ class TestBasicSolving:
         model = s.model()
         for clause in clauses:
             assert any(
-                model[abs(l)] if l > 0 else not model[abs(l)] for l in clause
+                model[abs(lit)] if lit > 0 else not model[abs(lit)]
+                for lit in clause
             )
 
 

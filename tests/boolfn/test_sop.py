@@ -1,6 +1,5 @@
 import itertools
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.boolfn import Cube, Sop, minterms_of, quine_mccluskey

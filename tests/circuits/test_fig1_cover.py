@@ -1,7 +1,6 @@
 """Fig. 1 is 'a two-level circuit, resulting from a prime and irredundant
 cover' — verify that claim computationally for our reconstruction."""
 
-import itertools
 
 from repro.boolfn import Cube, Sop, minterms_of, quine_mccluskey
 from repro.circuits import fig1_circuit

@@ -1,6 +1,5 @@
 """Lock in every quantitative claim the paper makes about Figs. 1-5."""
 
-import pytest
 
 from repro.boolfn import BddEngine
 from repro.core import (

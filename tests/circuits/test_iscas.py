@@ -2,7 +2,6 @@ import pytest
 
 from repro.circuits import iscas
 
-from tests.helpers import assert_same_function
 
 
 class TestC17:

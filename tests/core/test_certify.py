@@ -1,4 +1,3 @@
-import pytest
 
 from repro.core import Verdict, certify
 from repro.network import refined_delay_annotation, scale_delays

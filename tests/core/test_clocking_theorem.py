@@ -1,6 +1,5 @@
 """Theorem 3.1: tau > omega/2 with tau >= t.d. is a valid clock period."""
 
-import pytest
 
 from repro.boolfn import BddEngine
 from repro.core import (

@@ -7,7 +7,7 @@ from repro.core import (
     TestStrength,
     validate_test_by_fault_injection,
 )
-from repro.network import CircuitBuilder, GateType, controlling_value
+from repro.network import CircuitBuilder
 from repro.sim import EventSimulator
 from repro.circuits import carry_skip_adder, fig2_circuit, parity_tree
 

@@ -1,7 +1,6 @@
 """Per-input arrival/clock times across the analyses (Sec. V-C:
 "the inputs need not be clocked at the same time")."""
 
-import pytest
 
 from repro.boolfn import BddEngine
 from repro.core import (

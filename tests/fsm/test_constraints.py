@@ -1,6 +1,4 @@
-import itertools
 
-import pytest
 
 from repro.boolfn import BddEngine
 from repro.core import (
@@ -153,3 +151,45 @@ class TestEndToEnd:
         i_prev = [pair.v_prev[n] for n in logic.input_names]
         assert logic.fsm.next_state(s_prev, i_prev) == s_next
         assert s_prev in logic.fsm.reachable_states()
+
+
+class TestConstraintCacheIds:
+    """The builders tag themselves so constrained FSM results are keyable
+    in the runtime cache (untagged closures stay uncacheable)."""
+
+    def test_tags_are_stable_and_kind_separated(self):
+        logic = synthesize(loads_kiss(KISS))
+        reach = reachable_states_constraint(logic)
+        pairs = transition_pair_constraint(logic)
+        assert reach.cache_id.startswith("fsm-reach:")
+        assert pairs.cache_id.startswith("fsm-pair:")
+        assert reach.cache_id != pairs.cache_id
+        again = reachable_states_constraint(synthesize(loads_kiss(KISS)))
+        assert again.cache_id == reach.cache_id
+
+    def test_different_machines_get_different_tags(self):
+        a = reachable_states_constraint(synthesize(loads_kiss(KISS)))
+        b = reachable_states_constraint(
+            synthesize(loads_kiss(KISS_UNREACHABLE))
+        )
+        assert a.cache_id != b.cache_id
+
+    def test_constrained_results_cache_identically(self):
+        from repro.runtime import DelayCache
+
+        logic = synthesize(loads_kiss(KISS))
+        constraint = reachable_states_constraint(logic)
+        reference = compute_floating_delay(
+            logic.circuit, constraint=constraint
+        )
+        cache = DelayCache()
+        cold = compute_floating_delay(
+            logic.circuit, constraint=constraint, cache=cache
+        )
+        warm = compute_floating_delay(
+            logic.circuit, constraint=constraint, cache=cache
+        )
+        for cert in (cold, warm):
+            assert cert.delay == reference.delay
+            assert cert.witness == reference.witness
+        assert len(cache) == 1

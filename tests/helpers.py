@@ -5,7 +5,6 @@ from __future__ import annotations
 
 import itertools
 import random
-from typing import Dict, List, Tuple
 
 from repro.network import Circuit, CircuitBuilder, GateType, loads_bench
 from repro.sim import EventSimulator, all_input_vectors

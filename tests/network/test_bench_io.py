@@ -2,7 +2,7 @@ import pytest
 
 from repro.network import dumps_bench, loads_bench
 
-from tests.helpers import C17_BENCH, assert_same_function, c17
+from tests.helpers import assert_same_function, c17
 
 
 class TestParsing:

@@ -1,0 +1,163 @@
+"""DelayCache behaviour: keying, LRU eviction, disk roundtrip, and the
+miss-safe handling of unkeyable constraints."""
+
+import os
+import pickle
+
+from repro.core import compute_floating_delay
+from repro.runtime import (
+    DelayCache,
+    configure_cache,
+    constraint_cache_id,
+    get_cache,
+)
+
+from tests.helpers import c17, tiny_and_or
+
+
+def test_disabled_cache_yields_no_token():
+    cache = DelayCache(enabled=False)
+    assert cache.token(c17(), "floating") is None
+    cache.put(None, object())
+    assert cache.get(None) is None
+    assert len(cache) == 0
+
+
+def test_token_distinguishes_kind_engine_and_params():
+    cache = DelayCache()
+    circuit = c17()
+    base = cache.token(circuit, "floating", "auto", None, {"upper": None})
+    assert base is not None
+    assert base != cache.token(circuit, "transition", "auto", None,
+                               {"upper": None})
+    assert base != cache.token(circuit, "floating", "bdd", None,
+                               {"upper": None})
+    assert base != cache.token(circuit, "floating", "auto", None,
+                               {"upper": 3})
+    assert base == cache.token(circuit.copy(), "floating", "auto", None,
+                               {"upper": None})
+
+
+def test_untagged_constraint_is_uncacheable():
+    def constraint(engine, var):
+        return engine.const1
+
+    assert constraint_cache_id(constraint) is None
+    assert DelayCache().token(c17(), "floating", constraint=constraint) is None
+
+
+def test_tagged_constraint_is_keyable():
+    def constraint(engine, var):
+        return engine.const1
+
+    constraint.cache_id = "unit-test"
+    assert constraint_cache_id(constraint) == "c:unit-test"
+    token = DelayCache().token(c17(), "floating", constraint=constraint)
+    assert token is not None
+
+
+def test_memory_roundtrip_returns_copies():
+    cache = DelayCache()
+    token = cache.token(c17(), "floating")
+    payload = {"delay": 3, "witness": {"a": True}}
+    cache.put(token, payload)
+    first = cache.get(token)
+    assert first == payload
+    first["witness"]["a"] = False
+    assert cache.get(token)["witness"]["a"] is True
+
+
+def test_lru_eviction_drops_the_oldest():
+    cache = DelayCache(memory_items=2)
+    tokens = [
+        cache.token(c17(), "floating", params={"i": i}) for i in range(3)
+    ]
+    for i, token in enumerate(tokens):
+        cache.put(token, i)
+    assert cache.get(tokens[0]) is None
+    assert cache.get(tokens[1]) == 1
+    assert cache.get(tokens[2]) == 2
+
+
+def test_disk_roundtrip_across_instances(tmp_path):
+    writer = DelayCache(cache_dir=str(tmp_path))
+    token = writer.token(tiny_and_or(), "transition")
+    writer.put(token, {"delay": 2})
+    # A fresh instance (fresh memory tier) must hit the disk tier.
+    reader = DelayCache(cache_dir=str(tmp_path))
+    assert reader.get(token) == {"delay": 2}
+
+
+def test_corrupt_disk_entry_is_a_miss(tmp_path):
+    cache = DelayCache(cache_dir=str(tmp_path))
+    token = cache.token(c17(), "certify")
+    cache.put(token, {"ok": True})
+    path = tmp_path / token[:2] / (token + ".pkl")
+    path.write_bytes(b"not a pickle")
+    fresh = DelayCache(cache_dir=str(tmp_path))
+    assert fresh.get(token) is None
+
+
+def test_disk_entries_unpickle_standalone(tmp_path):
+    cache = DelayCache(cache_dir=str(tmp_path))
+    token = cache.token(c17(), "floating")
+    cache.put(token, [1, 2, 3])
+    path = tmp_path / token[:2] / (token + ".pkl")
+    with open(path, "rb") as handle:
+        assert pickle.load(handle) == [1, 2, 3]
+
+
+def test_global_cache_is_disabled_by_default(monkeypatch):
+    monkeypatch.delenv("REPRO_CACHE", raising=False)
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    import repro.runtime.cache as cache_mod
+
+    monkeypatch.setattr(cache_mod, "_GLOBAL", None)
+    assert get_cache().enabled is False
+
+
+def test_env_dir_enables_the_cache(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_CACHE", raising=False)
+    import repro.runtime.cache as cache_mod
+
+    monkeypatch.setattr(cache_mod, "_GLOBAL", None)
+    cache = get_cache()
+    assert cache.enabled is True
+    assert str(cache.cache_dir) == str(tmp_path)
+
+
+def test_cached_floating_delay_matches_uncached():
+    circuit = c17()
+    reference = compute_floating_delay(circuit)
+    cache = DelayCache()
+    cold = compute_floating_delay(circuit, cache=cache)
+    warm = compute_floating_delay(circuit, cache=cache)
+    assert cold.delay == warm.delay == reference.delay
+    assert cold.witness == warm.witness == reference.witness
+    assert cold.checks == warm.checks == reference.checks
+    assert len(cache) >= 1
+
+
+def test_configure_cache_replaces_the_global(monkeypatch):
+    import repro.runtime.cache as cache_mod
+
+    monkeypatch.setattr(cache_mod, "_GLOBAL", None)
+    replaced = configure_cache(enabled=True, memory_items=4)
+    assert get_cache() is replaced
+    monkeypatch.setattr(cache_mod, "_GLOBAL", None)
+
+
+def test_readonly_disk_never_fails_the_analysis(tmp_path):
+    if os.geteuid() == 0:
+        # Root bypasses file permissions; the guard is untestable here.
+        import pytest
+
+        pytest.skip("running as root: chmod cannot revoke write access")
+    cache = DelayCache(cache_dir=str(tmp_path))
+    token = cache.token(c17(), "floating")
+    os.chmod(tmp_path, 0o500)
+    try:
+        cache.put(token, {"delay": 3})  # must not raise
+    finally:
+        os.chmod(tmp_path, 0o700)

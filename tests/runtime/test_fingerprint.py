@@ -1,0 +1,56 @@
+"""Circuit fingerprints: equal content -> equal key; any observable edit
+-> different key (the content-addressed invalidation rule)."""
+
+from repro.runtime import circuit_fingerprint, circuit_signature, params_token
+
+from tests.helpers import c17, tiny_and_or
+
+
+def test_identical_circuits_share_a_fingerprint():
+    assert circuit_fingerprint(c17()) == circuit_fingerprint(c17())
+
+
+def test_copy_preserves_the_fingerprint():
+    circuit = c17()
+    assert circuit_fingerprint(circuit.copy()) == circuit_fingerprint(circuit)
+
+
+def test_different_circuits_differ():
+    assert circuit_fingerprint(c17()) != circuit_fingerprint(tiny_and_or())
+
+
+def test_delay_edit_changes_the_fingerprint():
+    circuit = c17()
+    edited = circuit.copy()
+    gate = next(n for n in edited.nodes() if n.delay > 0)
+    gate.delay += 1
+    assert circuit_fingerprint(edited) != circuit_fingerprint(circuit)
+
+
+def test_output_declaration_changes_the_fingerprint():
+    circuit = tiny_and_or()
+    edited = circuit.copy()
+    # Promote an internal gate to a primary output: same gates, new
+    # observability -> different analysis input.
+    internal = next(
+        n.name
+        for n in edited.nodes()
+        if n.name not in edited.outputs and n.fanins
+    )
+    edited.add_output(internal)
+    assert circuit_fingerprint(edited) != circuit_fingerprint(circuit)
+
+
+def test_signature_is_valid_json_and_name_sorted():
+    import json
+
+    payload = json.loads(circuit_signature(c17()))
+    names = [record[0] for record in payload["nodes"]]
+    assert names == sorted(names)
+    assert payload["inputs"] == c17().inputs
+
+
+def test_params_token_is_order_insensitive():
+    assert params_token({"a": 1, "b": 2}) == params_token({"b": 2, "a": 1})
+    assert params_token(None) == params_token({})
+    assert params_token({"a": 1}) != params_token({"a": 2})

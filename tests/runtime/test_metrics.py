@@ -1,0 +1,66 @@
+"""Metrics: counters, gauges, phase timers, worker fold-in, reporting."""
+
+from repro.runtime import Metrics
+
+
+def test_counters_accumulate():
+    m = Metrics()
+    m.incr("sat.checks")
+    m.incr("sat.checks", 4)
+    assert m.counter("sat.checks") == 5
+    assert m.counter("missing") == 0
+
+
+def test_gauge_keeps_the_high_water_mark():
+    m = Metrics()
+    m.gauge_max("bdd.nodes", 10)
+    m.gauge_max("bdd.nodes", 7)
+    m.gauge_max("bdd.nodes", 12)
+    assert m.gauge("bdd.nodes") == 12
+
+
+def test_phase_times_accumulate_and_survive_exceptions():
+    m = Metrics()
+    with m.phase("work"):
+        pass
+    try:
+        with m.phase("work"):
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    assert m.phase_seconds("work") >= 0.0
+    assert "work" in m.snapshot()["phases"]
+
+
+def test_merge_counters_folds_worker_results():
+    m = Metrics()
+    m.incr("pairs.sat_probes", 3)
+    m.merge_counters({"pairs.sat_probes": 2, "pairs.functions_built": 7})
+    assert m.counter("pairs.sat_probes") == 5
+    assert m.counter("pairs.functions_built") == 7
+
+
+def test_reset_clears_everything():
+    m = Metrics()
+    m.incr("a")
+    m.gauge_max("b", 1)
+    with m.phase("c"):
+        pass
+    m.reset()
+    snap = m.snapshot()
+    assert snap == {"counters": {}, "gauges": {}, "phases": {}}
+
+
+def test_report_is_stable_and_readable():
+    m = Metrics()
+    assert "(no activity recorded)" in m.report()
+    m.incr("zeta", 1)
+    m.incr("alpha", 2)
+    report = m.report()
+    assert report.index("alpha") < report.index("zeta")
+    assert "counters:" in report
+    m.gauge_max("nodes", 9)
+    with m.phase("slow"):
+        pass
+    report = m.report()
+    assert "gauges:" in report and "phases:" in report and "ms" in report

@@ -1,0 +1,93 @@
+"""Sharded execution equals serial execution, result for result.
+
+These tests spin up real worker processes (jobs=2) on small circuits, so
+they double as a determinism check of the canonical engine variable order:
+a worker process must find the *same* witness pairs as the serial path.
+"""
+
+from repro.core import (
+    PathFaultGenerator,
+    collect_certification_pairs,
+    monte_carlo_delay,
+    uniform_variation,
+)
+from repro.runtime import resolve_jobs, shard_certification_pairs
+from repro.runtime.parallel import _chunk_round_robin, sample_seed
+
+from tests.helpers import c17
+
+
+def test_resolve_jobs_normalises():
+    assert resolve_jobs(1) == 1
+    assert resolve_jobs(3) == 3
+    assert resolve_jobs(0) >= 1          # all cores
+    assert resolve_jobs(None) >= 1
+    assert resolve_jobs(8, task_count=3) == 3
+    assert resolve_jobs(2, task_count=0) == 1
+
+
+def test_round_robin_chunking_partitions_in_order():
+    chunks = _chunk_round_robin(["a", "b", "c", "d", "e"], 2)
+    assert chunks == [["a", "c", "e"], ["b", "d"]]
+    assert _chunk_round_robin(["x"], 4) == [["x"]]
+
+
+def test_sample_seed_is_stable_and_distinct():
+    assert sample_seed(97, 0) == "mc:97:0"
+    assert sample_seed(97, 0) != sample_seed(97, 1)
+    assert sample_seed(97, 1) != sample_seed(98, 1)
+
+
+def test_sharded_certification_pairs_match_serial():
+    circuit = c17()
+    serial = collect_certification_pairs(circuit, jobs=1)
+    sharded = shard_certification_pairs(circuit, jobs=2)
+    assert list(sharded) == list(serial)  # declaration order preserved
+    for out in serial:
+        t_serial, pair_serial = serial[out]
+        t_sharded, pair_sharded = sharded[out]
+        assert t_serial == t_sharded
+        assert pair_serial.v_prev == pair_sharded.v_prev
+        assert pair_serial.v_next == pair_sharded.v_next
+
+
+def test_collect_pairs_jobs_parameter_dispatches_identically():
+    circuit = c17()
+    serial = collect_certification_pairs(circuit, jobs=1)
+    parallel = collect_certification_pairs(circuit, jobs=2)
+    assert serial.keys() == parallel.keys()
+    for out in serial:
+        assert serial[out][0] == parallel[out][0]
+        assert serial[out][1].v_prev == parallel[out][1].v_prev
+        assert serial[out][1].v_next == parallel[out][1].v_next
+
+
+def test_monte_carlo_is_jobs_count_invariant():
+    circuit = c17()
+    pairs = [p for __, p in collect_certification_pairs(circuit).values()]
+    kwargs = dict(
+        num_samples=12, delay_model=uniform_variation(1), seed=11
+    )
+    two = monte_carlo_delay(circuit, pairs, jobs=2, **kwargs)
+    three = monte_carlo_delay(circuit, pairs, jobs=3, **kwargs)
+    assert two.samples == three.samples
+    assert two.max == three.max
+
+
+def test_fault_coverage_sharded_matches_serial():
+    circuit = c17()
+    serial = PathFaultGenerator(circuit).generate_for_longest_paths(
+        3, jobs=1
+    )
+    sharded = PathFaultGenerator(circuit).generate_for_longest_paths(
+        3, jobs=2
+    )
+    assert serial.total == sharded.total
+    assert len(serial.tests) == len(sharded.tests)
+    for a, b in zip(serial.tests, sharded.tests):
+        assert str(a.fault) == str(b.fault)
+        assert a.pair.v_prev == b.pair.v_prev
+        assert a.pair.v_next == b.pair.v_next
+    assert [str(f) for f in serial.untestable] == [
+        str(f) for f in sharded.untestable
+    ]

@@ -1,0 +1,121 @@
+"""Regression tests for injection at an already-drained timestamp.
+
+``advance(until=t)`` commits the batch at ``t``; a subsequent
+``inject(t, ...)`` — legal, since ``t == now`` — must *merge* into that
+committed time point, not queue a second batch at the same timestamp.
+Queueing a second batch used to split one logical time point in two,
+letting a zero-width input pulse straddle the batches and defeat the
+Sec. IV-A instantaneous-glitch suppression.
+"""
+
+import pytest
+
+from repro.network import CircuitBuilder
+from repro.sim import EventSimulator
+
+
+def buffered_input():
+    """x -> unit-delay buffer g -> output."""
+    b = CircuitBuilder("buffered")
+    x, = b.inputs("x")
+    g = b.buf(x, name="g", delay=1)
+    b.output(g)
+    return b.build()
+
+
+def zero_delay_nand_pair():
+    """Two inputs through a zero-delay NAND, then a unit-delay buffer —
+    the classic glitch-filter witness: a and b swapping simultaneously
+    must not pulse the NAND."""
+    b = CircuitBuilder("glitch")
+    a, bb = b.inputs("a", "b")
+    n = b.nand(a, bb, name="n", delay=0)
+    g = b.buf(n, name="g", delay=1)
+    b.output(g)
+    return b.build()
+
+
+class TestLateInjectionMerges:
+    def test_zero_width_pulse_across_drained_boundary_is_suppressed(self):
+        """a falls at t=5 via the queue; after advance(until=5) drains the
+        batch, b rises late *at the same t=5*.  Logically a and b swap
+        simultaneously, so the NAND (a=1,b=0 -> a=0,b=1) stays at 1 and
+        no pulse may reach g."""
+        sim = EventSimulator(zero_delay_nand_pair())
+        session = sim.session({"a": True, "b": False})
+        assert session.value_at_sample("n") is True
+        session.inject(5, {"a": False})
+        session.advance(until=5)
+        session.inject(5, {"b": True})  # merge, not a second batch
+        session.advance()
+        assert session.waveforms["n"].events == []
+        assert session.waveforms["g"].events == []
+        assert session.value_at_sample("g") is True
+
+    def test_split_injection_equals_single_batch(self):
+        """Reference run injects {a, b} as one batch; the split run drains
+        the first half before injecting the second.  All waveforms must
+        agree."""
+        circuit = zero_delay_nand_pair()
+        reference = EventSimulator(circuit).session({"a": True, "b": False})
+        reference.inject(5, {"a": False, "b": True})
+        reference.advance()
+
+        split = EventSimulator(circuit).session({"a": True, "b": False})
+        split.inject(5, {"a": False})
+        split.advance(until=5)
+        split.inject(5, {"b": True})
+        split.advance()
+
+        for name in ("a", "b", "n", "g"):
+            assert (
+                split.waveforms[name].events
+                == reference.waveforms[name].events
+            ), name
+
+    def test_late_revert_coalesces_to_no_event(self):
+        """x rises at t=3 (committed), then a late injection at t=3 puts
+        it back: batch semantics say the time point nets to no change, so
+        the downstream event at t=4 must be withdrawn."""
+        sim = EventSimulator(buffered_input())
+        session = sim.session({"x": False})
+        session.inject(3, {"x": True})
+        session.advance(until=3)
+        session.inject(3, {"x": False})
+        session.advance()
+        assert session.value_at_sample("g") is False
+        assert session.waveforms["g"].events == []
+
+    def test_injection_into_the_past_still_raises(self):
+        sim = EventSimulator(buffered_input())
+        session = sim.session({"x": False})
+        session.advance(until=10)
+        with pytest.raises(ValueError):
+            session.inject(9, {"x": True})
+
+    def test_injection_at_now_before_drain_still_queues(self):
+        """now == 0 at session start but nothing is drained yet: a plain
+        inject at time 0 must go through the queue as before."""
+        sim = EventSimulator(buffered_input())
+        session = sim.session({"x": False})
+        session.inject(0, {"x": True})
+        assert not session.quiescent
+        session.advance()
+        assert session.waveforms["g"].events == [(1, True)]
+
+    def test_sequential_loop_regime(self):
+        """The state-feedback pattern of repro.fsm.sequential: advance to
+        the clock edge, then inject the next vector exactly at the edge.
+        The merged semantics must still produce the buffered response one
+        delay later."""
+        sim = EventSimulator(buffered_input())
+        session = sim.session({"x": False})
+        for cycle in range(4):
+            edge = cycle * 2
+            session.advance(until=edge)
+            session.inject(edge, {"x": cycle % 2 == 1})
+        session.advance()
+        assert session.waveforms["x"].events == [(2, True), (4, False),
+                                                 (6, True)]
+        assert session.waveforms["g"].events == [(3, True), (5, False),
+                                                 (7, True)]

@@ -1,8 +1,7 @@
 import itertools
 
-import pytest
 
-from repro.network import CircuitBuilder, GateType
+from repro.network import GateType
 from repro.sim import (
     ONE,
     X,

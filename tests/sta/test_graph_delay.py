@@ -1,4 +1,3 @@
-import pytest
 
 from repro.network import CircuitBuilder, path_length
 from repro.sta import analyze, arrival_times, gate_depth, topological_delay

@@ -1,7 +1,7 @@
 import pytest
 
 from repro.cli import load_circuit, main
-from repro.network import dumps_bench, dumps_verilog
+from repro.network import dumps_verilog
 
 from tests.helpers import C17_BENCH, c17
 

@@ -1,6 +1,5 @@
 """File-based load/dump helpers across all formats."""
 
-import pytest
 
 from repro.fsm import dump_kiss, load_kiss, loads_kiss
 from repro.network import (

@@ -1,6 +1,5 @@
 """End-to-end flows across the whole stack."""
 
-import pytest
 
 from repro.boolfn import BddEngine
 from repro.core import (
