@@ -29,7 +29,7 @@ from repro.fsm import (
     reachable_states_constraint,
     transition_pair_constraint,
 )
-from repro.runtime import METRICS
+from repro.runtime import METRICS, TRACER
 from repro.sta import render_table
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -115,6 +115,15 @@ def write_metrics(name: str) -> Path:
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.metrics.txt"
     path.write_text(METRICS.report() + "\n")
+    return path
+
+
+def write_trace(name: str) -> Path:
+    """Persist the hierarchical execution trace (span tree with worker
+    attribution and retry/degradation events) next to the metrics record."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.trace.json"
+    TRACER.export(path)
     return path
 
 

@@ -20,7 +20,7 @@ from repro.core import (
 )
 from repro.runtime import METRICS, DelayCache
 
-from .common import render_rows, write_metrics, write_result
+from .common import render_rows, write_metrics, write_result, write_trace
 
 
 def _timed_run(circuit, cache):
@@ -105,3 +105,4 @@ def test_sharded_pairs_match_serial_on_medium_circuit():
             headers=["run", "ms", "outputs"],
         ),
     )
+    write_trace("runtime_parallel")

@@ -50,7 +50,7 @@ from .network import (
     render_cone,
     render_levels,
 )
-from .runtime import METRICS, configure_cache
+from .runtime import METRICS, TRACER, configure_cache, set_execution_policy
 from .sim import EventSimulator, dumps_vcd
 from .sta import render_table, statistics_row, timing_report
 
@@ -290,10 +290,36 @@ def build_parser() -> argparse.ArgumentParser:
             "REPRO_CACHE_DIR)",
         )
         p.add_argument(
+            "--timeout",
+            type=float,
+            default=None,
+            metavar="S",
+            help="per-chunk wall-clock timeout (seconds) for sharded "
+            "queries; timed-out chunks are retried and finally re-run "
+            "serially in-process (default: no timeout)",
+        )
+        p.add_argument(
+            "--retries",
+            type=int,
+            default=1,
+            metavar="N",
+            help="retry rounds for failed or timed-out chunks (each "
+            "retry isolates items one per task) before degrading to "
+            "serial in-process execution (default: 1)",
+        )
+        p.add_argument(
             "--metrics",
             action="store_true",
             help="print runtime metrics (probes, cache hits, phase "
-            "times) to stderr after the command",
+            "times) and the execution-trace tree to stderr after the "
+            "command",
+        )
+        p.add_argument(
+            "--trace",
+            default=None,
+            metavar="FILE",
+            help="write the hierarchical execution trace (span tree "
+            "with retry/degradation events) as JSON to FILE",
         )
         p.set_defaults(func=fn)
         return p
@@ -348,6 +374,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _configure_runtime(args) -> None:
+    # One trace tree per invocation: the root "session" span covers every
+    # phase/chunk span the command records.
+    TRACER.reset()
+    set_execution_policy(
+        timeout=getattr(args, "timeout", None),
+        retries=getattr(args, "retries", None),
+    )
     if getattr(args, "no_cache", False):
         configure_cache(enabled=False)
     elif getattr(args, "cache", None):
@@ -364,8 +397,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     finally:
+        trace_path = getattr(args, "trace", None)
+        if trace_path:
+            TRACER.export(trace_path)
         if getattr(args, "metrics", False):
             print(METRICS.report(), file=sys.stderr)
+            print(TRACER.render(), file=sys.stderr)
 
 
 if __name__ == "__main__":

@@ -127,6 +127,8 @@ def certify(
     seed: int = 97,
     jobs: int = 1,
     cache=None,
+    timeout: Optional[float] = None,
+    retries: Optional[int] = None,
 ) -> CertificationReport:
     """Run the complete certified-timing-verification flow.
 
@@ -137,9 +139,12 @@ def certify(
     > 0 enables the Monte Carlo follow-up when the verdict is conservative.
 
     ``jobs`` shards the per-output pair collection and the Monte Carlo
-    follow-up across worker processes (``1`` = serial, bit-identical to
-    the historical flow; ``0`` = all cores).  Unconstrained runs are
-    served whole from the runtime cache (the entire report is cached,
+    follow-up across worker processes (``1`` = serial; ``0`` = all cores)
+    — the report is result-identical for every ``jobs`` value, including
+    the Monte Carlo samples (per-sample seeded sub-streams on both
+    paths).  ``timeout``/``retries`` tune the sharded runner's fault
+    tolerance (see :mod:`repro.runtime.parallel`).  Unconstrained runs
+    are served whole from the runtime cache (the entire report is cached,
     keyed by both circuits' fingerprints and the flow parameters).
     """
     circuit.validate()
@@ -161,9 +166,8 @@ def certify(
                 "per_output_pairs": per_output_pairs,
                 "samples": statistical_samples,
                 "seed": seed,
-                # jobs only matters to the report via the Monte Carlo
-                # draw mode (serial stream vs per-sample sub-streams).
-                "mc_mode": "serial" if jobs == 1 else "sharded",
+                # jobs deliberately absent: the report (including the
+                # Monte Carlo samples) is the same for every jobs value.
             },
         )
         cached = store.get(token)
@@ -215,7 +219,8 @@ def certify(
             # variable order makes the result identical to the serial
             # shared-analysis path.
             pairs = collect_certification_pairs(
-                circuit, engine_name=engine_name, jobs=jobs
+                circuit, engine_name=engine_name, jobs=jobs,
+                timeout=timeout, retries=retries,
             )
         else:
             pairs = collect_certification_pairs(
@@ -294,6 +299,8 @@ def certify(
                 num_samples=statistical_samples,
                 seed=seed,
                 jobs=jobs,
+                timeout=timeout,
+                retries=retries,
             )
 
     report = CertificationReport(

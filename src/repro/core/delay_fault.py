@@ -198,13 +198,17 @@ class PathFaultGenerator:
         strong: bool = False,
         directions: Sequence[bool] = (True, False),
         jobs: int = 1,
+        timeout: Optional[float] = None,
+        retries: Optional[int] = None,
     ) -> "FaultCoverage":
         """Tests for both transition directions of the ``count`` longest
         paths — the practical 'test the critical paths' flow.
 
         Each (path, direction) query is independent; ``jobs != 1`` fans
         them across worker processes (``0`` = all cores) and merges by
-        task index, yielding the same coverage as the serial loop."""
+        task index, yielding the same coverage as the serial loop.
+        ``timeout``/``retries`` tune the sharded runner's fault tolerance
+        (see :mod:`repro.runtime.parallel`)."""
         tasks = []
         for __, path in k_longest_paths(self.circuit, count):
             for rising in directions:
@@ -215,7 +219,7 @@ class PathFaultGenerator:
 
             outcomes = shard_fault_tests(
                 self.circuit, tasks, engine_name=self._engine_name,
-                jobs=jobs,
+                jobs=jobs, timeout=timeout, retries=retries,
             )
         else:
             outcomes = []

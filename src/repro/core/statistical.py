@@ -148,6 +148,8 @@ def monte_carlo_delay(
     delay_model: Optional[DelayModel] = None,
     seed: int = 97,
     jobs: int = 1,
+    timeout: Optional[float] = None,
+    retries: Optional[int] = None,
 ) -> StatisticalTimingResult:
     """Sample per-gate delays and replay the certification pairs.
 
@@ -155,15 +157,15 @@ def monte_carlo_delay(
     (default: +/-1 uniform variation) and records the worst delay observed
     over all ``pairs`` in single-stepping mode.
 
-    ``jobs=1`` (the default) consumes one rng stream across all samples
-    and reproduces the historical sample sequence bit-for-bit.  ``jobs !=
-    1`` shards samples across worker processes using per-sample seeded
-    sub-streams merged in index order: the sample list is then a pure
-    function of ``(circuit, pairs, num_samples, seed, model)`` — the same
-    for every ``jobs >= 2`` — but intentionally a *different* (equally
-    valid) draw than the serial stream.  Sharding requires a model carrying
-    a picklable ``spec`` (the built-in models do); custom closures fall
-    back to the serial loop.
+    Every sample draws from its own seeded sub-stream
+    (:func:`repro.runtime.parallel.sample_seed`), on the serial path and
+    in worker processes alike, so the sample list is a pure function of
+    ``(circuit, pairs, num_samples, seed, model)`` for *all* ``jobs``
+    values — serial and sharded runs are sample-identical.  Sharding
+    requires a model carrying a picklable ``spec`` (the built-in models
+    do); custom closures fall back to the serial loop, which draws the
+    very same samples.  ``timeout``/``retries`` tune the sharded runner's
+    fault tolerance (see :mod:`repro.runtime.parallel`).
     """
     if not pairs:
         raise ValueError("need at least one certification vector pair")
@@ -174,14 +176,19 @@ def monte_carlo_delay(
             from ..runtime.parallel import shard_monte_carlo
 
             samples = shard_monte_carlo(
-                circuit, list(pairs), num_samples, seed, spec, jobs
+                circuit, list(pairs), num_samples, seed, spec, jobs,
+                timeout=timeout, retries=retries,
             )
             return StatisticalTimingResult(samples, len(pairs))
-    rng = random.Random(seed)
+    from ..runtime.parallel import sample_seed
+
     nominal = _nominal_delays(circuit)
     samples = [
-        sample_delay_once(circuit, pairs, delay_model, rng, nominal)
-        for __ in range(num_samples)
+        sample_delay_once(
+            circuit, pairs, delay_model,
+            random.Random(sample_seed(seed, index)), nominal,
+        )
+        for index in range(num_samples)
     ]
     return StatisticalTimingResult(samples, len(pairs))
 

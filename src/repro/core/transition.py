@@ -470,6 +470,8 @@ def collect_certification_pairs(
     input_times: Optional[Dict[str, int]] = None,
     jobs: int = 1,
     cache=None,
+    timeout: Optional[float] = None,
+    retries: Optional[int] = None,
 ) -> Dict[str, Tuple[int, VectorPair]]:
     """Per-output certification vectors: for every primary output, the
     latest satisfiable transition time and a vector pair exciting it.
@@ -509,7 +511,7 @@ def collect_certification_pairs(
 
         result = shard_certification_pairs(
             circuit, engine_name=engine_name, input_times=input_times,
-            jobs=jobs,
+            jobs=jobs, timeout=timeout, retries=retries,
         )
     elif analysis is None:
         from .floating import with_bdd_fallback

@@ -7,10 +7,16 @@ circuit content plus a handful of parameters.  This package exploits that:
   :class:`~repro.network.circuit.Circuit`, so analyses are keyable;
 * :mod:`repro.runtime.cache` — two-tier (memory LRU + optional disk)
   result cache keyed by ``(fingerprint, kind, engine, constraint, params)``;
-* :mod:`repro.runtime.parallel` — a process-pool sharder for the
-  per-output / per-path / per-sample fan-out of the delay cores;
+* :mod:`repro.runtime.parallel` — a fault-tolerant process-pool sharder
+  for the per-output / per-path / per-sample fan-out of the delay cores
+  (per-chunk timeouts, poison-isolation retries, serial degradation);
 * :mod:`repro.runtime.metrics` — counters and phase timers threaded
-  through the cores and reported by the CLI and the benchmark harness.
+  through the cores and reported by the CLI and the benchmark harness;
+* :mod:`repro.runtime.tracing` — hierarchical execution spans (nested
+  phases, worker attribution, retry/degradation events), exported as
+  JSON by the CLI ``--trace``;
+* :mod:`repro.runtime.faults` — deterministic fault injection
+  (``REPRO_FAULT_INJECT``) so every degradation path is exercised in CI.
 """
 
 from .cache import (
@@ -21,14 +27,18 @@ from .cache import (
     get_cache,
     resolve_cache,
 )
+from .faults import FaultSpec, parse_fault_spec
 from .fingerprint import circuit_fingerprint, circuit_signature, params_token
 from .metrics import METRICS, Metrics
 from .parallel import (
+    execution_policy,
     resolve_jobs,
+    set_execution_policy,
     shard_certification_pairs,
     shard_fault_tests,
     shard_monte_carlo,
 )
+from .tracing import TRACER, Span, Tracer
 
 __all__ = [
     "CACHE_SCHEMA",
@@ -37,12 +47,19 @@ __all__ = [
     "constraint_cache_id",
     "get_cache",
     "resolve_cache",
+    "FaultSpec",
+    "parse_fault_spec",
     "circuit_fingerprint",
     "circuit_signature",
     "params_token",
     "METRICS",
     "Metrics",
+    "TRACER",
+    "Span",
+    "Tracer",
+    "execution_policy",
     "resolve_jobs",
+    "set_execution_policy",
     "shard_certification_pairs",
     "shard_fault_tests",
     "shard_monte_carlo",

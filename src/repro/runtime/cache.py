@@ -26,16 +26,21 @@ import hashlib
 import os
 import pickle
 import tempfile
+import warnings
 from collections import OrderedDict
 from pathlib import Path
 from typing import Any, Dict, Optional
 
+from .faults import should_corrupt_cache_entry
 from .fingerprint import circuit_fingerprint, params_token
 from .metrics import METRICS
 
 #: Version salt baked into every key.  Bump when cached payloads change
-#: meaning (e.g. a certificate field is redefined).
-CACHE_SCHEMA = "1"
+#: meaning (e.g. a certificate field is redefined).  "2": Monte Carlo
+#: samples became jobs-invariant (the serial path now draws from the same
+#: per-sample sub-streams as the sharded path), so any cached report that
+#: embeds a sample list from the old serial stream is orphaned.
+CACHE_SCHEMA = "2"
 
 
 def constraint_cache_id(constraint) -> Optional[str]:
@@ -149,10 +154,42 @@ class DelayCache:
         path = self._disk_path(token)
         try:
             with open(path, "rb") as handle:
-                return pickle.load(handle)
-        except (OSError, pickle.PickleError, EOFError, AttributeError):
-            # Missing or corrupt entry — treat as a miss.
+                data = handle.read()
+        except FileNotFoundError:
+            # Genuinely missing — the ordinary miss.
             return None
+        except OSError:
+            # Unreadable (permissions, I/O error): a miss, but not
+            # corruption — the entry may be perfectly fine for others.
+            return None
+        if should_corrupt_cache_entry(token):
+            # Deterministic fault injection (REPRO_FAULT_INJECT=
+            # corrupt-cache:<prefix>): pretend the read returned garbage
+            # so the quarantine path below is exercised.
+            data = b"\x00repro-fault-injection\x00"
+        try:
+            return pickle.loads(data)
+        except Exception:
+            # Corrupt entry (truncated write, garbage bytes, payload from
+            # an incompatible class layout): unpickling garbage can raise
+            # nearly anything, so the net is deliberately wide.  Quarantine
+            # the file so the entry is rebuilt once instead of being
+            # re-read (and re-failing) forever.
+            METRICS.incr("cache.disk_corrupt")
+            self._quarantine(path)
+            return None
+
+    @staticmethod
+    def _quarantine(path: Path) -> None:
+        """Move a corrupt entry aside (`.bad`, for post-mortems), or drop
+        it when even the rename fails."""
+        try:
+            path.rename(path.with_suffix(".bad"))
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
 
     def _disk_put(self, token: str, value: Any) -> None:
         if self._dir is None:
@@ -181,17 +218,43 @@ class DelayCache:
 _GLOBAL: Optional[DelayCache] = None
 
 
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+_FALSY = frozenset({"0", "false", "no", "off"})
+
+
+def _env_flag(name: str) -> Optional[bool]:
+    """Tri-state boolean env var: ``True``/``False`` when recognised
+    (``1/true/yes/on`` and ``0/false/no/off``, case-insensitive), ``None``
+    when unset or empty.  Unintelligible values warn and count as unset —
+    a typo must never silently flip caching semantics."""
+    raw = os.environ.get(name)
+    if raw is None or raw.strip() == "":
+        return None
+    lowered = raw.strip().lower()
+    if lowered in _TRUTHY:
+        return True
+    if lowered in _FALSY:
+        return False
+    warnings.warn(
+        f"ignoring unrecognised {name}={raw!r} (expected one of "
+        "1/true/yes/on or 0/false/no/off)",
+        RuntimeWarning,
+        stacklevel=2,
+    )
+    return None
+
+
 def _cache_from_env() -> DelayCache:
     """Build the default cache from ``REPRO_CACHE`` / ``REPRO_CACHE_DIR``.
 
     The cache is *disabled* by default so test and library behaviour is
     bit-identical with and without this package.  ``REPRO_CACHE_DIR=<dir>``
-    enables memory + disk tiers; ``REPRO_CACHE=1`` enables memory only;
-    ``REPRO_CACHE=0`` force-disables even when a dir is set.
+    enables memory + disk tiers; a truthy ``REPRO_CACHE`` enables memory
+    only; a falsy ``REPRO_CACHE`` force-disables even when a dir is set.
     """
     cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
-    flag = os.environ.get("REPRO_CACHE", "")
-    enabled = (bool(cache_dir) or flag == "1") and flag != "0"
+    flag = _env_flag("REPRO_CACHE")
+    enabled = (bool(cache_dir) or flag is True) and flag is not False
     return DelayCache(cache_dir=cache_dir, enabled=enabled)
 
 

@@ -4,26 +4,43 @@ A single process-global :data:`METRICS` instance is threaded through the
 delay cores, the cache, the sharder, the trace replayer, the CLI, and the
 benchmark harness.  Everything is plain dict arithmetic — cheap enough to
 stay enabled unconditionally.
+
+The global instance additionally mirrors every counter, gauge, and phase
+onto the current span of :data:`~repro.runtime.tracing.TRACER`, which is
+where the *hierarchical* view (nested phases, worker attribution,
+retry/degradation events) lives; this module keeps the cheap flat
+aggregates for golden reports and assertions.
 """
 
 from __future__ import annotations
 
 import time
-from contextlib import contextmanager
-from typing import Dict, Iterator
+from contextlib import contextmanager, nullcontext
+from typing import Dict, Iterator, Optional
+
+from .tracing import TRACER
 
 
 class Metrics:
-    """Named counters, max-gauges, and cumulative phase wall times."""
+    """Named counters, max-gauges, and cumulative phase wall times.
 
-    def __init__(self) -> None:
+    ``mirror_to_trace`` duplicates the recording onto the global
+    :data:`~repro.runtime.tracing.TRACER` span stack; only the module
+    global :data:`METRICS` enables it (throwaway instances in tests stay
+    self-contained).
+    """
+
+    def __init__(self, mirror_to_trace: bool = False) -> None:
         self._counters: Dict[str, int] = {}
         self._gauges: Dict[str, int] = {}
         self._phases: Dict[str, float] = {}
+        self._mirror = bool(mirror_to_trace)
 
     # -- counters -----------------------------------------------------
     def incr(self, name: str, amount: int = 1) -> None:
         self._counters[name] = self._counters.get(name, 0) + amount
+        if self._mirror:
+            TRACER.incr(name, amount)
 
     def counter(self, name: str) -> int:
         return self._counters.get(name, 0)
@@ -32,6 +49,8 @@ class Metrics:
     def gauge_max(self, name: str, value: int) -> None:
         if value > self._gauges.get(name, 0):
             self._gauges[name] = value
+        if self._mirror:
+            TRACER.gauge_max(name, value)
 
     def gauge(self, name: str) -> int:
         return self._gauges.get(name, 0)
@@ -39,9 +58,11 @@ class Metrics:
     # -- phase timing -------------------------------------------------
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
+        span = TRACER.span(name) if self._mirror else nullcontext()
         start = time.perf_counter()
         try:
-            yield
+            with span:
+                yield
         finally:
             elapsed = time.perf_counter() - start
             self._phases[name] = self._phases.get(name, 0.0) + elapsed
@@ -61,6 +82,11 @@ class Metrics:
         """Fold counters returned by a worker process into this instance."""
         for name, amount in counters.items():
             self.incr(name, amount)
+
+    def merge_gauges(self, gauges: Dict[str, int]) -> None:
+        """Fold worker gauges (max-fold, mirroring :meth:`gauge_max`)."""
+        for name, value in gauges.items():
+            self.gauge_max(name, value)
 
     def reset(self) -> None:
         self._counters.clear()
@@ -92,16 +118,24 @@ class Metrics:
         return "\n".join(lines)
 
 
-METRICS = Metrics()
+METRICS = Metrics(mirror_to_trace=True)
+
+
+def engine_peak_nodes(engine) -> Optional[int]:
+    """The engine manager's current node count, or ``None`` if the engine
+    does not expose one (shared by the parent-side recorder and the
+    sharded workers' gauge return)."""
+    manager = getattr(engine, "manager", None)
+    num_nodes = getattr(manager, "num_nodes", None)
+    if callable(num_nodes):  # method-style managers
+        num_nodes = num_nodes()
+    return num_nodes if isinstance(num_nodes, int) else None
 
 
 def record_engine_metrics(kind: str, engine, functions: int, checks: int) -> None:
     """Fold one delay computation's accounting into :data:`METRICS`."""
     METRICS.incr(f"{kind}.checks", checks)
     METRICS.incr(f"{kind}.functions_built", functions)
-    manager = getattr(engine, "manager", None)
-    num_nodes = getattr(manager, "num_nodes", None)
-    if callable(num_nodes):  # method-style managers
-        num_nodes = num_nodes()
-    if isinstance(num_nodes, int):
-        METRICS.gauge_max("boolfn.peak_nodes", num_nodes)
+    peak = engine_peak_nodes(engine)
+    if peak is not None:
+        METRICS.gauge_max("boolfn.peak_nodes", peak)

@@ -1,4 +1,5 @@
-"""Process-pool sharding for the embarrassingly parallel delay queries.
+"""Fault-tolerant process-pool sharding for the embarrassingly parallel
+delay queries.
 
 Three fan-outs in the cores are independent per item:
 
@@ -17,18 +18,34 @@ caller's serial path; sharded results are merged deterministically
 (outputs in declaration order, faults and samples by original index), so
 ``jobs=1`` and ``jobs=N`` runs are result-identical.
 
-Workers also return their probe counters, which the parent folds into the
-global :data:`~repro.runtime.metrics.METRICS` instance.
+Execution is *fault-tolerant*: chunks are submitted as futures with a
+per-round wall-clock timeout, a failed or timed-out chunk is retried as
+single-item tasks (isolating a poison item — a BDD blowup kills only its
+own retry, not its chunk-mates), and once the bounded retries are
+exhausted the remaining items run serially in-process.  A ``jobs=N`` run
+therefore never produces less than the serial run: worker death degrades
+throughput, not results.  Every degradation step is counted in
+:data:`~repro.runtime.metrics.METRICS` and recorded as an event on the
+current :data:`~repro.runtime.tracing.TRACER` span; the deterministic
+fault hooks in :mod:`repro.runtime.faults` exercise each path in CI.
+
+Workers return ``(result, counters, gauges)``; the parent folds counters
+additively and gauges max-wise into the global metrics, and attributes
+them to a per-chunk trace span tagged with the worker's pid.
 """
 
 from __future__ import annotations
 
 import os
 import random
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import CancelledError, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from .metrics import METRICS
+from .faults import inject_worker_fault, worker_fault
+from .metrics import METRICS, engine_peak_nodes
+from .tracing import TRACER
 
 
 def resolve_jobs(jobs: Optional[int], task_count: Optional[int] = None) -> int:
@@ -49,13 +66,224 @@ def _chunk_round_robin(items: Sequence, jobs: int) -> List[list]:
     return [chunk for chunk in chunks if chunk]
 
 
-def _run_sharded(worker, payloads: Sequence, jobs: int) -> list:
-    with ProcessPoolExecutor(max_workers=min(jobs, len(payloads))) as pool:
-        return list(pool.map(worker, payloads))
+# ----------------------------------------------------------------------
+# Execution policy (CLI --timeout / --retries set the process defaults)
+# ----------------------------------------------------------------------
+_UNSET = object()
+_POLICY: Dict[str, object] = {"timeout": None, "retries": 1}
+
+
+def set_execution_policy(timeout=_UNSET, retries=_UNSET) -> Dict[str, object]:
+    """Set process-wide defaults for sharded execution.
+
+    ``timeout`` is the per-round wall-clock limit in seconds (``None`` or
+    ``<= 0`` disables it); ``retries`` is the number of resubmission
+    rounds before degrading to in-process serial execution.
+    """
+    if timeout is not _UNSET:
+        _POLICY["timeout"] = timeout
+    if retries is not _UNSET:
+        _POLICY["retries"] = 1 if retries is None else max(0, int(retries))
+    return dict(_POLICY)
+
+
+def execution_policy() -> Dict[str, object]:
+    return dict(_POLICY)
+
+
+def _resolve_policy(
+    timeout: Optional[float], retries: Optional[int]
+) -> Tuple[Optional[float], int]:
+    if timeout is None:
+        timeout = _POLICY["timeout"]
+    if timeout is not None and timeout <= 0:
+        timeout = None
+    if retries is None:
+        retries = _POLICY["retries"]
+    return timeout, max(0, int(retries))
+
+
+# ----------------------------------------------------------------------
+# The fault-tolerant sharded runner
+# ----------------------------------------------------------------------
+def _call_worker(args):
+    """Pool entry point (runs in the worker process): apply any injected
+    fault for this task, then clock the real worker."""
+    worker, task_index, fault, payload = args
+    inject_worker_fault(fault, task_index)
+    start = time.perf_counter()
+    result = worker(payload)
+    return os.getpid(), time.perf_counter() - start, result
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Hard-stop a pool that may hold hung or dead workers: terminate its
+    processes (a hung worker never drains the call queue on its own), then
+    abandon the executor without waiting."""
+    try:
+        processes = list((pool._processes or {}).values())
+    except Exception:
+        processes = []
+    for process in processes:
+        try:
+            process.terminate()
+        except Exception:
+            pass
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:
+        pass
+
+
+def _run_round(pool, worker, make_payload, tasks, timeout, fault, results,
+               label):
+    """Submit one round of tasks and harvest it.
+
+    Returns ``(failed_tasks, pool_or_None)`` — the pool comes back as
+    ``None`` when it had to be killed (worker death or hung workers), in
+    which case the caller starts the next round on a fresh pool.
+    """
+    futures: Dict[object, Tuple[int, list]] = {}
+    failed: List[Tuple[int, list]] = []
+    pool_dead = False
+    try:
+        for index, chunk in tasks:
+            future = pool.submit(
+                _call_worker, (worker, index, fault, make_payload(chunk))
+            )
+            futures[future] = (index, chunk)
+    except BrokenProcessPool:
+        pool_dead = True
+        submitted = {index for index, __ in futures.values()}
+        failed.extend(task for task in tasks if task[0] not in submitted)
+    __, not_done = wait(futures, timeout=timeout)
+    for future, (index, chunk) in futures.items():
+        if future in not_done:
+            pool_dead = True
+            METRICS.incr("parallel.chunk_timeouts")
+            TRACER.event(
+                "chunk-timeout", label=label, chunk=index, items=len(chunk)
+            )
+            failed.append((index, chunk))
+            continue
+        try:
+            pid, elapsed, (result, counters, gauges) = future.result()
+        except (BrokenProcessPool, CancelledError):
+            pool_dead = True
+            METRICS.incr("parallel.chunk_failures")
+            TRACER.event(
+                "worker-died", label=label, chunk=index, items=len(chunk)
+            )
+            failed.append((index, chunk))
+        except Exception as error:
+            METRICS.incr("parallel.chunk_failures")
+            TRACER.event(
+                "chunk-error", label=label, chunk=index, items=len(chunk),
+                error=repr(error),
+            )
+            failed.append((index, chunk))
+        else:
+            METRICS.merge_counters(counters)
+            METRICS.merge_gauges(gauges)
+            TRACER.add_span(
+                f"{label}.chunk", elapsed, counters=counters, gauges=gauges,
+                chunk=index, items=len(chunk), worker=pid,
+            )
+            results.append(result)
+    if pool_dead:
+        METRICS.incr("parallel.pool_restarts")
+        _kill_pool(pool)
+        pool = None
+    return failed, pool
+
+
+def _run_sharded(
+    worker,
+    items: Sequence,
+    make_payload,
+    jobs: int,
+    *,
+    timeout: Optional[float] = None,
+    retries: Optional[int] = None,
+    label: str = "shard",
+) -> list:
+    """Run ``worker`` over round-robin chunks of ``items`` with timeouts,
+    poison-isolation retries, and serial degradation.
+
+    ``make_payload(chunk)`` rebuilds a worker payload for any sub-list of
+    ``items`` (needed to re-chunk on retry); ``worker`` must return a
+    ``(result, counters, gauges)`` triple.  Returns the per-chunk results
+    at whatever granularity execution ended up using — callers must merge
+    order-insensitively (all three shard queries already do).
+    """
+    timeout, retries = _resolve_policy(timeout, retries)
+    chunks = _chunk_round_robin(list(items), jobs)
+    if not chunks:
+        return []
+    fault = worker_fault()
+    next_index = 0
+    tasks: List[Tuple[int, list]] = []
+    for chunk in chunks:
+        tasks.append((next_index, chunk))
+        next_index += 1
+    results: list = []
+    failed: List[Tuple[int, list]] = []
+    pool: Optional[ProcessPoolExecutor] = ProcessPoolExecutor(
+        max_workers=min(jobs, len(tasks))
+    )
+    try:
+        for attempt in range(retries + 1):
+            if pool is None:
+                pool = ProcessPoolExecutor(
+                    max_workers=min(jobs, len(tasks))
+                )
+            failed, pool = _run_round(
+                pool, worker, make_payload, tasks, timeout, fault, results,
+                label,
+            )
+            if not failed:
+                return results
+            if attempt == retries:
+                break
+            # Poison isolation: resubmit each failing chunk item by item,
+            # so one pathological item can only take down its own retry.
+            failed.sort(key=lambda task: task[0])
+            tasks = []
+            for __, chunk in failed:
+                for item in chunk:
+                    tasks.append((next_index, [item]))
+                    next_index += 1
+            METRICS.incr("parallel.retries", len(tasks))
+            TRACER.event(
+                "retry", label=label, attempt=attempt + 1, tasks=len(tasks)
+            )
+        # Degradation of last resort: whatever still fails after the retry
+        # budget runs serially in this process, so jobs=N can never return
+        # less than the serial run (a genuine error raises here exactly as
+        # it would have serially).
+        failed.sort(key=lambda task: task[0])
+        remainder = [item for __, chunk in failed for item in chunk]
+        METRICS.incr("parallel.serial_fallback_items", len(remainder))
+        TRACER.event("degrade-serial", label=label, items=len(remainder))
+        with TRACER.span(f"{label}.serial-fallback", items=len(remainder)):
+            result, counters, gauges = worker(make_payload(remainder))
+        METRICS.merge_counters(counters)
+        METRICS.merge_gauges(gauges)
+        results.append(result)
+        return results
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=True)
 
 
 def _engine_counters(prefix: str, engine) -> Dict[str, int]:
     return {f"{prefix}.sat_probes": getattr(engine, "num_sat_checks", 0)}
+
+
+def _engine_gauges(engine) -> Dict[str, int]:
+    """Worker-side high-water marks, folded max-wise by the parent."""
+    peak = engine_peak_nodes(engine)
+    return {} if peak is None else {"boolfn.peak_nodes": peak}
 
 
 # ----------------------------------------------------------------------
@@ -74,7 +302,7 @@ def _pairs_worker(payload):
     analysis, pairs = with_bdd_fallback(run, None, engine_name)
     counters = _engine_counters("pairs", analysis.engine)
     counters["pairs.functions_built"] = analysis.num_functions()
-    return pairs, counters
+    return pairs, counters, _engine_gauges(analysis.engine)
 
 
 def shard_certification_pairs(
@@ -82,6 +310,8 @@ def shard_certification_pairs(
     engine_name: str = "auto",
     input_times: Optional[Dict[str, int]] = None,
     jobs: int = 2,
+    timeout: Optional[float] = None,
+    retries: Optional[int] = None,
 ):
     """Per-output certification pairs, one worker per output chunk.
 
@@ -91,16 +321,18 @@ def shard_certification_pairs(
     """
     outputs = list(circuit.outputs)
     jobs = resolve_jobs(jobs, len(outputs))
-    chunks = _chunk_round_robin(outputs, jobs)
-    payloads = [
-        (circuit, engine_name, input_times, chunk) for chunk in chunks
-    ]
+
+    def make_payload(chunk):
+        return (circuit, engine_name, input_times, list(chunk))
+
     with METRICS.phase("parallel.certification_pairs"):
-        results = _run_sharded(_pairs_worker, payloads, jobs)
+        results = _run_sharded(
+            _pairs_worker, outputs, make_payload, jobs,
+            timeout=timeout, retries=retries, label="pairs",
+        )
     merged: Dict[str, Tuple[int, object]] = {}
-    for pairs, counters in results:
+    for pairs in results:
         merged.update(pairs)
-        METRICS.merge_counters(counters)
     # Re-impose output declaration order on the merged dict.
     return {out: merged[out] for out in outputs if out in merged}
 
@@ -120,7 +352,11 @@ def _fault_worker(payload):
             fault, TestStrength(strength_value), strong
         )
         results.append((index, fault, test))
-    return results, _engine_counters("faults", generator.engine)
+    return (
+        results,
+        _engine_counters("faults", generator.engine),
+        _engine_gauges(generator.engine),
+    )
 
 
 def shard_fault_tests(
@@ -128,6 +364,8 @@ def shard_fault_tests(
     tasks: Sequence[Tuple[int, Sequence[str], bool, str, bool]],
     engine_name: str = "auto",
     jobs: int = 2,
+    timeout: Optional[float] = None,
+    retries: Optional[int] = None,
 ):
     """Run fault-test generation tasks across workers.
 
@@ -136,14 +374,18 @@ def shard_fault_tests(
     the merge is deterministic regardless of worker timing.
     """
     jobs = resolve_jobs(jobs, len(tasks))
-    chunks = _chunk_round_robin(list(tasks), jobs)
-    payloads = [(circuit, engine_name, chunk) for chunk in chunks]
+
+    def make_payload(chunk):
+        return (circuit, engine_name, list(chunk))
+
     with METRICS.phase("parallel.fault_tests"):
-        results = _run_sharded(_fault_worker, payloads, jobs)
+        results = _run_sharded(
+            _fault_worker, list(tasks), make_payload, jobs,
+            timeout=timeout, retries=retries, label="faults",
+        )
     merged = []
-    for entries, counters in results:
+    for entries in results:
         merged.extend(entries)
-        METRICS.merge_counters(counters)
     merged.sort(key=lambda item: item[0])
     return [(fault, test) for __, fault, test in merged]
 
@@ -171,7 +413,7 @@ def _monte_carlo_worker(payload):
     for index in indices:
         rng = random.Random(sample_seed(seed, index))
         samples.append((index, sample_delay_once(circuit, pairs, delay_model, rng)))
-    return samples
+    return samples, {}, {}
 
 
 def shard_monte_carlo(
@@ -181,18 +423,26 @@ def shard_monte_carlo(
     seed: int,
     model_spec: Tuple,
     jobs: int = 2,
+    timeout: Optional[float] = None,
+    retries: Optional[int] = None,
 ) -> List[int]:
     """Monte Carlo samples across workers with per-sample seeded
     sub-streams and an index-ordered merge: the returned sample list is a
     pure function of ``(circuit, pairs, num_samples, seed, model_spec)``,
-    independent of ``jobs`` (for ``jobs >= 2``) and of scheduling."""
+    independent of ``jobs`` and of scheduling (the serial path in
+    :func:`repro.core.statistical.monte_carlo_delay` draws from the same
+    sub-streams)."""
     jobs = resolve_jobs(jobs, num_samples)
-    chunks = _chunk_round_robin(range(num_samples), jobs)
-    payloads = [
-        (circuit, list(pairs), chunk, seed, model_spec) for chunk in chunks
-    ]
+    pair_list = list(pairs)
+
+    def make_payload(chunk):
+        return (circuit, pair_list, list(chunk), seed, model_spec)
+
     with METRICS.phase("parallel.monte_carlo"):
-        results = _run_sharded(_monte_carlo_worker, payloads, jobs)
+        results = _run_sharded(
+            _monte_carlo_worker, range(num_samples), make_payload, jobs,
+            timeout=timeout, retries=retries, label="monte-carlo",
+        )
     METRICS.incr("monte_carlo.samples", num_samples)
     merged = [delay for chunk in results for delay in chunk]
     merged.sort(key=lambda item: item[0])

@@ -1,0 +1,180 @@
+"""Hierarchical execution tracing: spans, events, per-span accounting.
+
+The flat phase map in :mod:`repro.runtime.metrics` answers "how much total
+time went into phase X"; spans answer "what happened inside this run, in
+what order, and under which parent" — nested phases, per-chunk worker
+attribution, and the retry/degradation events of the fault-tolerant
+sharder.  The process-global :data:`~repro.runtime.metrics.METRICS`
+instance mirrors its counters, gauges, and phase timers onto the current
+span of :data:`TRACER`, so instrumented code needs no second set of hooks.
+
+The tree is exported as JSON by the CLI ``--trace FILE`` flag and rendered
+as an indented text tree by ``--metrics`` (schema in ``docs/RUNTIME.md``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+
+class Span:
+    """One node of the trace tree.
+
+    ``elapsed`` is wall-clock seconds; ``counters``/``gauges`` hold the
+    accounting attributed to exactly this span (children carry their own);
+    ``events`` are point-in-time markers (retries, timeouts, degradations).
+    """
+
+    __slots__ = (
+        "name", "attrs", "counters", "gauges", "events", "children",
+        "elapsed",
+    )
+
+    def __init__(self, name: str, attrs: Optional[dict] = None) -> None:
+        self.name = name
+        self.attrs: Dict[str, object] = dict(attrs or {})
+        self.counters: Dict[str, int] = {}
+        self.gauges: Dict[str, int] = {}
+        self.events: List[dict] = []
+        self.children: List["Span"] = []
+        self.elapsed = 0.0
+
+    def to_dict(self) -> dict:
+        data: Dict[str, object] = {
+            "name": self.name,
+            "elapsed_ms": round(self.elapsed * 1000, 3),
+        }
+        if self.attrs:
+            data["attrs"] = dict(self.attrs)
+        if self.counters:
+            data["counters"] = dict(self.counters)
+        if self.gauges:
+            data["gauges"] = dict(self.gauges)
+        if self.events:
+            data["events"] = [dict(event) for event in self.events]
+        data["children"] = [child.to_dict() for child in self.children]
+        return data
+
+
+class Tracer:
+    """Maintains the current-span stack and the root "session" span.
+
+    The root is opened at construction (or :meth:`reset`) and closed at
+    export time, so it always covers every child span recorded in between.
+    """
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self._root = Span("session")
+        self._started = time.perf_counter()
+        self._stack: List[Span] = [self._root]
+
+    @property
+    def root(self) -> Span:
+        return self._root
+
+    @property
+    def current(self) -> Span:
+        return self._stack[-1]
+
+    # -- recording ----------------------------------------------------
+    @contextmanager
+    def span(self, name: str, **attrs) -> Iterator[Span]:
+        child = Span(name, attrs)
+        self._stack[-1].children.append(child)
+        self._stack.append(child)
+        start = time.perf_counter()
+        try:
+            yield child
+        finally:
+            child.elapsed += time.perf_counter() - start
+            self._stack.pop()
+
+    def add_span(
+        self,
+        name: str,
+        elapsed: float,
+        counters: Optional[Dict[str, int]] = None,
+        gauges: Optional[Dict[str, int]] = None,
+        **attrs,
+    ) -> Span:
+        """Attach an already-measured child span (e.g. a worker-side
+        chunk whose duration was clocked inside the worker process)."""
+        child = Span(name, attrs)
+        child.elapsed = float(elapsed)
+        if counters:
+            child.counters.update(counters)
+        if gauges:
+            child.gauges.update(gauges)
+        self._stack[-1].children.append(child)
+        return child
+
+    def event(self, name: str, **attrs) -> None:
+        """Record a point-in-time marker on the current span."""
+        self._stack[-1].events.append({"event": name, **attrs})
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        counters = self._stack[-1].counters
+        counters[name] = counters.get(name, 0) + amount
+
+    def gauge_max(self, name: str, value: int) -> None:
+        gauges = self._stack[-1].gauges
+        if value > gauges.get(name, 0):
+            gauges[name] = value
+
+    # -- export -------------------------------------------------------
+    def finalize(self) -> Span:
+        """Close the root over everything recorded so far (idempotent —
+        the root only ever grows)."""
+        self._root.elapsed = time.perf_counter() - self._started
+        return self._root
+
+    def to_dict(self) -> dict:
+        return self.finalize().to_dict()
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    def export(self, path) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_json() + "\n")
+
+    def render(self) -> str:
+        """Indented plain-text tree (the ``--metrics`` rendering)."""
+        self.finalize()
+        lines = ["execution trace"]
+
+        def describe(mapping: Dict[str, object]) -> str:
+            return ", ".join(f"{k}={v}" for k, v in sorted(mapping.items()))
+
+        def walk(span: Span, depth: int) -> None:
+            pad = "  " * depth
+            line = f"{pad}{span.name}  {span.elapsed * 1000:.1f} ms"
+            if span.attrs:
+                line += f"  [{describe(span.attrs)}]"
+            lines.append(line)
+            for name, value in sorted(span.counters.items()):
+                lines.append(f"{pad}  . {name} = {value}")
+            for name, value in sorted(span.gauges.items()):
+                lines.append(f"{pad}  ^ {name} = {value}")
+            for event in span.events:
+                rest = {k: v for k, v in event.items() if k != "event"}
+                line = f"{pad}  ! {event['event']}"
+                if rest:
+                    line += f"  [{describe(rest)}]"
+                lines.append(line)
+            for child in span.children:
+                walk(child, depth + 1)
+
+        walk(self._root, 1)
+        return "\n".join(lines)
+
+
+#: Process-global tracer; the CLI resets it per invocation and exports it
+#: via ``--trace``.  Worker processes have their own (discarded) instance.
+TRACER = Tracer()

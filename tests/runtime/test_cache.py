@@ -2,6 +2,8 @@
 miss-safe handling of unkeyable constraints."""
 
 import os
+
+import pytest
 import pickle
 
 from repro.core import compute_floating_delay
@@ -161,3 +163,82 @@ def test_readonly_disk_never_fails_the_analysis(tmp_path):
         cache.put(token, {"delay": 3})  # must not raise
     finally:
         os.chmod(tmp_path, 0o700)
+
+
+def test_corrupt_disk_entry_is_quarantined_and_counted(tmp_path):
+    from repro.runtime import METRICS
+
+    cache = DelayCache(cache_dir=str(tmp_path))
+    token = cache.token(c17(), "certify")
+    cache.put(token, {"ok": True})
+    path = tmp_path / token[:2] / (token + ".pkl")
+    path.write_bytes(b"not a pickle")
+    before = METRICS.counter("cache.disk_corrupt")
+    fresh = DelayCache(cache_dir=str(tmp_path))
+    assert fresh.get(token) is None
+    assert METRICS.counter("cache.disk_corrupt") == before + 1
+    # Quarantined, not left in place: the bad bytes are never re-read.
+    assert not path.exists()
+    assert path.with_suffix(".bad").exists()
+    # The entry is rebuilt once and round-trips again.
+    fresh.put(token, {"ok": True})
+    assert DelayCache(cache_dir=str(tmp_path)).get(token) == {"ok": True}
+    assert METRICS.counter("cache.disk_corrupt") == before + 1
+
+
+def test_missing_disk_entry_is_not_counted_as_corrupt(tmp_path):
+    from repro.runtime import METRICS
+
+    cache = DelayCache(cache_dir=str(tmp_path))
+    token = cache.token(c17(), "floating")
+    before = METRICS.counter("cache.disk_corrupt")
+    assert cache.get(token) is None
+    assert METRICS.counter("cache.disk_corrupt") == before
+
+
+def test_fault_injected_corruption_fires_once(tmp_path, monkeypatch):
+    from repro.runtime.faults import reset_fault_state
+
+    cache = DelayCache(cache_dir=str(tmp_path))
+    token = cache.token(c17(), "floating")
+    cache.put(token, {"delay": 3})
+    monkeypatch.setenv("REPRO_FAULT_INJECT", f"corrupt-cache:{token[:6]}")
+    reset_fault_state()
+    # First disk read sees garbage and quarantines the entry...
+    assert DelayCache(cache_dir=str(tmp_path)).get(token) is None
+    # ...which is then rebuilt once; the injector does not re-fire.
+    rebuilt = DelayCache(cache_dir=str(tmp_path))
+    rebuilt.put(token, {"delay": 3})
+    assert DelayCache(cache_dir=str(tmp_path)).get(token) == {"delay": 3}
+
+
+@pytest.mark.parametrize("value", ["1", "true", "YES", "On", " yes "])
+def test_env_truthy_values_enable_the_cache(monkeypatch, value):
+    import repro.runtime.cache as cache_mod
+
+    monkeypatch.setenv("REPRO_CACHE", value)
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    monkeypatch.setattr(cache_mod, "_GLOBAL", None)
+    assert get_cache().enabled is True
+
+
+@pytest.mark.parametrize("value", ["0", "false", "No", "OFF"])
+def test_env_falsy_values_force_disable_even_with_dir(
+    monkeypatch, tmp_path, value
+):
+    import repro.runtime.cache as cache_mod
+
+    monkeypatch.setenv("REPRO_CACHE", value)
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.setattr(cache_mod, "_GLOBAL", None)
+    assert get_cache().enabled is False
+
+
+def test_env_unrecognized_value_warns_and_is_ignored(monkeypatch):
+    import repro.runtime.cache as cache_mod
+
+    monkeypatch.setenv("REPRO_CACHE", "maybe")
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    monkeypatch.setattr(cache_mod, "_GLOBAL", None)
+    with pytest.warns(RuntimeWarning):
+        assert get_cache().enabled is False

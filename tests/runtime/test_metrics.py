@@ -64,3 +64,12 @@ def test_report_is_stable_and_readable():
         pass
     report = m.report()
     assert "gauges:" in report and "phases:" in report and "ms" in report
+
+
+def test_merge_gauges_keeps_the_max_across_workers():
+    m = Metrics()
+    m.gauge_max("boolfn.peak_nodes", 40)
+    m.merge_gauges({"boolfn.peak_nodes": 56, "other.peak": 3})
+    m.merge_gauges({"boolfn.peak_nodes": 12})
+    assert m.gauge("boolfn.peak_nodes") == 56
+    assert m.gauge("other.peak") == 3

@@ -1,0 +1,128 @@
+"""Tracing: span nesting, events, accounting, export, and the METRICS
+mirror that turns flat phases into a tree."""
+
+import json
+
+from repro.runtime import Metrics, Tracer
+from repro.runtime.tracing import TRACER
+
+
+def test_spans_nest_under_their_parent():
+    tracer = Tracer()
+    with tracer.span("outer"):
+        with tracer.span("inner", worker=7):
+            pass
+        with tracer.span("sibling"):
+            pass
+    root = tracer.finalize()
+    assert root.name == "session"
+    (outer,) = root.children
+    assert outer.name == "outer"
+    assert [child.name for child in outer.children] == ["inner", "sibling"]
+    assert outer.children[0].attrs == {"worker": 7}
+
+
+def test_root_covers_all_child_spans():
+    tracer = Tracer()
+    with tracer.span("a"):
+        pass
+    with tracer.span("b"):
+        with tracer.span("b.child"):
+            pass
+    root = tracer.finalize()
+    assert root.elapsed >= sum(child.elapsed for child in root.children)
+    b = root.children[1]
+    assert b.elapsed >= b.children[0].elapsed
+
+
+def test_events_and_counters_attach_to_the_current_span():
+    tracer = Tracer()
+    with tracer.span("phase"):
+        tracer.event("retry", attempt=1, tasks=3)
+        tracer.incr("chunks", 2)
+        tracer.incr("chunks")
+        tracer.gauge_max("peak", 5)
+        tracer.gauge_max("peak", 3)
+    span = tracer.root.children[0]
+    assert span.events == [{"event": "retry", "attempt": 1, "tasks": 3}]
+    assert span.counters == {"chunks": 3}
+    assert span.gauges == {"peak": 5}
+
+
+def test_add_span_attaches_premeasured_worker_chunks():
+    tracer = Tracer()
+    with tracer.span("parallel"):
+        tracer.add_span(
+            "chunk", 0.25, counters={"probes": 4}, gauges={"nodes": 9},
+            chunk=0, worker=1234,
+        )
+    chunk = tracer.root.children[0].children[0]
+    assert chunk.elapsed == 0.25
+    assert chunk.counters == {"probes": 4}
+    assert chunk.gauges == {"nodes": 9}
+    assert chunk.attrs == {"chunk": 0, "worker": 1234}
+
+
+def test_exceptions_still_close_the_span():
+    tracer = Tracer()
+    try:
+        with tracer.span("boom"):
+            raise RuntimeError("x")
+    except RuntimeError:
+        pass
+    assert tracer.current is tracer.root
+    assert tracer.root.children[0].elapsed >= 0.0
+
+
+def test_json_export_roundtrips(tmp_path):
+    tracer = Tracer()
+    with tracer.span("phase", kind="test"):
+        tracer.incr("n", 1)
+        tracer.event("marker")
+    path = tmp_path / "trace.json"
+    tracer.export(path)
+    data = json.loads(path.read_text())
+    assert data["name"] == "session"
+    (phase,) = data["children"]
+    assert phase["name"] == "phase"
+    assert phase["attrs"] == {"kind": "test"}
+    assert phase["counters"] == {"n": 1}
+    assert phase["events"] == [{"event": "marker"}]
+    assert data["elapsed_ms"] >= phase["elapsed_ms"]
+
+
+def test_render_is_an_indented_tree():
+    tracer = Tracer()
+    with tracer.span("outer"):
+        with tracer.span("inner"):
+            tracer.event("degrade-serial", items=2)
+    text = tracer.render()
+    lines = text.splitlines()
+    assert lines[0] == "execution trace"
+    outer_line = next(line for line in lines if "outer" in line)
+    inner_line = next(line for line in lines if "inner" in line)
+    indent = len(outer_line) - len(outer_line.lstrip())
+    assert len(inner_line) - len(inner_line.lstrip()) > indent
+    assert any("! degrade-serial" in line for line in lines)
+
+
+def test_global_metrics_mirror_phases_onto_the_tracer():
+    from repro.runtime import METRICS
+
+    TRACER.reset()
+    with METRICS.phase("outer.phase"):
+        with METRICS.phase("inner.phase"):
+            METRICS.incr("probe", 2)
+    outer = TRACER.root.children[-1]
+    assert outer.name == "outer.phase"
+    assert outer.children[0].name == "inner.phase"
+    assert outer.children[0].counters == {"probe": 2}
+
+
+def test_private_metrics_instances_do_not_touch_the_tracer():
+    TRACER.reset()
+    private = Metrics()
+    with private.phase("quiet"):
+        private.incr("quiet.counter")
+    assert TRACER.root.children == []
+    assert TRACER.root.counters == {}

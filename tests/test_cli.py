@@ -122,3 +122,59 @@ class TestCommands:
                      "--climbs", "2"]) == 0
         out = capsys.readouterr().out
         assert "lower bound" in out and "upper bound" in out
+
+
+class TestTracingAndFaultTolerance:
+    def test_trace_flag_exports_a_span_tree(
+        self, bench_file, tmp_path, capsys
+    ):
+        import json
+
+        trace_file = tmp_path / "trace.json"
+        assert main(
+            ["delays", bench_file, "--trace", str(trace_file)]
+        ) == 0
+        data = json.loads(trace_file.read_text())
+        assert data["name"] == "session"
+        assert data["children"], "root span has no phases"
+        assert data["elapsed_ms"] >= max(
+            child["elapsed_ms"] for child in data["children"]
+        )
+
+    def test_metrics_flag_renders_the_trace_tree(self, bench_file, capsys):
+        assert main(["delays", bench_file, "--metrics"]) == 0
+        err = capsys.readouterr().err
+        assert "execution trace" in err
+
+    def test_vectors_jobs4_with_injected_crash_match_jobs1(
+        self, bench_file, tmp_path, monkeypatch
+    ):
+        """Acceptance: a killed worker degrades throughput, not results —
+        the jobs=4 output file is byte-identical to the jobs=1 one."""
+        serial_file = tmp_path / "serial.txt"
+        sharded_file = tmp_path / "sharded.txt"
+        assert main(
+            ["vectors", bench_file, "--jobs", "1", "-o", str(serial_file)]
+        ) == 0
+        monkeypatch.setenv("REPRO_FAULT_INJECT", "crash:1")
+        assert main(
+            ["vectors", bench_file, "--jobs", "4", "--retries", "2",
+             "-o", str(sharded_file)]
+        ) == 0
+        assert sharded_file.read_bytes() == serial_file.read_bytes()
+
+    def test_vectors_jobs4_with_hung_worker_match_jobs1(
+        self, bench_file, tmp_path, monkeypatch
+    ):
+        serial_file = tmp_path / "serial.txt"
+        sharded_file = tmp_path / "sharded.txt"
+        assert main(
+            ["vectors", bench_file, "--jobs", "1", "-o", str(serial_file)]
+        ) == 0
+        monkeypatch.setenv("REPRO_FAULT_INJECT", "hang:0")
+        monkeypatch.setenv("REPRO_FAULT_HANG_SECONDS", "10")
+        assert main(
+            ["vectors", bench_file, "--jobs", "4", "--timeout", "5",
+             "-o", str(sharded_file)]
+        ) == 0
+        assert sharded_file.read_bytes() == serial_file.read_bytes()
