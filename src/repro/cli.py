@@ -15,6 +15,8 @@ Commands
 * ``simulate FILE``   — replay one vector pair; ``--vcd OUT`` dumps the
   waveforms for a viewer.
 * ``convert FILE``    — netlist format conversion (.bench/.blif/.v).
+* ``serve``           — long-lived incremental what-if query service
+  (JSON-lines over stdio or ``--socket PATH``; see ``docs/INCREMENTAL.md``).
 
 Netlist format is inferred from the extension: ``.bench``, ``.blif``,
 ``.v``/``.verilog``.
@@ -251,6 +253,22 @@ def cmd_convert(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from .incremental import QueryService, WarmPool, serve_stdio, serve_unix
+
+    pool = None
+    if args.jobs != 1:
+        pool = WarmPool(jobs=args.jobs, timeout=args.timeout)
+    service = QueryService(
+        engine_name=args.engine, jobs=args.jobs, pool=pool
+    )
+    if args.netlist:
+        service.preload(args.netlist)
+    if args.socket:
+        return serve_unix(service, args.socket)
+    return serve_stdio(service)
+
+
 # ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -369,6 +387,36 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = add("convert", cmd_convert, help="netlist format conversion")
     p.add_argument("-o", "--output", required=True)
+
+    # ``serve`` takes no netlist positional (circuits are loaded through
+    # the request protocol), so it gets its own subparser.
+    p = sub.add_parser(
+        "serve",
+        help="long-lived incremental what-if query service (JSON lines)",
+    )
+    p.add_argument(
+        "--netlist", default=None,
+        help="preload this netlist before serving",
+    )
+    p.add_argument(
+        "--socket", default=None, metavar="PATH",
+        help="serve on a unix domain socket instead of stdio",
+    )
+    p.add_argument(
+        "--engine", choices=["auto", "bdd", "sat"], default="auto",
+        help="Boolean function engine (default: auto)",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="warm worker processes for dirty-cone evaluation "
+        "(1 = serial, 0 = all cores; default: 1)",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="per-request parallel-round timeout for the warm pool; "
+        "timed-out work degrades to in-process serial execution",
+    )
+    p.set_defaults(func=cmd_serve)
 
     return parser
 

@@ -1,0 +1,38 @@
+"""Incremental what-if timing: edit journals, cone reuse, a query service.
+
+The batch cores in :mod:`repro.core` recompute a circuit's delay from
+scratch on every call.  This package answers the *what-if* workflow —
+edit a gate, re-query, repeat — in time proportional to what the edit
+touched:
+
+* :mod:`repro.incremental.cones` — per-output fanin-cone extraction and
+  evaluation (results are pure functions of cone content);
+* :mod:`repro.incremental.engine` — the
+  :class:`~repro.incremental.engine.IncrementalTimingEngine`: consumes the
+  circuit's edit journal, marks dirty fanout cones, reuses clean-cone
+  results, and caches per-cone answers under content fingerprints;
+* :mod:`repro.incremental.pool` — a warm process pool reused across
+  service requests;
+* :mod:`repro.incremental.service` — the ``repro serve`` JSON-lines
+  query service (stdio or unix socket).
+"""
+
+from .cones import KINDS, ConeResult, evaluate_cone, extract_cone
+from .engine import IncrementalResult, IncrementalTimingEngine, cold_query
+from .pool import WarmPool
+from .service import QueryService, serve_stdio, serve_stream, serve_unix
+
+__all__ = [
+    "KINDS",
+    "ConeResult",
+    "evaluate_cone",
+    "extract_cone",
+    "IncrementalResult",
+    "IncrementalTimingEngine",
+    "cold_query",
+    "WarmPool",
+    "QueryService",
+    "serve_stdio",
+    "serve_stream",
+    "serve_unix",
+]

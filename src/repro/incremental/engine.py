@@ -1,0 +1,273 @@
+"""The incremental what-if timing engine.
+
+An :class:`IncrementalTimingEngine` attaches to a live
+:class:`~repro.network.circuit.Circuit` and answers repeated delay queries
+(``topological`` / ``floating`` / ``transition``) across edit sessions,
+re-analysing only what an edit could have changed:
+
+1. **Journal consumption** — the circuit records every mutation
+   (:meth:`~repro.network.circuit.Circuit.set_delay`, ``rewire``,
+   ``replace_gate``, ``remove_gate``) in its edit journal.  At query time
+   the engine replays the entries recorded since its cursor and marks the
+   *forward closure* of the edited nodes (via ``Circuit.fanouts()``) dirty.
+   An output outside the dirty region provably has an unchanged fanin
+   cone, so its memoised result is reused verbatim.
+
+2. **Cone evaluation** — dirty outputs are re-analysed on extracted
+   fanin-cone subcircuits (:mod:`repro.incremental.cones`).  Per-cone
+   results are pure functions of cone content, so they are additionally
+   cached under :func:`~repro.runtime.fingerprint.cone_fingerprint`
+   content keys in a :class:`~repro.runtime.cache.DelayCache` — reverting
+   an edit (or loading a different circuit sharing a cone) hits the cache
+   without recomputation.
+
+3. **Fan-out** — with ``jobs != 1`` the dirty cones run through the
+   fault-tolerant sharded runtime
+   (:func:`~repro.runtime.parallel.shard_cone_queries`), or through an
+   attached :class:`~repro.incremental.pool.WarmPool` (the long-lived
+   query service's warm workers).  All execution routes are
+   result-identical.
+
+The *record* returned by :meth:`IncrementalTimingEngine.query` is
+deterministic and byte-comparable: an incremental re-query equals a cold
+recomputation exactly (the acceptance test diffs the JSON).  Volatile
+accounting (dirty counts, reuse counts, '#check' totals) travels
+separately in the ``stats`` field.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, Optional, Set, Tuple
+
+from ..network.circuit import Circuit
+from ..runtime.cache import DelayCache
+from ..runtime.fingerprint import cone_fingerprint, node_cone_fingerprints
+from ..runtime.metrics import METRICS
+from ..runtime.tracing import TRACER
+from .cones import KINDS, ConeResult, evaluate_cone, extract_cone
+
+
+@dataclass
+class IncrementalResult:
+    """One query's answer: the byte-comparable record plus accounting."""
+
+    record: Dict[str, object]
+    stats: Dict[str, int]
+
+    @property
+    def delay(self) -> int:
+        return self.record["delay"]
+
+    @property
+    def critical_output(self) -> Optional[str]:
+        return self.record.get("critical_output")
+
+    def record_json(self) -> str:
+        """Canonical serialisation — what the acceptance test compares."""
+        return json.dumps(self.record, sort_keys=True, separators=(",", ":"))
+
+
+class IncrementalTimingEngine:
+    """Journal-driven incremental delay queries over a mutable circuit."""
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        engine_name: str = "auto",
+        jobs: int = 1,
+        cache: Optional[DelayCache] = None,
+        pool=None,
+        timeout: Optional[float] = None,
+        retries: Optional[int] = None,
+    ):
+        circuit.validate()
+        self.circuit = circuit
+        self.engine_name = engine_name
+        self.jobs = jobs
+        #: Cone-level result cache.  Defaults to a private in-memory cache
+        #: (the process-global cache is disabled by default and keyed for
+        #: whole-circuit results anyway).
+        self.cache = cache if cache is not None else DelayCache()
+        self.pool = pool
+        self.timeout = timeout
+        self.retries = retries
+        self._cursor = circuit.journal_length
+        #: Per-kind memo: output -> (cone fingerprint, ConeResult).
+        self._memo: Dict[str, Dict[str, Tuple[str, ConeResult]]] = {
+            kind: {} for kind in KINDS
+        }
+        #: Dirty nodes awaiting their first post-edit query, per kind.
+        self._pending_dirty: Dict[str, Set[str]] = {
+            kind: set() for kind in KINDS
+        }
+
+    # ------------------------------------------------------------------
+    # Journal consumption / dirty marking
+    # ------------------------------------------------------------------
+    def _consume_journal(self) -> None:
+        """Mark the forward closure of all newly journalled edits dirty.
+
+        Soundness: an output's cone content can only change if some node
+        in its *current* cone was directly edited, or some structural
+        edit changed its cone membership — either way the edited node
+        reaches the output in the current fanout graph, so the closure
+        over ``Circuit.fanouts()`` covers every possibly-stale output.
+        Removed gates are skipped: removal requires a fanout-free gate,
+        which no output cone can contain.
+        """
+        edits = self.circuit.edits_since(self._cursor)
+        if not edits:
+            return
+        self._cursor = self.circuit.journal_length
+        fanouts = self.circuit.fanouts()
+        dirty: Set[str] = set()
+        stack = [edit.name for edit in edits if edit.name in self.circuit]
+        while stack:
+            name = stack.pop()
+            if name in dirty:
+                continue
+            dirty.add(name)
+            stack.extend(fanouts.get(name, ()))
+        for kind in KINDS:
+            memo = self._memo[kind]
+            for out in list(memo):
+                if out in dirty or out not in self.circuit:
+                    del memo[out]
+            self._pending_dirty[kind] |= dirty
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(self, kind: str) -> IncrementalResult:
+        """The circuit's delay of ``kind``, re-analysing only dirty cones."""
+        if kind not in KINDS:
+            raise ValueError(
+                f"unknown delay kind {kind!r} (expected one of {KINDS})"
+            )
+        outputs = self.circuit.outputs
+        if not outputs:
+            raise ValueError("circuit has no outputs")
+        with TRACER.span(
+            "incremental.query", kind=kind, circuit=self.circuit.name
+        ):
+            self._consume_journal()
+            dirty_nodes = len(self._pending_dirty[kind])
+            self._pending_dirty[kind].clear()
+            METRICS.incr("incremental.dirty_nodes", dirty_nodes)
+            memo = self._memo[kind]
+            reused = [out for out in outputs if out in memo]
+            to_eval = [out for out in outputs if out not in memo]
+            METRICS.incr("incremental.reused_cones", len(reused))
+            stats = {
+                "kind": kind,
+                "dirty_nodes": dirty_nodes,
+                "reused_cones": len(reused),
+                "evaluated_cones": 0,
+                "cone_cache_hits": 0,
+                "checks": 0,
+            }
+            if to_eval:
+                memo.update(self._evaluate(kind, to_eval, stats))
+            record = self._aggregate(kind, outputs, memo)
+        return IncrementalResult(record=record, stats=stats)
+
+    def _evaluate(
+        self, kind: str, outs, stats: Dict[str, int]
+    ) -> Dict[str, Tuple[str, ConeResult]]:
+        """Fingerprint, cache-probe, and (re)compute the given outputs."""
+        node_fps = node_cone_fingerprints(self.circuit)
+        results: Dict[str, Tuple[str, ConeResult]] = {}
+        to_compute = []
+        for out in outs:
+            members = set(self.circuit.transitive_fanin([out]))
+            cone_inputs = [i for i in self.circuit.inputs if i in members]
+            fp = cone_fingerprint(self.circuit, out, node_fps, cone_inputs)
+            token = self.cache.token_for(fp, kind, self.engine_name)
+            cached = self.cache.get(token)
+            if cached is not None:
+                stats["cone_cache_hits"] += 1
+                METRICS.incr("incremental.cone_cache_hits")
+                results[out] = (fp, cached)
+            else:
+                to_compute.append((out, fp, token))
+        if not to_compute:
+            return results
+        stats["evaluated_cones"] += len(to_compute)
+        METRICS.incr("incremental.evaluated_cones", len(to_compute))
+        cones = [
+            extract_cone(self.circuit, out) for out, __, __ in to_compute
+        ]
+        computed = self._run_cones(cones, kind)
+        for (out, fp, token), cone in zip(to_compute, cones):
+            result = computed[out]
+            stats["checks"] += result.checks
+            self.cache.put(token, result)
+            results[out] = (fp, result)
+        return results
+
+    def _run_cones(self, cones, kind: str) -> Dict[str, ConeResult]:
+        """Dispatch cone evaluations: warm pool > sharded > serial."""
+        if len(cones) > 1 and self.pool is not None:
+            return self.pool.run_cones(cones, kind, self.engine_name)
+        if len(cones) > 1 and self.jobs != 1:
+            from ..runtime.parallel import shard_cone_queries
+
+            return shard_cone_queries(
+                cones, kind, self.engine_name, jobs=self.jobs,
+                timeout=self.timeout, retries=self.retries,
+            )
+        computed = {}
+        for cone in cones:
+            result = evaluate_cone(cone, kind, self.engine_name)
+            METRICS.incr("incremental.cone_checks", result.checks)
+            computed[result.output] = result
+        return computed
+
+    def _aggregate(self, kind, outputs, memo) -> Dict[str, object]:
+        per_output = {out: memo[out][1] for out in outputs}
+        delay = max(result.delay for result in per_output.values())
+        critical = next(
+            out for out in outputs if per_output[out].delay == delay
+        )
+        inputs = self.circuit.inputs
+        return {
+            "circuit": self.circuit.name,
+            "kind": kind,
+            "delay": delay,
+            "critical_output": critical,
+            "outputs": {
+                out: per_output[out].record(inputs) for out in outputs
+            },
+        }
+
+    # ------------------------------------------------------------------
+    def invalidate(self) -> None:
+        """Drop every memoised result (the cone cache survives — it is
+        content-addressed and can never serve a stale entry)."""
+        for kind in KINDS:
+            self._memo[kind].clear()
+            self._pending_dirty[kind].clear()
+        self._cursor = self.circuit.journal_length
+
+
+def cold_query(
+    circuit: Circuit,
+    kind: str,
+    engine_name: str = "auto",
+    jobs: int = 1,
+) -> IncrementalResult:
+    """A from-scratch reference query: fresh engine, caching disabled.
+
+    This is the baseline the incremental path must match byte for byte —
+    the acceptance and property tests compare ``record_json()`` of the
+    two.
+    """
+    engine = IncrementalTimingEngine(
+        circuit,
+        engine_name=engine_name,
+        jobs=jobs,
+        cache=DelayCache(enabled=False),
+    )
+    return engine.query(kind)

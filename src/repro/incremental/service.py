@@ -1,0 +1,335 @@
+"""The long-lived what-if timing query service (``repro serve``).
+
+A JSON-lines request loop over stdio (default) or a unix domain socket:
+one request object per line in, one response object per line out.
+
+Requests (``op`` selects the action)::
+
+    {"op": "load", "netlist": "path/to/c17.bench"}
+    {"op": "load", "bench": "INPUT(a)\\n..."}        # inline netlist text
+    {"op": "edit", "edits": [{"op": "set_delay", "name": "g1", "delay": 3},
+                             {"op": "rewire", "name": "g2", "fanins": ["a"]},
+                             {"op": "replace_gate", "name": "g3",
+                              "gate_type": "nand"},
+                             {"op": "remove_gate", "name": "g4"}]}
+    {"op": "query", "kind": "floating"}              # or transition/topological
+    {"op": "certify"}                                # per-output vector pairs
+    {"op": "stats"}                                  # engine + pool accounting
+    {"op": "shutdown"}
+
+Responses are ``{"id", "ok", "result" | "error", "elapsed_ms"}``.  Every
+field except ``elapsed_ms`` is deterministic (request ids are counters,
+not clocks; records come from the incremental engine, whose answers are
+execution-route-invariant), so scripted sessions can be diffed against
+golden files after stripping ``elapsed_ms`` — that is exactly what the CI
+serve-protocol job does.
+
+The service keeps an :class:`~repro.incremental.engine.IncrementalTimingEngine`
+attached to the loaded circuit across requests, so an edit/query session
+pays only for dirty cones, and a :class:`~repro.incremental.pool.WarmPool`
+(``--jobs N``) keeps worker processes warm between requests.  Signals
+(SIGINT/SIGTERM) and the ``shutdown`` op both end the loop gracefully:
+the in-flight request completes, the pool drains, a unix socket file is
+removed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import sys
+import time
+from typing import Dict, Optional
+
+from ..core.transition import collect_certification_pairs
+from ..network.bench_io import load_bench, loads_bench
+from ..network.blif_io import load_blif
+from ..network.circuit import Circuit
+from ..network.gates import GateType
+from ..network.verilog_io import load_verilog
+from ..runtime.metrics import METRICS
+from ..runtime.tracing import TRACER
+from .cones import KINDS
+from .engine import IncrementalTimingEngine
+from .pool import WarmPool
+
+
+def _load_netlist(path: str) -> Circuit:
+    lowered = path.lower()
+    if lowered.endswith(".bench"):
+        return load_bench(path)
+    if lowered.endswith(".blif"):
+        return load_blif(path)
+    if lowered.endswith((".v", ".verilog")):
+        return load_verilog(path)
+    raise ValueError(
+        f"cannot infer netlist format of {path!r} "
+        "(expected .bench, .blif or .v)"
+    )
+
+
+class ServiceError(ValueError):
+    """A malformed or unserviceable request (reported, never fatal)."""
+
+
+class QueryService:
+    """Request dispatch and session state for one serve loop."""
+
+    def __init__(
+        self,
+        engine_name: str = "auto",
+        jobs: int = 1,
+        pool: Optional[WarmPool] = None,
+    ):
+        self.engine_name = engine_name
+        self.jobs = jobs
+        self.pool = pool
+        self.engine: Optional[IncrementalTimingEngine] = None
+        self._requests = 0
+        self._shutdown = False
+
+    @property
+    def shutdown_requested(self) -> bool:
+        return self._shutdown
+
+    def preload(self, path: str) -> Dict[str, object]:
+        """Load a netlist before the request loop starts (CLI --netlist)."""
+        return self._op_load({"netlist": path})
+
+    def request_shutdown(self) -> None:
+        self._shutdown = True
+
+    # ------------------------------------------------------------------
+    # Request handling
+    # ------------------------------------------------------------------
+    def handle_line(self, line: str) -> Dict[str, object]:
+        """One request line in, one response object out (never raises)."""
+        self._requests += 1
+        trace_id = f"req-{self._requests:06d}"
+        start = time.perf_counter()
+        try:
+            request = json.loads(line)
+            if not isinstance(request, dict):
+                raise ServiceError("request must be a JSON object")
+            op = request.get("op")
+            with TRACER.span("service.request", id=trace_id, op=str(op)):
+                result = self._dispatch(request)
+            response: Dict[str, object] = {
+                "id": trace_id, "ok": True, "result": result,
+            }
+        except (ServiceError, ValueError, KeyError, OSError) as error:
+            METRICS.incr("service.errors")
+            response = {"id": trace_id, "ok": False, "error": str(error)}
+        response["elapsed_ms"] = round(
+            (time.perf_counter() - start) * 1000, 3
+        )
+        return response
+
+    def _dispatch(self, request: Dict[str, object]):
+        op = request.get("op")
+        handler = {
+            "load": self._op_load,
+            "edit": self._op_edit,
+            "query": self._op_query,
+            "certify": self._op_certify,
+            "stats": self._op_stats,
+            "shutdown": self._op_shutdown,
+        }.get(op)
+        if handler is None:
+            raise ServiceError(f"unknown op {op!r}")
+        return handler(request)
+
+    def _require_engine(self) -> IncrementalTimingEngine:
+        if self.engine is None:
+            raise ServiceError("no circuit loaded (send a 'load' first)")
+        return self.engine
+
+    # -- ops -----------------------------------------------------------
+    def _op_load(self, request):
+        if "netlist" in request:
+            circuit = _load_netlist(str(request["netlist"]))
+        elif "bench" in request:
+            circuit = loads_bench(str(request["bench"]))
+        else:
+            raise ServiceError("load needs 'netlist' (path) or 'bench' (text)")
+        self.engine = IncrementalTimingEngine(
+            circuit,
+            engine_name=self.engine_name,
+            jobs=self.jobs,
+            pool=self.pool,
+        )
+        return {
+            "circuit": circuit.name,
+            "inputs": len(circuit.inputs),
+            "outputs": len(circuit.outputs),
+            "gates": circuit.num_gates,
+        }
+
+    def _op_edit(self, request):
+        engine = self._require_engine()
+        edits = request.get("edits")
+        if not isinstance(edits, list):
+            raise ServiceError("edit needs an 'edits' list")
+        circuit = engine.circuit
+        applied = 0
+        for edit in edits:
+            self._apply_edit(circuit, edit)
+            applied += 1
+        return {"applied": applied, "revision": circuit.revision}
+
+    @staticmethod
+    def _apply_edit(circuit: Circuit, edit) -> None:
+        if not isinstance(edit, dict):
+            raise ServiceError("each edit must be a JSON object")
+        op = edit.get("op")
+        name = edit.get("name")
+        if not isinstance(name, str):
+            raise ServiceError("each edit needs a 'name'")
+        if op == "set_delay":
+            circuit.set_delay(name, int(edit["delay"]))
+        elif op == "rewire":
+            circuit.rewire(name, [str(f) for f in edit["fanins"]])
+        elif op == "replace_gate":
+            gate_type = edit.get("gate_type")
+            fanins = edit.get("fanins")
+            delay = edit.get("delay")
+            circuit.replace_gate(
+                name,
+                gate_type=None if gate_type is None else GateType(gate_type),
+                fanins=None if fanins is None else [str(f) for f in fanins],
+                delay=None if delay is None else int(delay),
+            )
+        elif op == "remove_gate":
+            circuit.remove_gate(name)
+        else:
+            raise ServiceError(f"unknown edit op {op!r}")
+
+    def _op_query(self, request):
+        engine = self._require_engine()
+        kind = request.get("kind", "transition")
+        if kind not in KINDS:
+            raise ServiceError(
+                f"unknown delay kind {kind!r} (expected one of {KINDS})"
+            )
+        result = engine.query(kind)
+        return {"record": result.record, "stats": result.stats}
+
+    def _op_certify(self, request):
+        engine = self._require_engine()
+        circuit = engine.circuit
+        pairs = collect_certification_pairs(
+            circuit, engine_name=self.engine_name, jobs=1
+        )
+        inputs = circuit.inputs
+        rendered = {}
+        for out in circuit.outputs:
+            if out not in pairs:
+                continue
+            t, pair = pairs[out]
+            rendered[out] = {
+                "time": t,
+                "pair": [
+                    "".join("1" if pair.v_prev[n] else "0" for n in inputs),
+                    "".join("1" if pair.v_next[n] else "0" for n in inputs),
+                ],
+            }
+        return {"pairs": rendered}
+
+    def _op_stats(self, request):
+        result: Dict[str, object] = {
+            "requests": self._requests,
+            "jobs": self.jobs,
+            "engine_name": self.engine_name,
+            "counters": {
+                name: METRICS.counter(name)
+                for name in (
+                    "incremental.dirty_nodes",
+                    "incremental.reused_cones",
+                    "incremental.evaluated_cones",
+                    "incremental.cone_cache_hits",
+                    "incremental.cone_checks",
+                    "service.errors",
+                )
+            },
+        }
+        if self.engine is not None:
+            result["circuit"] = self.engine.circuit.name
+            result["revision"] = self.engine.circuit.revision
+        if self.pool is not None:
+            result["pool"] = self.pool.stats()
+        return result
+
+    def _op_shutdown(self, request):
+        self._shutdown = True
+        return {"stopping": True}
+
+
+# ----------------------------------------------------------------------
+# Transports
+# ----------------------------------------------------------------------
+def serve_stream(service: QueryService, reader, writer) -> None:
+    """Drive the request loop over text streams (stdio or a socket file)."""
+    for line in reader:
+        if not line.strip():
+            continue
+        response = service.handle_line(line)
+        writer.write(json.dumps(response, sort_keys=True) + "\n")
+        writer.flush()
+        if service.shutdown_requested:
+            break
+
+
+def _install_signal_handlers(service: QueryService) -> None:
+    def handler(signum, frame):
+        service.request_shutdown()
+
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            signal.signal(signum, handler)
+        except (ValueError, OSError):
+            # Not the main thread (tests drive serve_stream directly).
+            pass
+
+
+def serve_stdio(service: QueryService) -> int:
+    _install_signal_handlers(service)
+    try:
+        serve_stream(service, sys.stdin, sys.stdout)
+    finally:
+        if service.pool is not None:
+            service.pool.shutdown()
+    return 0
+
+
+def serve_unix(service: QueryService, path: str) -> int:
+    """Accept connections on a unix socket, one session at a time.
+
+    Sequential sessions share the service state (loaded circuit, warm
+    pool, memoised cones), so a reconnecting client resumes where it
+    left off.
+    """
+    _install_signal_handlers(service)
+    if os.path.exists(path):
+        os.unlink(path)
+    server = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    try:
+        server.bind(path)
+        server.listen(1)
+        while not service.shutdown_requested:
+            try:
+                connection, __ = server.accept()
+            except OSError:
+                break
+            with connection:
+                reader = connection.makefile("r", encoding="utf-8")
+                writer = connection.makefile("w", encoding="utf-8")
+                serve_stream(service, reader, writer)
+    finally:
+        server.close()
+        if os.path.exists(path):
+            os.unlink(path)
+        if service.pool is not None:
+            service.pool.shutdown()
+    return 0

@@ -1,7 +1,7 @@
 """Logic-network substrate: gates, circuits, paths, transforms, netlist I/O."""
 
 from .builder import CircuitBuilder
-from .circuit import Circuit, Node
+from .circuit import Circuit, Edit, Node
 from .gates import (
     GateType,
     controlling_value,
@@ -36,6 +36,7 @@ from .transform import (
 
 __all__ = [
     "Circuit",
+    "Edit",
     "Node",
     "CircuitBuilder",
     "GateType",

@@ -20,6 +20,24 @@ from .gates import (
 )
 
 
+@dataclass(frozen=True)
+class Edit:
+    """One journal entry: a mutation applied to an existing circuit.
+
+    ``op`` is one of ``set_delay``/``rewire``/``replace_gate``/
+    ``remove_gate``; ``name`` is the edited node; ``detail`` carries the
+    op-specific payload (new delay, new fanins, ...) and ``revision`` the
+    circuit revision the edit produced.  The journal is what lets an
+    incremental consumer (:mod:`repro.incremental`) mark dirty fanout
+    cones instead of recomputing the whole circuit.
+    """
+
+    op: str
+    name: str
+    detail: Tuple
+    revision: int
+
+
 @dataclass
 class Node:
     """One vertex of the circuit DAG."""
@@ -56,6 +74,9 @@ class Circuit:
         self._outputs: List[str] = []
         self._topo_cache: Optional[List[str]] = None
         self._fanout_cache: Optional[Dict[str, List[str]]] = None
+        self._journal: List[Edit] = []
+        self._revision: int = 0
+        self._node_revisions: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -93,13 +114,158 @@ class Circuit:
             self._outputs.append(name)
 
     def set_delay(self, name: str, delay: int) -> None:
+        """Change one gate's delay (journalled; delay-only invalidation).
+
+        Delays do not enter the graph structure, so the cached
+        ``topological_order``/``fanouts`` survive — only derived *timing*
+        (``levels``, analyses) is affected, which consumers detect through
+        the journal/revision counters.
+        """
         if delay < 0:
             raise ValueError("delay must be non-negative")
-        self.node(name).delay = delay
+        node = self.node(name)
+        if node.delay == delay:
+            return
+        node.delay = delay
+        self._record("set_delay", name, (delay,))
+        self._invalidate_delays()
+
+    # ------------------------------------------------------------------
+    # Edits (journalled mutations of an existing circuit)
+    # ------------------------------------------------------------------
+    def rewire(self, name: str, fanins: Sequence[str]) -> None:
+        """Replace a gate's fanin list (order matters; journalled).
+
+        Validates arity, fanin existence, and acyclicity; an edit that
+        would introduce a cycle is rolled back and raises ValueError.
+        """
+        node = self.node(name)
+        if node.gate_type in SOURCE_GATES:
+            raise ValueError(f"cannot rewire source node {name!r}")
+        self._replace_node(name, node.gate_type, tuple(fanins), node.delay)
+        self._record("rewire", name, (tuple(fanins),))
+
+    def replace_gate(
+        self,
+        name: str,
+        gate_type: Optional[GateType] = None,
+        fanins: Optional[Sequence[str]] = None,
+        delay: Optional[int] = None,
+    ) -> None:
+        """Swap a gate's type, fanins, and/or delay in place (journalled).
+
+        A delay-only replacement keeps the structure caches (equivalent to
+        :meth:`set_delay`); anything structural invalidates them.
+        """
+        node = self.node(name)
+        if node.gate_type in SOURCE_GATES and (
+            gate_type is not None or fanins is not None
+        ):
+            raise ValueError(f"cannot restructure source node {name!r}")
+        new_type = node.gate_type if gate_type is None else gate_type
+        new_fanins = node.fanins if fanins is None else tuple(fanins)
+        new_delay = node.delay if delay is None else delay
+        if new_type == GateType.INPUT:
+            raise ValueError("a gate cannot become a primary input")
+        structural = (
+            new_type != node.gate_type or new_fanins != node.fanins
+        )
+        if structural:
+            self._replace_node(name, new_type, new_fanins, new_delay)
+        elif new_delay != node.delay:
+            if new_delay < 0:
+                raise ValueError(f"node {name!r} has negative delay")
+            node.delay = new_delay
+            self._invalidate_delays()
+        else:
+            return  # no observable change: keep the journal quiet
+        self._record(
+            "replace_gate", name, (new_type.value, new_fanins, new_delay)
+        )
+
+    def remove_gate(self, name: str) -> None:
+        """Delete a fanout-free, non-output gate (journalled).
+
+        Restricting removal to dead gates keeps every remaining node's
+        fanin list valid without cascading; rewire consumers away first.
+        """
+        node = self.node(name)
+        if node.gate_type == GateType.INPUT:
+            raise ValueError(f"cannot remove primary input {name!r}")
+        if name in self._outputs:
+            raise ValueError(f"cannot remove primary output {name!r}")
+        if self.fanouts()[name]:
+            raise ValueError(
+                f"cannot remove {name!r}: it still feeds "
+                f"{self.fanouts()[name]}"
+            )
+        del self._nodes[name]
+        self._node_revisions.pop(name, None)
+        self._record("remove_gate", name, ())
+        self._invalidate()
+
+    def _replace_node(
+        self, name: str, gate_type: GateType, fanins: Tuple[str, ...],
+        delay: int,
+    ) -> None:
+        """Swap in a revalidated node and check acyclicity, rolling back
+        on failure so a rejected edit leaves the circuit untouched."""
+        for fanin in fanins:
+            if fanin not in self._nodes:
+                raise ValueError(
+                    f"node {name!r} references missing fanin {fanin!r}"
+                )
+        old = self._nodes[name]
+        self._nodes[name] = Node(name, gate_type, fanins, delay)
+        self._invalidate()
+        try:
+            self.topological_order()
+        except ValueError:
+            self._nodes[name] = old
+            self._invalidate()
+            raise ValueError(
+                f"rewiring {name!r} to {list(fanins)} would create a cycle"
+            )
+
+    def _record(self, op: str, name: str, detail: Tuple) -> None:
+        self._revision += 1
+        self._node_revisions[name] = self._revision
+        self._journal.append(Edit(op, name, detail, self._revision))
+
+    # ------------------------------------------------------------------
+    # Journal / revision introspection
+    # ------------------------------------------------------------------
+    @property
+    def revision(self) -> int:
+        """Monotone edit counter (0 for a freshly constructed circuit)."""
+        return self._revision
+
+    @property
+    def journal_length(self) -> int:
+        return len(self._journal)
+
+    def journal(self) -> Tuple[Edit, ...]:
+        return tuple(self._journal)
+
+    def edits_since(self, index: int) -> Tuple[Edit, ...]:
+        """Journal entries recorded at or after position ``index``."""
+        return tuple(self._journal[index:])
+
+    def node_revision(self, name: str) -> int:
+        """Revision of the last direct edit to ``name`` (0 = never)."""
+        return self._node_revisions.get(name, 0)
 
     def _invalidate(self) -> None:
+        """Structural invalidation: the graph itself changed, so every
+        derived structure (topological order, fanout map) is stale."""
         self._topo_cache = None
         self._fanout_cache = None
+
+    def _invalidate_delays(self) -> None:
+        """Delay-only invalidation: gate delays changed but the graph did
+        not, so ``topological_order``/``fanouts`` stay valid.  Derived
+        timing is recomputed on demand (``levels`` is never cached) and
+        analysis consumers key off the revision counters."""
 
     # ------------------------------------------------------------------
     # Introspection
@@ -275,6 +441,17 @@ class Circuit:
             if node.gate_type != GateType.INPUT:
                 clone.add_gate(node.name, node.gate_type, node.fanins, node.delay)
         clone.set_outputs(self._outputs)
+        # The clone is structurally identical, so the derived graph
+        # structures transfer verbatim — a delay-only transform chain
+        # (copy + set_delay) never recomputes them.  The journal does NOT
+        # transfer: a copy is a fresh circuit with no edit history.
+        if self._topo_cache is not None:
+            clone._topo_cache = list(self._topo_cache)
+        if self._fanout_cache is not None:
+            clone._fanout_cache = {
+                fanin: list(fanouts)
+                for fanin, fanouts in self._fanout_cache.items()
+            }
         return clone
 
     def transitive_fanin(self, names: Iterable[str]) -> List[str]:

@@ -62,8 +62,12 @@ def apply_speedup(circuit: Circuit, delays: Dict[str, int]) -> Circuit:
 
     Raises ValueError if any requested delay exceeds the original (that would
     not be a *speedup*).
+
+    The result is named ``<name>#speedup`` (every transform that returns a
+    fresh circuit appends ``#<transform>``, so the content fingerprint is
+    guaranteed to differ from the source even when no delay changed).
     """
-    result = circuit.copy()
+    result = circuit.copy(f"{circuit.name}#speedup")
     for name, delay in delays.items():
         original = circuit.node(name).delay
         if delay > original:
@@ -77,14 +81,18 @@ def apply_speedup(circuit: Circuit, delays: Dict[str, int]) -> Circuit:
 
 
 def scale_delays(circuit: Circuit, factor: int) -> Circuit:
-    """Multiply every gate delay by a positive integer factor."""
+    """Multiply every gate delay by a positive integer factor.
+
+    The result is named ``<name>#scale``; only delays change, so the
+    copied structure caches (topological order, fanout map) are kept.
+    """
     if factor < 1:
         raise ValueError("factor must be >= 1")
-    result = circuit.copy()
+    result = circuit.copy(f"{circuit.name}#scale")
     for node in result.nodes():
         if node.gate_type != GateType.INPUT:
             node.delay = node.delay * factor
-    result._invalidate()
+    result._invalidate_delays()
     return result
 
 
@@ -115,7 +123,7 @@ def refined_delay_annotation(
             )
         if node.delay < 0:
             raise ValueError("refined delay must be non-negative")
-    result._invalidate()
+    result._invalidate_delays()
     return result
 
 
@@ -179,8 +187,9 @@ def limit_fanin(circuit: Circuit, k: int = 4) -> Circuit:
 def insert_wire_delay(
     circuit: Circuit, driver: str, sink: str, delay: int
 ) -> Circuit:
-    """Insert a delay-``delay`` buffer on the net from ``driver`` to ``sink``."""
-    result = Circuit(circuit.name)
+    """Insert a delay-``delay`` buffer on the net from ``driver`` to
+    ``sink``.  The result is named ``<name>#wire``."""
+    result = Circuit(f"{circuit.name}#wire")
     buf_name = f"{driver}#wire#{sink}"
     for name in circuit.topological_order():
         node = circuit.node(name)

@@ -28,13 +28,21 @@ from .cache import (
     resolve_cache,
 )
 from .faults import FaultSpec, parse_fault_spec
-from .fingerprint import circuit_fingerprint, circuit_signature, params_token
+from .fingerprint import (
+    circuit_fingerprint,
+    circuit_merkle_root,
+    circuit_signature,
+    cone_fingerprint,
+    node_cone_fingerprints,
+    params_token,
+)
 from .metrics import METRICS, Metrics
 from .parallel import (
     execution_policy,
     resolve_jobs,
     set_execution_policy,
     shard_certification_pairs,
+    shard_cone_queries,
     shard_fault_tests,
     shard_monte_carlo,
 )
@@ -50,7 +58,10 @@ __all__ = [
     "FaultSpec",
     "parse_fault_spec",
     "circuit_fingerprint",
+    "circuit_merkle_root",
     "circuit_signature",
+    "cone_fingerprint",
+    "node_cone_fingerprints",
     "params_token",
     "METRICS",
     "Metrics",
@@ -61,6 +72,7 @@ __all__ = [
     "resolve_jobs",
     "set_execution_policy",
     "shard_certification_pairs",
+    "shard_cone_queries",
     "shard_fault_tests",
     "shard_monte_carlo",
 ]

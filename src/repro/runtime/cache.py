@@ -98,13 +98,36 @@ class DelayCache:
         cid = constraint_cache_id(constraint)
         if cid is None:
             return None
+        return self.token_for(
+            circuit_fingerprint(circuit), kind, engine,
+            constraint_id=cid, params=params,
+        )
+
+    def token_for(
+        self,
+        fingerprint: str,
+        kind: str,
+        engine: str = "auto",
+        constraint_id: str = "-",
+        params: Optional[Dict[str, object]] = None,
+    ) -> Optional[str]:
+        """Cache key for an arbitrary content ``fingerprint``.
+
+        The fingerprint need not be a whole-circuit hash: the incremental
+        engine keys per-output results on *cone* fingerprints
+        (:func:`~repro.runtime.fingerprint.cone_fingerprint`), which are
+        namespaced (``cone:`` prefix) so they can never collide with
+        whole-circuit keys.
+        """
+        if not self._enabled:
+            return None
         payload = "|".join(
             [
                 CACHE_SCHEMA,
-                circuit_fingerprint(circuit),
+                fingerprint,
                 kind,
                 engine,
-                cid,
+                constraint_id,
                 params_token(params),
             ]
         )

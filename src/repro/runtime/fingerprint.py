@@ -7,13 +7,24 @@ I/O declarations in the same order.  The fingerprint is therefore a sound
 cache key: a cached certificate can never go stale, because any edit to the
 circuit changes the key (content-addressed invalidation — see
 ``docs/RUNTIME.md``).
+
+Beyond the whole-circuit fingerprint, this module computes *per-node
+transitive-fanin cone* hashes (:func:`node_cone_fingerprints`): each node's
+hash folds its own record with its fanins' cone hashes, Merkle-style, so
+two nodes share a cone hash exactly when their fanin cones are identical
+trees.  An edit anywhere in a circuit changes the cone hashes of precisely
+the nodes downstream of the edit — the foundation of the incremental
+engine's clean-cone reuse (:mod:`repro.incremental`).
+:func:`circuit_merkle_root` folds the output cone hashes with the I/O
+declarations into a whole-circuit root with the same sensitivity as
+:func:`circuit_fingerprint`.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-from typing import Dict, Optional
+from typing import Dict, Iterable, Optional
 
 
 def circuit_signature(circuit) -> str:
@@ -38,6 +49,74 @@ def circuit_signature(circuit) -> str:
 def circuit_fingerprint(circuit) -> str:
     """SHA-256 hex digest of the canonical circuit signature."""
     return hashlib.sha256(circuit_signature(circuit).encode()).hexdigest()
+
+
+def node_cone_fingerprints(circuit) -> Dict[str, str]:
+    """Merkle-style transitive-fanin cone hash for every node.
+
+    A node's hash covers its name, gate type, delay, and — in fanin order —
+    the cone hashes of its fanins, so it identifies the *entire* cone DAG
+    feeding the node.  Computed in one topological pass (linear in circuit
+    size); cheap enough to rerun after every edit batch.
+    """
+    fps: Dict[str, str] = {}
+    for name in circuit.topological_order():
+        node = circuit.node(name)
+        payload = json.dumps(
+            [name, node.gate_type.value, node.delay,
+             [fps[f] for f in node.fanins]],
+            separators=(",", ":"),
+        )
+        fps[name] = hashlib.sha256(payload.encode()).hexdigest()
+    return fps
+
+
+def cone_fingerprint(
+    circuit,
+    output: str,
+    node_fps: Optional[Dict[str, str]] = None,
+    cone_inputs: Optional[Iterable[str]] = None,
+) -> str:
+    """Cache key for the fanin cone of ``output``.
+
+    Folds the output's Merkle cone hash with the cone's primary inputs in
+    *declaration order* — the per-cone analyses declare engine variables in
+    that order, so it co-determines witnesses and must be part of the key.
+    Precomputed ``node_fps``/``cone_inputs`` avoid rework in batch loops.
+    """
+    if node_fps is None:
+        node_fps = node_cone_fingerprints(circuit)
+    if cone_inputs is None:
+        members = set(circuit.transitive_fanin([output]))
+        cone_inputs = [i for i in circuit.inputs if i in members]
+    payload = json.dumps(
+        [node_fps[output], list(cone_inputs)], separators=(",", ":")
+    )
+    return "cone:" + hashlib.sha256(payload.encode()).hexdigest()
+
+
+def circuit_merkle_root(circuit) -> str:
+    """Whole-circuit root of the cone-hash tree.
+
+    Sensitive to exactly the same content as :func:`circuit_fingerprint`
+    (any observable edit moves some output's cone hash, the I/O
+    declarations, or the name), but computed from the per-node hashes — so
+    an incremental consumer holding :func:`node_cone_fingerprints` gets
+    the root for free.  Dead nodes (outside every output cone) are folded
+    in by name so edits to them still move the root.
+    """
+    fps = node_cone_fingerprints(circuit)
+    payload = json.dumps(
+        {
+            "name": circuit.name,
+            "inputs": circuit.inputs,
+            "outputs": [[o, fps[o]] for o in circuit.outputs],
+            "nodes": sorted(fps.items()),
+        },
+        separators=(",", ":"),
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
 
 
 def params_token(params: Optional[Dict[str, object]]) -> str:

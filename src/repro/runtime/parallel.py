@@ -391,6 +391,59 @@ def shard_fault_tests(
 
 
 # ----------------------------------------------------------------------
+# Per-output cone delay queries (the incremental engine's fan-out)
+# ----------------------------------------------------------------------
+def _cone_worker(payload):
+    kind, engine_name, cones = payload
+    from ..incremental.cones import evaluate_cone
+
+    results = []
+    checks = 0
+    for cone in cones:
+        result = evaluate_cone(cone, kind, engine_name)
+        checks += result.checks
+        results.append(result)
+    return results, {"incremental.cone_checks": checks}, {}
+
+
+def shard_cone_queries(
+    cones: Sequence,
+    kind: str,
+    engine_name: str = "auto",
+    jobs: int = 2,
+    timeout: Optional[float] = None,
+    retries: Optional[int] = None,
+):
+    """Evaluate single-output cone circuits across workers.
+
+    ``cones`` are the extracted fanin-cone subcircuits of the dirty
+    outputs (:func:`repro.incremental.cones.extract_cone`); each is a
+    self-contained analysis, so per-cone results are independent of
+    chunking and worker count.  Returns ``{output: ConeResult}`` in the
+    given cone order.
+    """
+    jobs = resolve_jobs(jobs, len(cones))
+
+    def make_payload(chunk):
+        return (kind, engine_name, list(chunk))
+
+    with METRICS.phase("parallel.cone_queries"):
+        results = _run_sharded(
+            _cone_worker, list(cones), make_payload, jobs,
+            timeout=timeout, retries=retries, label="cones",
+        )
+    merged = {}
+    for chunk in results:
+        for result in chunk:
+            merged[result.output] = result
+    return {
+        cone.outputs[0]: merged[cone.outputs[0]]
+        for cone in cones
+        if cone.outputs[0] in merged
+    }
+
+
+# ----------------------------------------------------------------------
 # Monte Carlo delay sampling
 # ----------------------------------------------------------------------
 def sample_seed(seed: int, index: int) -> str:

@@ -1,0 +1,112 @@
+"""Cone fingerprints, cone extraction, and cone-level cache keys."""
+
+from repro.core import compute_floating_delay, compute_transition_delay
+from repro.incremental import evaluate_cone, extract_cone
+from repro.runtime import (
+    DelayCache,
+    circuit_fingerprint,
+    circuit_merkle_root,
+    cone_fingerprint,
+    node_cone_fingerprints,
+)
+
+from tests.helpers import c17
+
+
+def test_node_cone_fingerprints_change_exactly_downstream():
+    circuit = c17()
+    before = node_cone_fingerprints(circuit)
+    circuit.set_delay("G10", 3)
+    after = node_cone_fingerprints(circuit)
+    # G10 feeds only G22: exactly {G10, G22} moves.
+    changed = {name for name in before if before[name] != after[name]}
+    assert changed == {"G10", "G22"}
+
+
+def test_cone_fingerprint_ignores_edits_outside_the_cone():
+    circuit = c17()
+    g23_before = cone_fingerprint(circuit, "G23")
+    g22_before = cone_fingerprint(circuit, "G22")
+    circuit.set_delay("G10", 3)  # G10 is only in G22's cone
+    assert cone_fingerprint(circuit, "G23") == g23_before
+    assert cone_fingerprint(circuit, "G22") != g22_before
+
+
+def test_merkle_root_tracks_every_observable_edit():
+    circuit = c17()
+    root = circuit_merkle_root(circuit)
+    fp = circuit_fingerprint(circuit)
+    circuit.set_delay("G19", 2)
+    assert circuit_merkle_root(circuit) != root
+    assert circuit_fingerprint(circuit) != fp
+
+
+def test_merkle_root_covers_dead_nodes():
+    circuit = c17()
+    circuit.add_gate("dead", circuit.node("G10").gate_type, ("G1", "G2"))
+    root = circuit_merkle_root(circuit)
+    circuit.set_delay("dead", 7)
+    assert circuit_merkle_root(circuit) != root
+
+
+def test_extract_cone_is_parent_name_free_and_ordered():
+    circuit = c17()
+    cone = extract_cone(circuit, "G22")
+    assert cone.name == "cone#G22"
+    assert cone.outputs == ["G22"]
+    # G7 is outside G22's cone; the rest keep declaration order.
+    assert cone.inputs == ["G1", "G2", "G3", "G6"]
+    cone.validate()
+    # Same content extracted from a renamed parent: identical fingerprint.
+    other = circuit.copy("renamed")
+    assert circuit_fingerprint(extract_cone(other, "G22")) == (
+        circuit_fingerprint(cone)
+    )
+
+
+def test_evaluate_cone_matches_whole_circuit_on_single_output():
+    circuit = c17()
+    cone = extract_cone(circuit, "G22")
+    floating = evaluate_cone(cone, "floating")
+    reference = compute_floating_delay(cone, cache=DelayCache(enabled=False))
+    assert floating.delay == reference.delay
+    assert floating.witness == reference.witness
+    transition = evaluate_cone(cone, "transition")
+    ref_t = compute_transition_delay(cone, cache=DelayCache(enabled=False))
+    assert transition.delay == ref_t.delay
+    assert transition.pair == ref_t.pair
+    topo = evaluate_cone(cone, "topological")
+    assert topo.delay == cone.topological_delay()
+    assert topo.checks == 0
+
+
+def test_cone_result_record_renders_full_width_vectors():
+    circuit = c17()
+    result = evaluate_cone(extract_cone(circuit, "G22"), "transition")
+    record = result.record(circuit.inputs)
+    assert record["delay"] == result.delay
+    prev, nxt = record["pair"]
+    # Rendered over ALL five parent inputs (G7 pinned to 0).
+    assert len(prev) == len(nxt) == len(circuit.inputs)
+    assert prev[circuit.inputs.index("G7")] == "0"
+
+
+def test_token_for_keys_are_kind_and_engine_specific():
+    cache = DelayCache()
+    fp = "cone:" + "0" * 64
+    t1 = cache.token_for(fp, "floating")
+    t2 = cache.token_for(fp, "transition")
+    t3 = cache.token_for(fp, "floating", engine="sat")
+    assert len({t1, t2, t3}) == 3
+    assert DelayCache(enabled=False).token_for(fp, "floating") is None
+
+
+def test_cone_tokens_cannot_collide_with_circuit_tokens():
+    circuit = c17()
+    cache = DelayCache()
+    whole = cache.token(circuit, "floating")
+    cone = cache.token_for(
+        cone_fingerprint(circuit, "G22"), "floating"
+    )
+    assert whole != cone
+    assert cone_fingerprint(circuit, "G22").startswith("cone:")

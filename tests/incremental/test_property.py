@@ -1,0 +1,96 @@
+"""Property: random journal-edit sequences, incremental == from-scratch."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.generators import random_logic
+from repro.incremental import IncrementalTimingEngine, KINDS, cold_query
+from repro.network.gates import GateType, UNARY_GATES
+
+GATE_TYPES = [
+    GateType.AND, GateType.NAND, GateType.OR, GateType.NOR,
+    GateType.XOR, GateType.NOT, GateType.BUF,
+]
+
+
+def apply_random_edit(circuit, rng_draw) -> bool:
+    """Apply one randomly drawn journalled edit; returns False if the
+    drawn edit was rejected (e.g. would create a cycle) and skipped."""
+    gates = circuit.gate_names()
+    name = gates[rng_draw(st.integers(0, len(gates) - 1))]
+    op = rng_draw(st.sampled_from(["set_delay", "rewire", "replace_gate"]))
+    try:
+        if op == "set_delay":
+            circuit.set_delay(name, rng_draw(st.integers(0, 3)))
+        elif op == "rewire":
+            node = circuit.node(name)
+            pool = circuit.inputs + [g for g in gates if g != name]
+            arity = (
+                1
+                if node.gate_type in UNARY_GATES
+                else rng_draw(st.integers(1, 3))
+            )
+            fanins = [
+                pool[rng_draw(st.integers(0, len(pool) - 1))]
+                for __ in range(arity)
+            ]
+            circuit.rewire(name, fanins)
+        else:
+            circuit.replace_gate(
+                name,
+                gate_type=rng_draw(st.sampled_from(GATE_TYPES)),
+                fanins=None,
+                delay=rng_draw(st.integers(0, 3)),
+            )
+    except ValueError:
+        return False  # cycle or arity rejection: the circuit is unchanged
+    return True
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(data=st.data())
+def test_random_edit_sequences_match_cold_rebuild(data):
+    seed = data.draw(st.integers(0, 50))
+    circuit = random_logic(
+        num_inputs=5, num_gates=15, num_outputs=3, seed=seed
+    )
+    engine = IncrementalTimingEngine(circuit)
+    engine.query("transition")
+    num_edits = data.draw(st.integers(1, 4))
+    for __ in range(num_edits):
+        apply_random_edit(circuit, data.draw)
+        circuit.validate()
+        incremental = engine.query("transition")
+        assert incremental.record_json() == (
+            cold_query(circuit, "transition").record_json()
+        )
+    # After the whole sequence every kind agrees with a fresh rebuild.
+    for kind in KINDS:
+        assert engine.query(kind).record_json() == (
+            cold_query(circuit, kind).record_json()
+        )
+
+
+@pytest.mark.parametrize("kind", ["floating", "transition"])
+def test_fixed_edit_sequence_matches_cold_rebuild_at_jobs_4(kind):
+    """The sharded route under a fixed what-if session: jobs=4 equals the
+    serial from-scratch rebuild byte for byte."""
+    circuit = random_logic(
+        num_inputs=8, num_gates=80, num_outputs=6, seed=23
+    )
+    engine = IncrementalTimingEngine(circuit, jobs=4)
+    engine.query(kind)
+    gates = circuit.gate_names()
+    circuit.set_delay(gates[3], 3)
+    circuit.replace_gate(gates[40], delay=0)
+    fanins = list(circuit.node(gates[60]).fanins)
+    fanins[-1] = circuit.inputs[1]
+    circuit.rewire(gates[60], fanins)
+    incremental = engine.query(kind)
+    cold = cold_query(circuit, kind)  # serial reference
+    assert incremental.record_json() == cold.record_json()

@@ -1,0 +1,166 @@
+"""The JSON-lines query service: protocol, golden session, transports."""
+
+import io
+import json
+import os
+import socket
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+from repro.incremental import QueryService, WarmPool, serve_stream, serve_unix
+from repro.runtime import METRICS
+
+from tests.helpers import C17_BENCH
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SERVICE_DIR = REPO_ROOT / "tests" / "service"
+sys.path.insert(0, str(SERVICE_DIR))
+from normalize import normalize_line  # noqa: E402
+
+
+def run_session(requests, **service_kwargs):
+    service = QueryService(**service_kwargs)
+    reader = io.StringIO(
+        "\n".join(json.dumps(request) for request in requests) + "\n"
+    )
+    writer = io.StringIO()
+    serve_stream(service, reader, writer)
+    return [json.loads(line) for line in writer.getvalue().splitlines()]
+
+
+def test_request_ids_are_deterministic_counters():
+    responses = run_session(
+        [{"op": "load", "bench": C17_BENCH}, {"op": "stats"}]
+    )
+    assert [r["id"] for r in responses] == ["req-000001", "req-000002"]
+    assert all(r["ok"] for r in responses)
+
+
+def test_errors_are_reported_not_fatal():
+    service = QueryService()
+    lines = [
+        json.dumps({"op": "query", "kind": "floating"}),  # nothing loaded
+        "not json at all",
+        json.dumps({"op": "frobnicate"}),
+        json.dumps({"op": "load", "bench": C17_BENCH}),
+        json.dumps({"op": "edit", "edits": [
+            {"op": "rewire", "name": "G22", "fanins": ["G22"]}  # cycle
+        ]}),
+        json.dumps({"op": "query", "kind": "floating"}),
+    ]
+    writer = io.StringIO()
+    serve_stream(service, io.StringIO("\n".join(lines) + "\n"), writer)
+    responses = [json.loads(line) for line in writer.getvalue().splitlines()]
+    assert [r["ok"] for r in responses] == [
+        False, False, False, True, False, True,
+    ]
+    # The cycle-rejected edit left the circuit intact and queryable.
+    assert responses[-1]["result"]["record"]["delay"] == 3
+
+
+def test_shutdown_op_ends_the_loop():
+    responses = run_session(
+        [
+            {"op": "load", "bench": C17_BENCH},
+            {"op": "shutdown"},
+            {"op": "stats"},  # never reached
+        ]
+    )
+    assert len(responses) == 2
+    assert responses[-1]["result"] == {"stopping": True}
+
+
+def test_scripted_session_matches_golden():
+    """The CI serve-protocol check, in-process: replay the scripted
+    session and diff the normalised responses against the golden file."""
+    session = (SERVICE_DIR / "session.jsonl").read_text().splitlines()
+    golden = (SERVICE_DIR / "golden_session.jsonl").read_text().splitlines()
+    # The stats op reports process-global counters; zero them so the
+    # in-process replay matches a fresh ``repro serve`` process.
+    METRICS.reset()
+    service = QueryService()
+    writer = io.StringIO()
+    serve_stream(service, iter(session), writer)
+    got = [
+        normalize_line(line, strip_stats=False)
+        for line in writer.getvalue().splitlines()
+    ]
+    assert got == golden
+
+
+def test_scripted_session_over_subprocess_cli():
+    """End to end through ``python -m repro serve`` on stdio."""
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro", "serve"],
+        input=(SERVICE_DIR / "session.jsonl").read_text(),
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=str(REPO_ROOT),
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    got = [
+        normalize_line(line, strip_stats=False)
+        for line in completed.stdout.splitlines()
+    ]
+    golden = (SERVICE_DIR / "golden_session.jsonl").read_text().splitlines()
+    assert got == golden
+
+
+def test_degraded_warm_pool_round_preserves_records():
+    """A crashing worker (injected) degrades the warm pool to serial
+    execution; every record and certification vector stays identical."""
+    os.environ["REPRO_FAULT_INJECT"] = "crash:0"
+    try:
+        session = (SERVICE_DIR / "session.jsonl").read_text().splitlines()
+        with WarmPool(jobs=2, timeout=60) as pool:
+            service = QueryService(jobs=2, pool=pool)
+            writer = io.StringIO()
+            serve_stream(service, iter(session), writer)
+        degraded = [
+            normalize_line(line, strip_stats=True)
+            for line in writer.getvalue().splitlines()
+        ]
+    finally:
+        del os.environ["REPRO_FAULT_INJECT"]
+    golden = [
+        normalize_line(line, strip_stats=True)
+        for line in (SERVICE_DIR / "golden_session.jsonl")
+        .read_text()
+        .splitlines()
+    ]
+    assert degraded == golden
+
+
+def test_unix_socket_transport(tmp_path):
+    path = str(tmp_path / "serve.sock")
+    service = QueryService()
+    thread = threading.Thread(
+        target=serve_unix, args=(service, path), daemon=True
+    )
+    thread.start()
+    for __ in range(200):
+        if os.path.exists(path):
+            break
+        thread.join(0.05)
+    client = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    client.connect(path)
+    with client:
+        reader = client.makefile("r", encoding="utf-8")
+        writer = client.makefile("w", encoding="utf-8")
+        for request in (
+            {"op": "load", "bench": C17_BENCH},
+            {"op": "query", "kind": "transition"},
+            {"op": "shutdown"},
+        ):
+            writer.write(json.dumps(request) + "\n")
+            writer.flush()
+        responses = [json.loads(reader.readline()) for __ in range(3)]
+    thread.join(timeout=30)
+    assert not thread.is_alive()
+    assert not os.path.exists(path)  # graceful shutdown removed the socket
+    assert responses[1]["result"]["record"]["delay"] == 3

@@ -141,3 +141,39 @@ class TestWireDelay:
         # Longest path is now G1/G3 -> G10 -> wire(5) -> G22.
         assert wired.topological_delay() == 1 + 5 + 1
         assert_same_function(c, wired)
+
+
+class TestTransformNaming:
+    """Fresh-circuit transforms append ``#<transform>`` to the name, so
+    the content fingerprint always differs from the source — even when
+    the transform changed no delay (identity speedup, factor-1 scale)."""
+
+    def test_names_are_normalized(self):
+        c = c17()
+        assert apply_speedup(c, {}).name == "c17#speedup"
+        assert scale_delays(c, 1).name == "c17#scale"
+        assert insert_wire_delay(c, "G10", "G22", 1).name == "c17#wire"
+
+    def test_fingerprints_differ_from_source(self):
+        from repro.runtime import circuit_fingerprint
+
+        c = c17()
+        source = circuit_fingerprint(c)
+        for transformed in (
+            apply_speedup(c, {}),  # no delay actually lowered
+            scale_delays(c, 1),  # factor 1: delays unchanged
+            insert_wire_delay(c, "G10", "G22", 1),
+            refined_delay_annotation(c),
+        ):
+            assert circuit_fingerprint(transformed) != source
+
+    def test_delay_only_transforms_keep_structure_caches(self):
+        """scale_delays/apply_speedup go through copy + delay edits, so
+        the copied topological order survives the transform."""
+        c = c17()
+        c.topological_order()
+        scaled = scale_delays(c, 3)
+        assert scaled._topo_cache is not None
+        assert scaled._fanout_cache is not None
+        sped = apply_speedup(c, {"G10": 0})
+        assert sped._topo_cache is not None

@@ -1,0 +1,43 @@
+"""Normalise ``repro serve`` JSON-lines output for golden-file diffs.
+
+Reads responses from stdin, writes normalised responses to stdout:
+
+* ``elapsed_ms`` is dropped everywhere (the only wall-clock field in the
+  protocol — everything else is deterministic);
+* with ``--strip-stats``, responses carrying accounting payloads
+  (``stats``/``counters``/``pool`` keys) are reduced to a marker.  The CI
+  degraded-pool round uses this: a crashed worker changes pool accounting
+  but must not change any delay record or certification vector.
+
+Usage: ``repro serve < session.jsonl | python tests/service/normalize.py``
+"""
+
+import json
+import sys
+
+
+def normalize_line(line: str, strip_stats: bool) -> str:
+    response = json.loads(line)
+    response.pop("elapsed_ms", None)
+    result = response.get("result")
+    if strip_stats and isinstance(result, dict):
+        if "counters" in result or "pool" in result:
+            response["result"] = {"stripped": "stats"}
+        elif "stats" in result:
+            result = dict(result)
+            result.pop("stats")
+            response["result"] = result
+    return json.dumps(response, sort_keys=True)
+
+
+def main() -> int:
+    strip_stats = "--strip-stats" in sys.argv[1:]
+    for line in sys.stdin:
+        if not line.strip():
+            continue
+        print(normalize_line(line, strip_stats))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
