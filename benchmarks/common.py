@@ -6,6 +6,15 @@ durable record) and also returns the rows for assertions.  Absolute CPU
 numbers are *ours* (pure Python), not the paper's SUN-4 seconds; the
 reproduction target is the shape — see EXPERIMENTS.md.
 
+Measurement itself lives elsewhere: suites time their work through the
+``benchmark`` fixture (``benchmarks/conftest.py``), which records every
+case into a per-suite :class:`repro.bench.recorder.BenchRecorder` and
+writes the canonical ``BENCH_<suite>.json`` records consumed by
+``trued bench run``/``compare`` (see ``docs/BENCHMARKS.md``).  Circuits
+come from the closed catalog in :mod:`repro.circuits.registry`
+(``build_circuit``/``build_fsm_logic``), so bench records carry the same
+content fingerprints the runtime cache keys on.
+
 The delay cores consult the process-global runtime cache, so a warm rerun
 of the suite reuses analyses across tables: ``REPRO_CACHE=1`` (memory) or
 ``REPRO_CACHE_DIR=<dir>`` (memory + disk) turns it on; counters land in

@@ -12,14 +12,14 @@ import time
 
 from repro.boolfn import BddEngine, BddOverflow, SatEngine
 from repro.core import compute_transition_delay
-from repro.circuits import array_multiplier, carry_skip_adder
+from repro.circuits import build_circuit
 
 from .common import render_rows, write_result
 
 
 def run_engines():
     rows = []
-    adder = carry_skip_adder(8, 4)
+    adder = build_circuit("csa8")
     for engine in (BddEngine(), SatEngine()):
         start = time.process_time()
         cert = compute_transition_delay(adder, engine=engine)
@@ -36,7 +36,7 @@ def run_engines():
 
     # The multiplier: a small node budget forces the paper's scenario
     # (middle product bits have exponentially-sized BDDs).
-    mult = array_multiplier(8)
+    mult = build_circuit("mult8")
     overflowed = False
     start = time.process_time()
     try:

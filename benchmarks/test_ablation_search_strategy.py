@@ -11,17 +11,14 @@ import time
 
 from repro.boolfn import BddEngine, SatEngine
 from repro.core import compute_floating_delay
-from repro.circuits import carry_skip_adder, iscas
+from repro.circuits import build_circuit
 
 from .common import render_rows, write_result
 
 
 def run_strategies():
     rows = []
-    cases = {
-        "c1908": iscas.build("c1908"),
-        "csa16": carry_skip_adder(16, 4),
-    }
+    cases = {name: build_circuit(name) for name in ("c1908", "csa16")}
     for name, circuit in cases.items():
         answers = set()
         for engine_cls in (BddEngine, SatEngine):

@@ -15,7 +15,7 @@ from repro.core import (
     compute_transition_delay,
     suppression_plan,
 )
-from repro.circuits import carry_skip_adder, iscas
+from repro.circuits import build_circuit
 
 from .common import render_rows, write_result
 
@@ -52,8 +52,8 @@ def run_case(name, circuit):
 
 def run_all():
     return [
-        run_case("c880", iscas.build("c880")),
-        run_case("csa16", carry_skip_adder(16, 4)),
+        run_case("c880", build_circuit("c880")),
+        run_case("csa16", build_circuit("csa16")),
     ]
 
 

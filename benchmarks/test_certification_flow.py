@@ -8,18 +8,18 @@ the statistical (yield) follow-up between gamma and delta.
 
 from repro.core import Verdict, certify
 from repro.network import scale_delays
-from repro.circuits import carry_skip_adder, iscas
+from repro.circuits import build_circuit
 
 from .common import render_rows, write_result
 
 
 def run_flow():
-    silicon = carry_skip_adder(12, 4)
+    silicon = build_circuit("csa12")
     estimated = scale_delays(silicon, 2)   # verifier margins
     report = certify(
         estimated, accurate_circuit=silicon, statistical_samples=40
     )
-    exact = certify(iscas.c17())
+    exact = certify(build_circuit("c17"))
     return report, exact
 
 

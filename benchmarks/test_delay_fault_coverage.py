@@ -10,7 +10,7 @@ from repro.core import (
     PathFaultGenerator,
     validate_test_by_fault_injection,
 )
-from repro.circuits import carry_skip_adder, iscas, parity_tree
+from repro.circuits import build_circuit
 
 from .common import render_rows, write_result
 
@@ -18,10 +18,8 @@ from .common import render_rows, write_result
 def run_coverage():
     rows = []
     cases = {
-        "c17": iscas.c17(),
-        "c432": iscas.build("c432"),
-        "csa8": carry_skip_adder(8, 4),
-        "parity16": parity_tree(16),
+        name: build_circuit(name)
+        for name in ("c17", "c432", "csa8", "parity16")
     }
     validations = []
     for name, circuit in cases.items():

@@ -11,13 +11,13 @@ from repro.core import (
     compute_transition_delay,
 )
 from repro.sim import EventSimulator
-from repro.circuits import fig1_circuit, fig1_vector_pair
+from repro.circuits import build_circuit, fig1_vector_pair
 
 from .common import render_rows, write_result
 
 
 def analyse():
-    circuit = fig1_circuit()
+    circuit = build_circuit("fig1")
     floating = compute_floating_delay(circuit)
     transition = compute_transition_delay(circuit, upper=floating.delay)
     bounded = compute_bounded_transition_delay(circuit)

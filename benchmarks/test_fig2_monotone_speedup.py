@@ -16,13 +16,13 @@ from repro.core import (
 )
 from repro.network import apply_speedup
 from repro.sim import EventSimulator
-from repro.circuits import fig2_circuit
+from repro.circuits import build_circuit
 
 from .common import render_rows, write_result
 
 
 def analyse():
-    circuit = fig2_circuit()
+    circuit = build_circuit("fig2")
     floating = compute_floating_delay(circuit)
     transition = compute_transition_delay(circuit, upper=floating.delay)
     gates = [n.name for n in circuit.nodes() if n.fanins]

@@ -7,14 +7,14 @@ and extracts the paper's example vector pairs from the implicants.
 from repro.boolfn import BddEngine
 from repro.core import TransitionAnalysis
 from repro.sim import EventSimulator
-from repro.circuits import fig5_circuit
+from repro.circuits import build_circuit
 
 from .common import render_rows, write_result
 
 
 def analyse():
     engine = BddEngine()
-    analysis = TransitionAnalysis(fig5_circuit(), engine)
+    analysis = TransitionAnalysis(build_circuit("fig5"), engine)
     m = engine.manager
     a_p, a_c = m.var("a@-"), m.var("a@0")
     b_p, b_c = m.var("b@-"), m.var("b@0")
@@ -50,6 +50,6 @@ def test_fig5(benchmark):
     )
     assert all(checks.values())
     # Replay: the double-transition pair really toggles f twice.
-    sim = EventSimulator(fig5_circuit())
+    sim = EventSimulator(build_circuit("fig5"))
     result = sim.simulate_transition(pair_both.v_prev, pair_both.v_next)
     assert result.waveforms["f"].transition_times() == [1, 2]

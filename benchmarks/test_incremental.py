@@ -8,45 +8,34 @@ Acceptance checks for the incremental subsystem:
 * clean cones are reused (reuse rate > 0) and a reverted edit is served
   from the content-addressed cone cache with zero checks,
 * the durable record — latencies, check counts, reuse/hit rates per
-  kind — lands in ``benchmarks/results/BENCH_incremental.json``.
+  kind — lands in ``benchmarks/results/BENCH_incremental.json`` via the
+  suite recorder (per-kind cases plus ``extra`` annotations).
 """
 
-import json
-import time
-
-from repro.circuits.generators import random_logic
+from repro.circuits import build_circuit
 from repro.incremental import KINDS, IncrementalTimingEngine, cold_query
 from repro.runtime import METRICS
 
-from .common import RESULTS_DIR, render_rows, write_result
+from .common import render_rows, write_result
 
 
-def _build():
-    return random_logic(num_inputs=12, num_gates=210, num_outputs=8, seed=42)
-
-
-def _timed(fn):
-    start = time.perf_counter()
-    result = fn()
-    return time.perf_counter() - start, result
-
-
-def test_incremental_requery_beats_cold_recomputation():
+def test_incremental_requery_beats_cold_recomputation(benchmark):
     METRICS.reset()
-    circuit = _build()
+    circuit = build_circuit("rand210")
     edit_gate = circuit.gate_names()[17]
-    summary = {"circuit": circuit.name, "gates": len(circuit.gate_names()),
-               "outputs": len(circuit.outputs), "kinds": {}}
     rows = []
 
     for kind in KINDS:
         engine = IncrementalTimingEngine(circuit)
-        cold_s, cold = _timed(lambda: cold_query(circuit, kind))
-        warm_s, __ = _timed(lambda: engine.query(kind))
+        with benchmark.measure(f"{kind}_cold", circuit=circuit) as m_cold:
+            cold = cold_query(circuit, kind)
+        with benchmark.measure(f"{kind}_warm_build") as m_warm:
+            engine.query(kind)
 
         original = circuit.node(edit_gate).delay
         circuit.set_delay(edit_gate, original + 2)
-        incr_s, incremental = _timed(lambda: engine.query(kind))
+        with benchmark.measure(f"{kind}_incremental") as m_incr:
+            incremental = engine.query(kind)
         edited_cold = cold_query(circuit, kind)
 
         # Byte identity against the from-scratch reference, fewer checks.
@@ -58,39 +47,34 @@ def test_incremental_requery_beats_cold_recomputation():
 
         # Reverting the edit replays the content-addressed cone cache.
         circuit.set_delay(edit_gate, original)
-        revert_s, reverted = _timed(lambda: engine.query(kind))
+        with benchmark.measure(f"{kind}_revert") as m_revert:
+            reverted = engine.query(kind)
         assert reverted.record_json() == cold.record_json()
         assert reverted.stats["cone_cache_hits"] > 0
         assert reverted.stats["checks"] == 0
 
         reuse_rate = stats["reused_cones"] / len(circuit.outputs)
-        summary["kinds"][kind] = {
-            "cold_ms": round(cold_s * 1000, 2),
-            "warm_build_ms": round(warm_s * 1000, 2),
-            "incremental_ms": round(incr_s * 1000, 2),
-            "revert_ms": round(revert_s * 1000, 2),
-            "cold_checks": edited_cold.stats["checks"],
-            "incremental_checks": stats["checks"],
-            "dirty_nodes": stats["dirty_nodes"],
-            "reused_cones": stats["reused_cones"],
-            "evaluated_cones": stats["evaluated_cones"],
-            "cone_reuse_rate": round(reuse_rate, 3),
-            "revert_cache_hits": reverted.stats["cone_cache_hits"],
-            "delay": incremental.delay,
-        }
+        benchmark.annotate(
+            f"{kind}_incremental",
+            warm_build_ms=round(m_warm.elapsed * 1000, 2),
+            cold_checks=edited_cold.stats["checks"],
+            incremental_checks=stats["checks"],
+            dirty_nodes=stats["dirty_nodes"],
+            reused_cones=stats["reused_cones"],
+            evaluated_cones=stats["evaluated_cones"],
+            cone_reuse_rate=round(reuse_rate, 3),
+            revert_cache_hits=reverted.stats["cone_cache_hits"],
+            delay=incremental.delay,
+        )
         rows.append([
             kind,
-            f"{cold_s*1000:.1f}",
-            f"{incr_s*1000:.1f}",
+            f"{m_cold.elapsed*1000:.1f}",
+            f"{m_incr.elapsed*1000:.1f}",
             edited_cold.stats["checks"],
             stats["checks"],
             f"{reuse_rate:.0%}",
             incremental.delay,
         ])
-
-    RESULTS_DIR.mkdir(exist_ok=True)
-    path = RESULTS_DIR / "BENCH_incremental.json"
-    path.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
 
     write_result(
         "incremental",

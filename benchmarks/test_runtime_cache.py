@@ -7,12 +7,11 @@ Acceptance checks for the parallel/caching runtime:
 * ``jobs=1`` and ``jobs=4`` produce identical certification pairs on a
   medium ISCAS stand-in,
 * the metrics counters actually record the hits (the durable record goes
-  to ``benchmarks/results/runtime_cache*.txt``).
+  to ``benchmarks/results/runtime_cache*.txt`` and the canonical bench
+  record to ``BENCH_runtime_cache.json`` via the suite recorder).
 """
 
-import time
-
-from repro.circuits import iscas
+from repro.circuits import build_circuit
 from repro.core import (
     collect_certification_pairs,
     compute_floating_delay,
@@ -23,21 +22,22 @@ from repro.runtime import METRICS, DelayCache
 from .common import render_rows, write_metrics, write_result, write_trace
 
 
-def _timed_run(circuit, cache):
-    start = time.perf_counter()
+def _run_queries(circuit, cache):
     floating = compute_floating_delay(circuit, cache=cache)
     transition = compute_transition_delay(
         circuit, upper=floating.delay, cache=cache
     )
-    return time.perf_counter() - start, floating, transition
+    return floating, transition
 
 
-def test_warm_cache_rerun_is_faster_and_identical(tmp_path):
-    circuit = iscas.build("c432")
+def test_warm_cache_rerun_is_faster_and_identical(tmp_path, benchmark):
+    circuit = build_circuit("c432")
     cache = DelayCache(cache_dir=str(tmp_path))
     METRICS.reset()
-    cold_s, cold_f, cold_t = _timed_run(circuit, cache)
-    warm_s, warm_f, warm_t = _timed_run(circuit, cache)
+    with benchmark.measure("cold", circuit=circuit) as cold:
+        cold_f, cold_t = _run_queries(circuit, cache)
+    with benchmark.measure("warm_memory", circuit=circuit) as warm:
+        warm_f, warm_t = _run_queries(circuit, cache)
 
     assert warm_f.delay == cold_f.delay
     assert warm_f.witness == cold_f.witness
@@ -52,19 +52,22 @@ def test_warm_cache_rerun_is_faster_and_identical(tmp_path):
     assert METRICS.counter("cache.memory_hits") >= 2
     # A hit skips the whole symbolic build; anything less than 10x means
     # the cache is broken, so 2x is a flake-proof floor.
-    assert warm_s < cold_s / 2
+    assert warm.elapsed < cold.elapsed / 2
 
     # A fresh process would miss the memory tier and hit the disk tier.
     disk_only = DelayCache(cache_dir=str(tmp_path))
-    disk_s, disk_f, disk_t = _timed_run(circuit, disk_only)
+    with benchmark.measure("warm_disk", circuit=circuit) as disk:
+        disk_f, disk_t = _run_queries(circuit, disk_only)
     assert (disk_f.delay, disk_t.delay) == (cold_f.delay, cold_t.delay)
     assert METRICS.counter("cache.disk_hits") >= 2
-    assert disk_s < cold_s / 2
+    assert disk.elapsed < cold.elapsed / 2
 
     rows = [
-        ["cold", f"{cold_s*1000:.1f}", cold_f.delay, cold_t.delay],
-        ["warm (memory)", f"{warm_s*1000:.1f}", warm_f.delay, warm_t.delay],
-        ["warm (disk)", f"{disk_s*1000:.1f}", disk_f.delay, disk_t.delay],
+        ["cold", f"{cold.elapsed*1000:.1f}", cold_f.delay, cold_t.delay],
+        ["warm (memory)", f"{warm.elapsed*1000:.1f}",
+         warm_f.delay, warm_t.delay],
+        ["warm (disk)", f"{disk.elapsed*1000:.1f}",
+         disk_f.delay, disk_t.delay],
     ]
     write_result(
         "runtime_cache",
@@ -77,12 +80,12 @@ def test_warm_cache_rerun_is_faster_and_identical(tmp_path):
     write_metrics("runtime_cache")
 
 
-def test_sharded_pairs_match_serial_on_medium_circuit():
-    circuit = iscas.build("c880")
+def test_sharded_pairs_match_serial_on_medium_circuit(benchmark):
+    circuit = build_circuit("c880")
     METRICS.reset()
-    with METRICS.phase("bench.serial"):
+    with benchmark.measure("pairs_jobs1", circuit=circuit) as m_serial:
         serial = collect_certification_pairs(circuit, jobs=1)
-    with METRICS.phase("bench.jobs4"):
+    with benchmark.measure("pairs_jobs4", circuit=circuit) as m_sharded:
         sharded = collect_certification_pairs(circuit, jobs=4)
     assert list(sharded) == list(serial)
     for out in serial:
@@ -92,10 +95,8 @@ def test_sharded_pairs_match_serial_on_medium_circuit():
         assert pair_serial.v_prev == pair_sharded.v_prev, out
         assert pair_serial.v_next == pair_sharded.v_next, out
     rows = [
-        ["jobs=1", f"{METRICS.phase_seconds('bench.serial')*1000:.1f}",
-         len(serial)],
-        ["jobs=4", f"{METRICS.phase_seconds('bench.jobs4')*1000:.1f}",
-         len(sharded)],
+        ["jobs=1", f"{m_serial.elapsed*1000:.1f}", len(serial)],
+        ["jobs=4", f"{m_sharded.elapsed*1000:.1f}", len(sharded)],
     ]
     write_result(
         "runtime_parallel",

@@ -23,13 +23,13 @@ from repro.fsm import (
     smallest_working_period,
     transition_pair_constraint,
 )
-from repro.circuits.mcnc import sticky_bit_controller
+from repro.circuits import build_fsm_logic
 
 from .common import render_rows, write_result
 
 
 def run():
-    logic = sticky_bit_controller(chain_len=6)
+    logic = build_fsm_logic("sticky")
     circuit = logic.circuit
     floating = compute_floating_delay(
         circuit, engine=BddEngine(),

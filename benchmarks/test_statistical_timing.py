@@ -20,13 +20,13 @@ from repro.core import (
     uniform_delay_model,
     uniform_variation,
 )
-from repro.circuits import carry_skip_adder
+from repro.circuits import build_circuit
 
 from .common import render_rows, write_result
 
 
 def run_comparison():
-    circuit = carry_skip_adder(8, 4)
+    circuit = build_circuit("csa8")
     analytic = circuit_delay_distribution(circuit, uniform_delay_model(1))
     topo = monte_carlo_topological(
         circuit, num_samples=120, delay_model=uniform_variation(1)

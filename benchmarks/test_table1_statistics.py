@@ -7,7 +7,7 @@ construction; literals and depth are the stand-ins' own (see DESIGN.md).
 """
 
 
-from repro.circuits import iscas, mcnc
+from repro.circuits import build_circuit, build_fsm_logic, iscas, mcnc
 from repro.sta import statistics_row
 
 from .common import render_rows, write_result
@@ -22,13 +22,13 @@ def build_all():
     rows = []
     circuits = {}
     for name in iscas.available():
-        circuit = iscas.build(name)
+        circuit = build_circuit(name)
         circuits[name] = circuit
         ours = statistics_row(circuit)
         paper = iscas.PAPER_TABLE1[name]
         rows.append(ours + list(paper))
     for name in mcnc.available():
-        logic = mcnc.build(name, fanin_limit=2)
+        logic = build_fsm_logic(name)
         circuits[name] = logic.circuit
         ours = statistics_row(logic.circuit)
         paper = mcnc.PAPER_TABLE1_FSM[name]

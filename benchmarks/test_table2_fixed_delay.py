@@ -14,7 +14,7 @@ for the ISCAS stand-ins and the FSM controllers.  Reproduction targets:
 
 import pytest
 
-from repro.circuits import iscas, mcnc
+from repro.circuits import build_circuit, build_fsm_logic
 
 from .common import HEAVY, table2_row, render_rows, write_result
 
@@ -27,9 +27,10 @@ _rows = []
 
 @pytest.mark.parametrize("name", LIGHT_COMBINATIONAL)
 def test_combinational_light(benchmark, name):
-    circuit = iscas.build(name)
+    circuit = build_circuit(name)
     row = benchmark.pedantic(
-        table2_row, args=(name, circuit), rounds=1, iterations=1
+        table2_row, args=(name, circuit), rounds=1, iterations=1,
+        name=name, circuit=circuit,
     )
     _rows.append(row)
     __, __, ld, fd, __, __, td = row
@@ -39,9 +40,10 @@ def test_combinational_light(benchmark, name):
 
 @pytest.mark.parametrize("name", HEAVY_COMBINATIONAL)
 def test_combinational_heavy(benchmark, name):
-    circuit = iscas.build(name)
+    circuit = build_circuit(name)
     row = benchmark.pedantic(
-        table2_row, args=(name, circuit), rounds=1, iterations=1
+        table2_row, args=(name, circuit), rounds=1, iterations=1,
+        name=name, circuit=circuit,
     )
     _rows.append(row)
     __, __, ld, fd, __, __, td = row
@@ -60,10 +62,11 @@ def test_c6288_multiplier(benchmark):
 
     from repro.core import transition_delay_lower_bound
 
-    circuit = iscas.build("c6288")
+    circuit = build_circuit("c6288")
     if HEAVY:
         row = benchmark.pedantic(
-            table2_row, args=("c6288", circuit), rounds=1, iterations=1
+            table2_row, args=("c6288", circuit), rounds=1, iterations=1,
+            circuit=circuit,
         )
         _rows.append(row)
         return
@@ -84,7 +87,9 @@ def test_c6288_multiplier(benchmark):
             f">={bound.delay}",
         ], bound
 
-    row, bound = benchmark.pedantic(bracketed, rounds=1, iterations=1)
+    row, bound = benchmark.pedantic(
+        bracketed, rounds=1, iterations=1, circuit=circuit
+    )
     _rows.append(row)
     assert bound.delay >= circuit.topological_delay() // 2
     assert bound.pair is not None
@@ -92,13 +97,15 @@ def test_c6288_multiplier(benchmark):
 
 @pytest.mark.parametrize("name", FSM_SET)
 def test_fsm_controllers(benchmark, name):
-    logic = mcnc.build(name, fanin_limit=2)
+    logic = build_fsm_logic(name)
     row = benchmark.pedantic(
         table2_row,
         args=(name, logic.circuit),
         kwargs={"logic": logic},
         rounds=1,
         iterations=1,
+        name=name,
+        circuit=logic.circuit,
     )
     _rows.append(row)
     __, __, ld, fd, __, __, td = row
@@ -106,13 +113,14 @@ def test_fsm_controllers(benchmark, name):
 
 
 def test_sticky_controller_drop(benchmark):
-    logic = mcnc.sticky_bit_controller(chain_len=6)
+    logic = build_fsm_logic("sticky")
     row = benchmark.pedantic(
         table2_row,
         args=("sticky", logic.circuit),
         kwargs={"logic": logic},
         rounds=1,
         iterations=1,
+        circuit=logic.circuit,
     )
     _rows.append(row)
     __, __, __, fd, __, __, td = row

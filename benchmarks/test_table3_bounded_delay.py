@@ -8,7 +8,7 @@ combinational set.  The FSM rows keep the Sec. VI pair restriction.
 
 import pytest
 
-from repro.circuits import iscas, mcnc
+from repro.circuits import build_circuit, build_fsm_logic
 
 from .common import HEAVY, render_rows, table3_row, write_result
 
@@ -21,9 +21,10 @@ _rows = []
 
 @pytest.mark.parametrize("name", LIGHT)
 def test_bounded_light(benchmark, name):
-    circuit = iscas.build(name)
+    circuit = build_circuit(name)
     row = benchmark.pedantic(
-        table3_row, args=(name, circuit), rounds=1, iterations=1
+        table3_row, args=(name, circuit), rounds=1, iterations=1,
+        name=name, circuit=circuit,
     )
     _rows.append(row)
     __, __, ld, fd, __, __, td = row
@@ -33,9 +34,10 @@ def test_bounded_light(benchmark, name):
 
 @pytest.mark.parametrize("name", MEDIUM)
 def test_bounded_medium(benchmark, name):
-    circuit = iscas.build(name)
+    circuit = build_circuit(name)
     row = benchmark.pedantic(
-        table3_row, args=(name, circuit), rounds=1, iterations=1
+        table3_row, args=(name, circuit), rounds=1, iterations=1,
+        name=name, circuit=circuit,
     )
     _rows.append(row)
     __, __, ld, fd, __, __, td = row
@@ -44,13 +46,15 @@ def test_bounded_medium(benchmark, name):
 
 @pytest.mark.parametrize("name", FSM_SET)
 def test_bounded_fsm(benchmark, name):
-    logic = mcnc.build(name, fanin_limit=2)
+    logic = build_fsm_logic(name)
     row = benchmark.pedantic(
         table3_row,
         args=(name, logic.circuit),
         kwargs={"logic": logic},
         rounds=1,
         iterations=1,
+        name=name,
+        circuit=logic.circuit,
     )
     _rows.append(row)
     __, __, ld, fd, __, __, td = row

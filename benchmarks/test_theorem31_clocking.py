@@ -11,18 +11,14 @@ from repro.core import (
     theorem31_min_period,
     validate_period_by_simulation,
 )
-from repro.circuits import carry_skip_adder, fig2_circuit, iscas
+from repro.circuits import build_circuit
 
 from .common import render_rows, write_result
 
 
 def analyse():
     rows = []
-    cases = {
-        "c17": iscas.c17(),
-        "csa8": carry_skip_adder(8, 4),
-        "fig2": fig2_circuit(),
-    }
+    cases = {name: build_circuit(name) for name in ("c17", "csa8", "fig2")}
     for name, circuit in cases.items():
         cert = compute_transition_delay(circuit)
         tau = theorem31_min_period(circuit, cert.delay)

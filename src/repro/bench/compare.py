@@ -1,0 +1,211 @@
+"""Noise-aware comparison of two benchmark result files.
+
+``trued bench compare OLD NEW`` loads two documents — both suite
+records, or both summaries — matches their cases (or suites) by name,
+and classifies each metric movement:
+
+* ``regression`` — the new median exceeds the old by more than the
+  metric's tolerance (ratio *and* absolute slack must both be exceeded,
+  so a 3 ms → 7 ms wobble on a sub-tolerance baseline never gates);
+* ``improved`` — the same test in the other direction;
+* ``ok`` — inside the noise band either way;
+* ``new`` — the case exists only in the new file (informational);
+* ``missing`` — the case disappeared (gates: losing coverage silently
+  is itself a regression).
+
+Medians are compared because the recorder stores median-of-N per metric
+(see ``docs/BENCHMARKS.md`` for the full methodology).  The exit policy
+lives here too: :meth:`ComparisonReport.exit_code` is non-zero iff a
+regression or a missing case was found.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .schema import SCHEMA_VERSION
+
+
+@dataclass(frozen=True)
+class Tolerance:
+    """A movement gates only when it exceeds ``ratio`` *times* the old
+    value **and** clears ``absolute`` extra slack — the absolute floor
+    keeps microsecond-scale cases from flagging on scheduler noise."""
+
+    ratio: float = 1.0
+    absolute: float = 0.0
+
+    def threshold(self, old: float) -> float:
+        return old * self.ratio + self.absolute
+
+
+#: Per-metric defaults.  Wall clock is noisy: gate at 1.5x + 50 ms.
+#: ``#check`` counts and cache hit rates are deterministic functions of
+#: the input, so they gate tightly.  Peak RSS wobbles with allocator
+#: behaviour: 1.5x + 32 MiB.
+DEFAULT_TOLERANCES: Dict[str, Tolerance] = {
+    "wall_s": Tolerance(ratio=1.5, absolute=0.05),
+    "checks": Tolerance(ratio=1.0, absolute=0.5),
+    "peak_rss_kb": Tolerance(ratio=1.5, absolute=32 * 1024),
+}
+
+#: Metrics where *larger* is worse (all current ones; kept explicit so a
+#: future throughput metric can flip the sign).
+_HIGHER_IS_WORSE = ("wall_s", "checks", "peak_rss_kb")
+
+
+def parse_tolerance_spec(spec: str) -> Tuple[str, Tolerance]:
+    """Parse a CLI override ``metric=ratio[:absolute]``.
+
+    ``--tolerance wall_s=2.0:0.1`` → wall time gates at 2x + 100 ms.
+    """
+    try:
+        metric, _, value = spec.partition("=")
+        if not value:
+            raise ValueError
+        ratio_text, _, abs_text = value.partition(":")
+        tolerance = Tolerance(
+            ratio=float(ratio_text),
+            absolute=float(abs_text) if abs_text else 0.0,
+        )
+    except ValueError:
+        raise ValueError(
+            f"malformed tolerance {spec!r} (expected metric=ratio[:abs])"
+        )
+    if metric not in DEFAULT_TOLERANCES:
+        known = ", ".join(sorted(DEFAULT_TOLERANCES))
+        raise ValueError(f"unknown metric {metric!r} (known: {known})")
+    return metric, tolerance
+
+
+@dataclass
+class MetricDelta:
+    metric: str
+    old: float
+    new: float
+    verdict: str  # ok | regression | improved
+
+    @property
+    def ratio(self) -> Optional[float]:
+        return None if self.old == 0 else self.new / self.old
+
+
+@dataclass
+class CaseComparison:
+    name: str
+    verdict: str  # ok | regression | improved | new | missing
+    deltas: List[MetricDelta] = field(default_factory=list)
+
+    def delta(self, metric: str) -> Optional[MetricDelta]:
+        for delta in self.deltas:
+            if delta.metric == metric:
+                return delta
+        return None
+
+
+@dataclass
+class ComparisonReport:
+    kind: str  # "suite" | "summary"
+    old_label: str
+    new_label: str
+    cases: List[CaseComparison] = field(default_factory=list)
+
+    def counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for case in self.cases:
+            counts[case.verdict] = counts.get(case.verdict, 0) + 1
+        return counts
+
+    @property
+    def regressions(self) -> List[CaseComparison]:
+        return [c for c in self.cases if c.verdict in ("regression", "missing")]
+
+    def exit_code(self) -> int:
+        return 1 if self.regressions else 0
+
+
+def _metrics_of(entry: dict) -> Dict[str, float]:
+    metrics = {}
+    for metric in _HIGHER_IS_WORSE:
+        value = entry.get(metric)
+        if isinstance(value, (int, float)):
+            metrics[metric] = float(value)
+    return metrics
+
+
+def _compare_entry(
+    name: str,
+    old: dict,
+    new: dict,
+    tolerances: Dict[str, Tolerance],
+) -> CaseComparison:
+    deltas: List[MetricDelta] = []
+    old_metrics, new_metrics = _metrics_of(old), _metrics_of(new)
+    for metric in _HIGHER_IS_WORSE:
+        if metric not in old_metrics or metric not in new_metrics:
+            continue
+        tolerance = tolerances.get(metric, DEFAULT_TOLERANCES[metric])
+        old_value, new_value = old_metrics[metric], new_metrics[metric]
+        if new_value > tolerance.threshold(old_value):
+            verdict = "regression"
+        elif old_value > tolerance.threshold(new_value):
+            verdict = "improved"
+        else:
+            verdict = "ok"
+        deltas.append(MetricDelta(metric, old_value, new_value, verdict))
+    if any(d.verdict == "regression" for d in deltas):
+        verdict = "regression"
+    elif any(d.verdict == "improved" for d in deltas):
+        verdict = "improved"
+    else:
+        verdict = "ok"
+    return CaseComparison(name=name, verdict=verdict, deltas=deltas)
+
+
+def _entries(document: dict) -> Tuple[str, Dict[str, dict]]:
+    """Normalise a document to (kind, name -> comparable entry)."""
+    if document.get("kind") == "summary":
+        return "summary", dict(document.get("suites", {}))
+    label = document.get("suite", "suite")
+    return "suite", {
+        f"{label}/{case['name']}": case for case in document.get("cases", [])
+    }
+
+
+def compare_results(
+    old: dict,
+    new: dict,
+    tolerances: Optional[Dict[str, Tolerance]] = None,
+    old_label: str = "old",
+    new_label: str = "new",
+) -> ComparisonReport:
+    """Compare two loaded documents (both records or both summaries)."""
+    for label, document in (("old", old), ("new", new)):
+        if document.get("schema") != SCHEMA_VERSION:
+            raise ValueError(
+                f"{label} file has schema {document.get('schema')!r}; "
+                f"this comparator gates only version {SCHEMA_VERSION}"
+            )
+    old_kind, old_entries = _entries(old)
+    new_kind, new_entries = _entries(new)
+    if old_kind != new_kind:
+        raise ValueError(
+            f"cannot compare a {old_kind} file against a {new_kind} file"
+        )
+    tolerances = {**DEFAULT_TOLERANCES, **(tolerances or {})}
+    report = ComparisonReport(
+        kind=old_kind, old_label=old_label, new_label=new_label
+    )
+    for name in sorted(set(old_entries) | set(new_entries)):
+        if name not in new_entries:
+            report.cases.append(CaseComparison(name=name, verdict="missing"))
+        elif name not in old_entries:
+            report.cases.append(CaseComparison(name=name, verdict="new"))
+        else:
+            report.cases.append(
+                _compare_entry(
+                    name, old_entries[name], new_entries[name], tolerances
+                )
+            )
+    return report

@@ -1,0 +1,99 @@
+"""Opt-in profiling hooks for benchmark cases (``--profile``).
+
+Two modes, both folding their findings into the span tree of
+:data:`repro.runtime.TRACER` so ``trued <cmd> --metrics`` and the
+exported ``--trace`` JSON show where the time went:
+
+* ``cprofile`` — wraps the measured block in :mod:`cProfile` and folds
+  the top-N frames *by cumulative time* into the trace tree as
+  ``profile:<module>:<function>`` child spans of the case span.  Frames
+  are restricted to this package's own modules, which is where the hot
+  paths live (``core/floating.py``, ``core/transition.py``,
+  ``incremental/engine.py``, ``runtime/parallel.py``, the Boolean
+  engines); stdlib noise is dropped.
+* ``spans`` — no profiler overhead; relies on the span rollups the
+  recorder collects anyway, but marks the case so readers know the
+  rollup was the intended profile.
+
+The context manager yields a list that is populated *in place* on exit
+with ``{"site", "calls", "cumulative_ms", "own_ms"}`` dicts (empty for
+``spans``/off), so callers can close over it before the data exists.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import os
+import pstats
+from contextlib import contextmanager
+from typing import Iterator, List, Optional
+
+from ..runtime.tracing import TRACER
+
+#: Top-N cumulative frames folded into the trace tree.
+TOP_FRAMES = 10
+
+_PACKAGE_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _frame_site(filename: str, lineno: int, func: str) -> Optional[str]:
+    """``repro/<path>:<func>`` for frames inside this package, else None."""
+    try:
+        relative = os.path.relpath(filename, _PACKAGE_ROOT)
+    except ValueError:  # pragma: no cover - different drive on win32
+        return None
+    if relative.startswith(".."):
+        return None
+    return f"repro/{relative}:{func}"
+
+
+def top_frames(profile: cProfile.Profile, top: int = TOP_FRAMES) -> List[dict]:
+    """The top ``top`` in-package frames by cumulative time."""
+    stats = pstats.Stats(profile)
+    rows = []
+    for (filename, lineno, func), (cc, nc, tt, ct, _callers) in \
+            stats.stats.items():
+        site = _frame_site(filename, lineno, func)
+        if site is None:
+            continue
+        rows.append({
+            "site": site,
+            "calls": int(nc),
+            "cumulative_ms": round(ct * 1000, 3),
+            "own_ms": round(tt * 1000, 3),
+        })
+    rows.sort(key=lambda row: (-row["cumulative_ms"], row["site"]))
+    return rows[:top]
+
+
+@contextmanager
+def profile_block(mode: Optional[str], top: int = TOP_FRAMES) \
+        -> Iterator[List[dict]]:
+    """Profile the block according to ``mode`` and fold the result into
+    the current trace span.  Yields the (initially empty) frame list."""
+    frames: List[dict] = []
+    if mode == "cprofile":
+        profile = cProfile.Profile()
+        profile.enable()
+        try:
+            yield frames
+        finally:
+            profile.disable()
+            frames.extend(top_frames(profile, top=top))
+            for frame in frames:
+                TRACER.add_span(
+                    f"profile:{frame['site']}",
+                    elapsed=frame["cumulative_ms"] / 1000,
+                    counters={"calls": frame["calls"]},
+                    own_ms=frame["own_ms"],
+                )
+    elif mode == "spans":
+        # The recorder's span rollup *is* the profile; just mark intent.
+        TRACER.event("profile", mode="spans")
+        yield frames
+    elif mode in (None, "", "off"):
+        yield frames
+    else:
+        raise ValueError(
+            f"unknown profile mode {mode!r} (expected cprofile|spans)"
+        )

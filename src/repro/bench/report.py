@@ -1,0 +1,123 @@
+"""Markdown rendering for benchmark records and comparison reports.
+
+``trued bench report FILE`` renders a record (or summary) as a markdown
+table; ``trued bench compare --report FILE`` writes the comparison the
+gate saw, so a CI job can paste the evidence straight into a PR.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .compare import ComparisonReport
+
+_VERDICT_MARKS = {
+    "ok": "·",
+    "improved": "✓ faster",
+    "regression": "✗ REGRESSION",
+    "new": "+ new",
+    "missing": "! missing",
+}
+
+
+def _fmt_wall(seconds: float) -> str:
+    return f"{seconds * 1000:.1f} ms"
+
+
+def _fmt_rss(kb: float) -> str:
+    return f"{kb / 1024:.1f} MiB"
+
+
+def render_record_markdown(document: dict) -> str:
+    """One markdown table per document: cases of a suite record, or the
+    per-suite rollup of a summary."""
+    lines: List[str] = []
+    if document.get("kind") == "summary":
+        lines.append("## bench summary")
+        lines.append("")
+        lines.append("| suite | cases | wall | #check | peak RSS |")
+        lines.append("|---|---:|---:|---:|---:|")
+        for name, entry in sorted(document.get("suites", {}).items()):
+            lines.append(
+                f"| {name} | {entry['cases']} | "
+                f"{_fmt_wall(entry['wall_s'])} | {entry['checks']:g} | "
+                f"{_fmt_rss(entry['peak_rss_kb'])} |"
+            )
+        return "\n".join(lines)
+
+    suite = document.get("suite", "?")
+    lines.append(
+        f"## bench suite `{suite}` "
+        f"(repeats={document.get('repeats')}, warmup={document.get('warmup')})"
+    )
+    lines.append("")
+    lines.append("| case | wall (median) | #check | cache hits | peak RSS "
+                 "| hottest span |")
+    lines.append("|---|---:|---:|---:|---:|---|")
+    for case in document.get("cases", []):
+        cache = case.get("cache", {})
+        spans = case.get("spans", [])
+        hottest = (
+            f"{spans[0]['name']} ({spans[0]['total_ms']:.1f} ms)"
+            if spans else "-"
+        )
+        lines.append(
+            f"| {case['name']} | {_fmt_wall(case['wall_s'])} | "
+            f"{case['checks']:g} | "
+            f"{cache.get('hit_rate', 0.0):.0%} | "
+            f"{_fmt_rss(case['peak_rss_kb'])} | {hottest} |"
+        )
+    profile_rows = [
+        (case["name"], frame)
+        for case in document.get("cases", [])
+        for frame in case.get("profile", [])[:3]
+    ]
+    if profile_rows:
+        lines.append("")
+        lines.append("### hot frames (cProfile, cumulative)")
+        lines.append("")
+        lines.append("| case | site | calls | cumulative |")
+        lines.append("|---|---|---:|---:|")
+        for case_name, frame in profile_rows:
+            lines.append(
+                f"| {case_name} | `{frame['site']}` | {frame['calls']} | "
+                f"{frame['cumulative_ms']:.1f} ms |"
+            )
+    return "\n".join(lines)
+
+
+def render_comparison_markdown(report: ComparisonReport) -> str:
+    counts = report.counts()
+    summary = ", ".join(
+        f"{count} {verdict}" for verdict, count in sorted(counts.items())
+    ) or "no cases"
+    lines = [
+        f"## bench compare — {report.old_label} → {report.new_label}",
+        "",
+        f"Verdict: **{'FAIL' if report.exit_code() else 'PASS'}** ({summary})",
+        "",
+        "| case | verdict | wall old → new | #check old → new | RSS old → new |",
+        "|---|---|---|---|---|",
+    ]
+    for case in report.cases:
+        cells = []
+        for metric, fmt in (
+            ("wall_s", _fmt_wall),
+            ("checks", lambda v: f"{v:g}"),
+            ("peak_rss_kb", _fmt_rss),
+        ):
+            delta = case.delta(metric)
+            if delta is None:
+                cells.append("-")
+                continue
+            arrow = f"{fmt(delta.old)} → {fmt(delta.new)}"
+            if delta.verdict == "regression":
+                arrow += " ✗"
+            elif delta.verdict == "improved":
+                arrow += " ✓"
+            cells.append(arrow)
+        lines.append(
+            f"| {case.name} | {_VERDICT_MARKS.get(case.verdict, case.verdict)}"
+            f" | {cells[0]} | {cells[1]} | {cells[2]} |"
+        )
+    return "\n".join(lines)

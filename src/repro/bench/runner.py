@@ -1,0 +1,179 @@
+"""Suite discovery and execution for ``trued bench run``.
+
+A *suite* is one pytest module ``benchmarks/test_<suite>.py``.  The
+runner executes each selected suite in a fresh subprocess (suites are
+process-isolated: a crashed or flaky suite cannot poison another's
+measurements, and module-global accumulators start clean), passing the
+warmup/repeat/profile configuration down through ``REPRO_BENCH_*``
+environment variables that the ``benchmark`` fixture in
+``benchmarks/conftest.py`` honours.  Each suite writes its canonical
+``BENCH_<suite>.json`` into the output directory; the runner validates
+them and folds the aggregate into ``BENCH_summary.json``.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from .schema import SCHEMA_VERSION, dump_record, load_record
+
+#: Repo layout anchors, resolved relative to this file so the runner
+#: works from any CWD inside a checkout (or an editable install).
+_SRC_DIR = Path(__file__).resolve().parents[2]
+DEFAULT_SUITES_DIR = _SRC_DIR.parent / "benchmarks"
+
+
+def suites_dir() -> Path:
+    return DEFAULT_SUITES_DIR
+
+
+def discover_suites(directory: Optional[Path] = None) -> List[str]:
+    """Suite names, i.e. ``test_<suite>.py`` modules minus the prefix."""
+    directory = Path(directory or DEFAULT_SUITES_DIR)
+    return sorted(
+        path.stem[len("test_"):]
+        for path in directory.glob("test_*.py")
+    )
+
+
+def _subprocess_env(out_dir: Path, repeats: int, warmup: int,
+                    profile: Optional[str]) -> Dict[str, str]:
+    env = dict(os.environ)
+    src = str(_SRC_DIR)
+    existing = env.get("PYTHONPATH", "")
+    if src not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    env["REPRO_BENCH_OUT"] = str(out_dir)
+    env["REPRO_BENCH_REPEATS"] = str(repeats)
+    env["REPRO_BENCH_WARMUP"] = str(warmup)
+    if profile:
+        env["REPRO_BENCH_PROFILE"] = profile
+    else:
+        env.pop("REPRO_BENCH_PROFILE", None)
+    return env
+
+
+def run_suite(
+    suite: str,
+    out_dir: Path,
+    repeats: int = 1,
+    warmup: int = 0,
+    profile: Optional[str] = None,
+    directory: Optional[Path] = None,
+    quiet: bool = False,
+) -> dict:
+    """Run one suite to completion and return its validated record.
+
+    Raises ``RuntimeError`` when the suite fails or does not produce a
+    schema-valid record.
+    """
+    directory = Path(directory or DEFAULT_SUITES_DIR)
+    module = directory / f"test_{suite}.py"
+    if not module.exists():
+        known = ", ".join(discover_suites(directory)) or "(none)"
+        raise ValueError(f"unknown suite {suite!r}; available: {known}")
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    record_path = out_dir / f"BENCH_{suite}.json"
+    if record_path.exists():
+        record_path.unlink()
+    command = [
+        sys.executable, "-m", "pytest", str(module),
+        "-q", "-p", "no:cacheprovider",
+    ]
+    completed = subprocess.run(
+        command,
+        env=_subprocess_env(out_dir, repeats, warmup, profile),
+        cwd=str(directory.parent),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    if completed.returncode != 0:
+        tail = "\n".join(completed.stdout.splitlines()[-30:])
+        raise RuntimeError(
+            f"suite {suite!r} failed (exit {completed.returncode}):\n{tail}"
+        )
+    if not quiet and completed.stdout.strip():
+        print(completed.stdout.splitlines()[-1])
+    if not record_path.exists():
+        raise RuntimeError(
+            f"suite {suite!r} passed but wrote no {record_path.name} "
+            "(is benchmarks/conftest.py intact?)"
+        )
+    return load_record(record_path)
+
+
+def summarise(records: Dict[str, dict], repeats: int, warmup: int) -> dict:
+    suites = {}
+    for suite, record in sorted(records.items()):
+        cases = record.get("cases", [])
+        suites[suite] = {
+            "cases": len(cases),
+            "wall_s": round(sum(c["wall_s"] for c in cases), 6),
+            "checks": sum(c["checks"] for c in cases),
+            "peak_rss_kb": max(
+                (c["peak_rss_kb"] for c in cases), default=0
+            ),
+            "record": f"BENCH_{suite}.json",
+        }
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "summary",
+        "repeats": repeats,
+        "warmup": warmup,
+        "suites": suites,
+    }
+
+
+def write_summary(records: Dict[str, dict], out_dir: Path,
+                  repeats: int, warmup: int) -> dict:
+    summary = summarise(records, repeats, warmup)
+    dump_record(summary, Path(out_dir) / "BENCH_summary.json")
+    return summary
+
+
+def run_suites(
+    suites: Sequence[str],
+    out_dir: Path,
+    repeats: int = 1,
+    warmup: int = 0,
+    profile: Optional[str] = None,
+    directory: Optional[Path] = None,
+    keep_going: bool = False,
+    quiet: bool = False,
+) -> Dict[str, dict]:
+    """Run several suites and write the aggregate ``BENCH_summary.json``.
+
+    With ``keep_going`` a failing suite is reported and skipped instead
+    of aborting the whole run; the failure still surfaces as a
+    ``RuntimeError`` *after* the summary is written, so partial results
+    are never lost.
+    """
+    records: Dict[str, dict] = {}
+    failures: List[str] = []
+    for suite in suites:
+        if not quiet:
+            print(f"bench: running suite {suite!r} "
+                  f"(repeats={repeats}, warmup={warmup})")
+        try:
+            records[suite] = run_suite(
+                suite, out_dir, repeats=repeats, warmup=warmup,
+                profile=profile, directory=directory, quiet=quiet,
+            )
+        except (RuntimeError, ValueError) as error:
+            if not keep_going:
+                raise
+            failures.append(f"{suite}: {error}")
+            print(f"bench: suite {suite!r} FAILED (continuing)",
+                  file=sys.stderr)
+    write_summary(records, out_dir, repeats, warmup)
+    if failures:
+        raise RuntimeError(
+            "bench run finished with failures:\n" + "\n".join(failures)
+        )
+    return records

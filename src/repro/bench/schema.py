@@ -1,0 +1,206 @@
+"""The versioned benchmark-result schema.
+
+Two document shapes share one ``schema`` version number:
+
+* a **suite record** (``BENCH_<suite>.json``) — one benchmark module's
+  run: the suite name, warmup/repeat configuration, environment stamp,
+  and one entry per measured case;
+* a **summary** (``BENCH_summary.json``) — the aggregate over the suite
+  records of one ``trued bench run`` invocation.
+
+Every case carries raw per-repeat samples *and* the median rollup, so a
+consumer never has to re-derive the statistics the comparison gate uses
+(median-of-N, see ``docs/BENCHMARKS.md``).  Case shape::
+
+    {
+      "name": "c432",                   # unique within the suite
+      "wall_s": 0.412,                  # median of samples
+      "samples": [0.431, 0.412, 0.409], # raw wall clocks, one per repeat
+      "checks": 117,                    # satisfiability checks (median)
+      "counters": {"transition.checks": 117, ...},   # METRICS deltas
+      "cache": {"hits": 0, "misses": 4, "hit_rate": 0.0},
+      "peak_rss_kb": 48212,             # process high-water mark
+      "spans": [{"name": "core.floating", "calls": 1, "total_ms": 80.1}],
+      "fingerprint": "sha256...",       # circuit fingerprint, if known
+      "extra": {"delay": 17},           # suite-specific numeric metrics
+      "profile": [...]                  # top frames when --profile is on
+    }
+
+``fingerprint`` is :func:`repro.runtime.fingerprint.circuit_fingerprint`
+of the analysed circuit — the same key the runtime result cache uses —
+so a bench case and a cache entry referring to the same input are
+correlatable byte-for-byte.
+
+The validator is hand-rolled (the repo has zero runtime dependencies);
+it returns a list of human-readable problems rather than raising, so
+callers can report every issue at once.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+#: Bump when a field changes meaning; ``compare`` refuses to gate across
+#: schema versions (the numbers would not be comparable).
+SCHEMA_VERSION = 1
+
+_REQUIRED_CASE_FIELDS = {
+    "name": str,
+    "wall_s": (int, float),
+    "samples": list,
+    "checks": (int, float),
+    "counters": dict,
+    "cache": dict,
+    "peak_rss_kb": (int, float),
+    "spans": list,
+}
+
+_OPTIONAL_CASE_FIELDS = {
+    "fingerprint": (str, type(None)),
+    "extra": dict,
+    "profile": list,
+}
+
+_REQUIRED_RECORD_FIELDS = {
+    "schema": int,
+    "kind": str,
+    "suite": str,
+    "repeats": int,
+    "warmup": int,
+    "env": dict,
+    "cases": list,
+}
+
+_REQUIRED_SUMMARY_FIELDS = {
+    "schema": int,
+    "kind": str,
+    "repeats": int,
+    "warmup": int,
+    "suites": dict,
+}
+
+
+def _check_fields(obj: dict, spec: dict, where: str, problems: List[str],
+                  optional: Optional[dict] = None) -> None:
+    for field, types in spec.items():
+        if field not in obj:
+            problems.append(f"{where}: missing field {field!r}")
+        elif not isinstance(obj[field], types):
+            problems.append(
+                f"{where}: field {field!r} has type "
+                f"{type(obj[field]).__name__}"
+            )
+    for field, types in (optional or {}).items():
+        if field in obj and not isinstance(obj[field], types):
+            problems.append(
+                f"{where}: field {field!r} has type "
+                f"{type(obj[field]).__name__}"
+            )
+
+
+def validate_case(case: object, where: str = "case") -> List[str]:
+    problems: List[str] = []
+    if not isinstance(case, dict):
+        return [f"{where}: not an object"]
+    _check_fields(case, _REQUIRED_CASE_FIELDS, where, problems,
+                  optional=_OPTIONAL_CASE_FIELDS)
+    samples = case.get("samples")
+    if isinstance(samples, list):
+        if not samples:
+            problems.append(f"{where}: empty samples array")
+        if not all(isinstance(s, (int, float)) for s in samples):
+            problems.append(f"{where}: non-numeric sample")
+    cache = case.get("cache")
+    if isinstance(cache, dict):
+        for key in ("hits", "misses", "hit_rate"):
+            if not isinstance(cache.get(key), (int, float)):
+                problems.append(f"{where}: cache.{key} missing or non-numeric")
+    for span in case.get("spans", []) if isinstance(case.get("spans"), list) else []:
+        if not isinstance(span, dict) or not {"name", "calls", "total_ms"} <= set(span):
+            problems.append(f"{where}: malformed span rollup {span!r}")
+            break
+    return problems
+
+
+def validate_record(record: object) -> List[str]:
+    """Validate one suite record; returns a list of problems (empty = valid)."""
+    problems: List[str] = []
+    if not isinstance(record, dict):
+        return ["record: not an object"]
+    _check_fields(record, _REQUIRED_RECORD_FIELDS, "record", problems)
+    if record.get("kind") not in (None, "suite"):
+        problems.append(f"record: kind is {record.get('kind')!r}, expected 'suite'")
+    if isinstance(record.get("schema"), int) and record["schema"] != SCHEMA_VERSION:
+        problems.append(
+            f"record: schema version {record['schema']} "
+            f"(this reader understands {SCHEMA_VERSION})"
+        )
+    cases = record.get("cases")
+    if isinstance(cases, list):
+        seen = set()
+        for i, case in enumerate(cases):
+            name = case.get("name") if isinstance(case, dict) else None
+            where = f"cases[{i}]" + (f" ({name})" if name else "")
+            problems.extend(validate_case(case, where))
+            if name in seen:
+                problems.append(f"{where}: duplicate case name")
+            seen.add(name)
+    return problems
+
+
+def validate_summary(summary: object) -> List[str]:
+    """Validate an aggregate summary; returns a list of problems."""
+    problems: List[str] = []
+    if not isinstance(summary, dict):
+        return ["summary: not an object"]
+    _check_fields(summary, _REQUIRED_SUMMARY_FIELDS, "summary", problems)
+    if summary.get("kind") != "summary":
+        problems.append(
+            f"summary: kind is {summary.get('kind')!r}, expected 'summary'"
+        )
+    suites = summary.get("suites")
+    if isinstance(suites, dict):
+        for name, entry in suites.items():
+            where = f"suites[{name}]"
+            if not isinstance(entry, dict):
+                problems.append(f"{where}: not an object")
+                continue
+            for field in ("cases", "wall_s", "checks", "peak_rss_kb"):
+                if not isinstance(entry.get(field), (int, float)):
+                    problems.append(f"{where}: {field} missing or non-numeric")
+    return problems
+
+
+def load_record(path) -> dict:
+    """Read a suite record or summary, raising ``ValueError`` with every
+    validation problem when the document does not conform."""
+    with open(path) as handle:
+        document = json.load(handle)
+    if isinstance(document, dict) and document.get("kind") == "summary":
+        problems = validate_summary(document)
+    else:
+        problems = validate_record(document)
+    if problems:
+        raise ValueError(
+            f"{path}: invalid benchmark document:\n  " + "\n  ".join(problems)
+        )
+    return document
+
+
+def dump_record(document: Dict, path) -> None:
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def median(values) -> float:
+    """Median without pulling in :mod:`statistics` formatting quirks:
+    even-length lists average the middle pair."""
+    ordered = sorted(values)
+    if not ordered:
+        raise ValueError("median of empty sequence")
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2

@@ -1,6 +1,19 @@
-"""Benchmark circuits: generators, figure circuits, ISCAS/MCNC stand-ins."""
+"""Benchmark circuits: generators, figure circuits, ISCAS/MCNC stand-ins.
+
+Named benchmark inputs (one name == one fingerprint across suites, the
+bench records, and the runtime cache) live in
+:mod:`repro.circuits.registry` — build through
+:func:`~repro.circuits.registry.build_circuit` /
+:func:`~repro.circuits.registry.build_fsm_logic`.
+"""
 
 from . import iscas, mcnc
+from .registry import (
+    available_circuits,
+    available_fsm_logic,
+    build_circuit,
+    build_fsm_logic,
+)
 from .figures import (
     FIG2_CRITICAL_PATH,
     fig1_circuit,
@@ -24,6 +37,10 @@ from .generators import (
 __all__ = [
     "iscas",
     "mcnc",
+    "available_circuits",
+    "available_fsm_logic",
+    "build_circuit",
+    "build_fsm_logic",
     "fig1_circuit",
     "fig1_vector_pair",
     "fig2_circuit",

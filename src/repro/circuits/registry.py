@@ -1,0 +1,90 @@
+"""One catalog of named benchmark circuits.
+
+The benchmark suites used to construct their circuits ad hoc —
+``carry_skip_adder(16, 4)`` here, ``iscas.build("c880")`` there — so the
+same analysis input went by different spellings and parameterisations in
+different suites, and a bench record could not be correlated with the
+runtime cache entries the run produced.  This registry is the single
+place a *named* benchmark input is defined: every suite builds through
+:func:`build_circuit` / :func:`build_fsm_logic`, so one name always
+means one :func:`~repro.runtime.fingerprint.circuit_fingerprint` — the
+key both the result cache and the ``BENCH_*.json`` records use.
+
+The catalog is deliberately closed (no parameter smuggling through the
+name): a new benchmark input gets a new named entry here, which keeps
+fingerprint identity reviewable in one diff.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from . import iscas, mcnc
+from .figures import fig1_circuit, fig2_circuit, fig5_circuit
+from .generators import (
+    array_multiplier,
+    carry_skip_adder,
+    parity_tree,
+    random_logic,
+)
+
+#: Combinational inputs: name -> zero-argument builder.
+CIRCUITS: Dict[str, Callable] = {
+    # Paper figure circuits.
+    "fig1": fig1_circuit,
+    "fig2": fig2_circuit,
+    "fig5": fig5_circuit,
+    # Generator-based stand-ins, canonical parameterisations.
+    "csa8": lambda: carry_skip_adder(8, 4),
+    "csa12": lambda: carry_skip_adder(12, 4),
+    "csa16": lambda: carry_skip_adder(16, 4),
+    "mult8": lambda: array_multiplier(8),
+    "parity16": lambda: parity_tree(16),
+    # The incremental benchmark's 210-gate random network.
+    "rand210": lambda: random_logic(
+        num_inputs=12, num_gates=210, num_outputs=8, seed=42
+    ),
+}
+# Every ISCAS-85 stand-in under its paper name (c17 .. c7552).
+CIRCUITS.update({name: (lambda n=name: iscas.build(n))
+                 for name in iscas.available()})
+
+#: Sequential inputs (FSM logic with reachability constraints):
+#: name -> zero-argument builder returning an ``FsmLogic``.
+FSM_LOGIC: Dict[str, Callable] = {
+    name: (lambda n=name: mcnc.build(n, fanin_limit=2))
+    for name in mcnc.available()
+}
+FSM_LOGIC["sticky"] = lambda: mcnc.sticky_bit_controller(chain_len=6)
+
+
+def available_circuits() -> List[str]:
+    return sorted(CIRCUITS)
+
+
+def available_fsm_logic() -> List[str]:
+    return sorted(FSM_LOGIC)
+
+
+def build_circuit(name: str):
+    """Build the named combinational benchmark circuit."""
+    try:
+        builder = CIRCUITS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown benchmark circuit {name!r}; "
+            f"available: {', '.join(available_circuits())}"
+        )
+    return builder()
+
+
+def build_fsm_logic(name: str):
+    """Build the named FSM benchmark logic (circuit + constraints)."""
+    try:
+        builder = FSM_LOGIC[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown benchmark FSM {name!r}; "
+            f"available: {', '.join(available_fsm_logic())}"
+        )
+    return builder()

@@ -1,5 +1,19 @@
-"""TrueD core: floating delay, transition delay, bounded delays,
-clocking (Theorem 3.1), certification (Sec. VII), statistical follow-up."""
+"""TrueD core — the paper's delay analyses, mapped to its sections.
+
+* Sec. III — clock-period validity, Theorem 3.1 (:mod:`.clocking`);
+* Sec. IV — the delay models: floating vs. transition delay and the
+  monotone-speedup argument (:mod:`.floating`, the Figs. 1/2 analyses);
+* Sec. V — symbolic simulation over the doubled vector-pair space:
+  fixed delays (:mod:`.transition`), event suppression
+  (:mod:`.suppression`), bounded delays (:mod:`.bounded`);
+* Sec. VI — the sequential (reachable-pair) restriction, consumed here
+  as constraints built by :mod:`repro.fsm.constraints`;
+* Sec. VII — the certified-verification flow (:mod:`.certify`);
+* Sec. VIII — path-delay-fault test generation (:mod:`.delay_fault`).
+
+Algorithm-level reference: ``docs/ALGORITHMS.md``; subsystem map:
+``docs/ARCHITECTURE.md``.
+"""
 
 import sys
 

@@ -1,4 +1,4 @@
-"""Clock-period validity — Theorem 3.1.
+"""Clock-period validity — Theorem 3.1 (paper Sec. III).
 
 Let ``tau`` be the single-stepping transition delay and ``omega`` the
 longest graphical path.  Theorem 3.1: if ``tau > omega/2`` then ``tau`` is a

@@ -1,8 +1,8 @@
-"""Floating-mode delay computation (the method of refs [7]/[9]).
+"""Floating-mode delay computation (paper Sec. IV; method of refs [7]/[9]).
 
 The *floating delay* is the single-vector delay under conservative
 assumptions about the circuit state before the vector is applied, and is
-safe under monotone speedups (Sec. I, II).  It upper-bounds the transition
+safe under monotone speedups (Secs. I–II, IV).  It upper-bounds the transition
 delay and is the natural starting value ``delta`` for the transition-delay
 query (Sec. VII).
 

@@ -1,9 +1,12 @@
 """Incremental what-if timing: edit journals, cone reuse, a query service.
 
 The batch cores in :mod:`repro.core` recompute a circuit's delay from
-scratch on every call.  This package answers the *what-if* workflow —
-edit a gate, re-query, repeat — in time proportional to what the edit
-touched:
+scratch on every call — they implement the paper's Secs. IV–VII analyses
+as one-shot queries.  This package is infrastructure *around* those
+analyses (the paper computes once; an edit loop re-computes): it answers
+the what-if workflow — edit a gate, re-query, repeat — in time
+proportional to what the edit touched, while returning byte-identical
+results (design reference: ``docs/INCREMENTAL.md``):
 
 * :mod:`repro.incremental.cones` — per-output fanin-cone extraction and
   evaluation (results are pure functions of cone content);

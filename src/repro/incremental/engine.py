@@ -1,5 +1,10 @@
 """The incremental what-if timing engine.
 
+Wraps the paper's Sec. IV–V delay queries (``topological`` / ``floating``
+/ ``transition``) in change tracking; the per-cone analyses themselves
+are the unmodified :mod:`repro.core` procedures.  Full design:
+``docs/INCREMENTAL.md``.
+
 An :class:`IncrementalTimingEngine` attaches to a live
 :class:`~repro.network.circuit.Circuit` and answers repeated delay queries
 (``topological`` / ``floating`` / ``transition``) across edit sessions,

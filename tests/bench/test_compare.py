@@ -1,0 +1,160 @@
+"""Regression-gate verdicts: tolerance math, case matching, exit policy."""
+
+import pytest
+
+from repro.bench import (
+    DEFAULT_TOLERANCES,
+    Tolerance,
+    compare_results,
+    parse_tolerance_spec,
+    render_comparison_markdown,
+)
+from repro.bench.schema import SCHEMA_VERSION
+
+
+def _case(name, wall_s=0.5, checks=100, peak_rss_kb=50_000):
+    return {
+        "name": name,
+        "wall_s": wall_s,
+        "samples": [wall_s],
+        "checks": checks,
+        "counters": {},
+        "cache": {"hits": 0, "misses": 0, "hit_rate": 0.0},
+        "peak_rss_kb": peak_rss_kb,
+        "spans": [],
+    }
+
+
+def _record(*cases):
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "suite",
+        "suite": "demo",
+        "repeats": 1,
+        "warmup": 0,
+        "env": {},
+        "cases": list(cases),
+    }
+
+
+def test_identical_records_pass_with_exit_zero():
+    old = _record(_case("a"), _case("b"))
+    report = compare_results(old, _record(_case("a"), _case("b")))
+    assert report.exit_code() == 0
+    assert [c.verdict for c in report.cases] == ["ok", "ok"]
+
+
+def test_two_x_slowdown_is_a_regression_with_nonzero_exit():
+    old = _record(_case("a", wall_s=1.0))
+    new = _record(_case("a", wall_s=2.0))
+    report = compare_results(old, new)
+    assert report.exit_code() == 1
+    (case,) = report.cases
+    assert case.verdict == "regression"
+    assert case.delta("wall_s").verdict == "regression"
+    assert case.delta("checks").verdict == "ok"
+
+
+def test_small_absolute_wobble_stays_inside_the_noise_band():
+    # 3 ms -> 7 ms is > 2x but far under the 50 ms absolute slack.
+    old = _record(_case("a", wall_s=0.003))
+    new = _record(_case("a", wall_s=0.007))
+    assert compare_results(old, new).exit_code() == 0
+
+
+def test_any_check_count_increase_gates():
+    old = _record(_case("a", checks=100))
+    new = _record(_case("a", checks=101))
+    report = compare_results(old, new)
+    assert report.exit_code() == 1
+    assert report.cases[0].delta("checks").verdict == "regression"
+
+
+def test_improvement_is_reported_but_passes():
+    old = _record(_case("a", wall_s=2.0))
+    new = _record(_case("a", wall_s=0.5))
+    report = compare_results(old, new)
+    assert report.exit_code() == 0
+    assert report.cases[0].verdict == "improved"
+
+
+def test_new_case_is_informational():
+    report = compare_results(
+        _record(_case("a")), _record(_case("a"), _case("b"))
+    )
+    assert report.exit_code() == 0
+    verdicts = {c.name: c.verdict for c in report.cases}
+    assert verdicts["demo/b"] == "new"
+
+
+def test_missing_case_fails_the_gate():
+    report = compare_results(
+        _record(_case("a"), _case("b")), _record(_case("a"))
+    )
+    assert report.exit_code() == 1
+    verdicts = {c.name: c.verdict for c in report.cases}
+    assert verdicts["demo/b"] == "missing"
+
+
+def test_tolerance_override_loosens_the_gate():
+    old = _record(_case("a", wall_s=1.0))
+    new = _record(_case("a", wall_s=2.0))
+    loose = {"wall_s": Tolerance(ratio=3.0)}
+    assert compare_results(old, new, tolerances=loose).exit_code() == 0
+
+
+def test_summary_documents_compare_by_suite_name():
+    old = {
+        "schema": SCHEMA_VERSION, "kind": "summary", "repeats": 1,
+        "warmup": 0,
+        "suites": {"s1": {"cases": 2, "wall_s": 1.0, "checks": 10,
+                          "peak_rss_kb": 1000, "record": "BENCH_s1.json"}},
+    }
+    import copy
+    new = copy.deepcopy(old)
+    new["suites"]["s1"]["wall_s"] = 5.0
+    report = compare_results(old, new)
+    assert report.kind == "summary"
+    assert report.cases[0].name == "s1"
+    assert report.exit_code() == 1
+
+
+def test_schema_version_mismatch_refuses_to_gate():
+    old = _record(_case("a"))
+    new = _record(_case("a"))
+    new["schema"] = SCHEMA_VERSION + 1
+    with pytest.raises(ValueError, match="schema"):
+        compare_results(old, new)
+
+
+def test_kind_mismatch_refuses_to_gate():
+    summary = {"schema": SCHEMA_VERSION, "kind": "summary", "repeats": 1,
+               "warmup": 0, "suites": {}}
+    with pytest.raises(ValueError, match="cannot compare"):
+        compare_results(_record(_case("a")), summary)
+
+
+def test_parse_tolerance_spec():
+    metric, tolerance = parse_tolerance_spec("wall_s=2.0:0.1")
+    assert metric == "wall_s"
+    assert tolerance == Tolerance(ratio=2.0, absolute=0.1)
+    metric, tolerance = parse_tolerance_spec("checks=1.5")
+    assert tolerance == Tolerance(ratio=1.5, absolute=0.0)
+    with pytest.raises(ValueError, match="malformed"):
+        parse_tolerance_spec("wall_s")
+    with pytest.raises(ValueError, match="unknown metric"):
+        parse_tolerance_spec("throughput=2.0")
+
+
+def test_default_tolerances_cover_all_gated_metrics():
+    assert set(DEFAULT_TOLERANCES) == {"wall_s", "checks", "peak_rss_kb"}
+
+
+def test_markdown_rendering_carries_the_verdict():
+    old = _record(_case("a", wall_s=1.0))
+    new = _record(_case("a", wall_s=2.0))
+    text = render_comparison_markdown(compare_results(old, new))
+    assert "FAIL" in text
+    assert "REGRESSION" in text
+    ok = render_comparison_markdown(compare_results(old, old))
+    assert "PASS" in ok

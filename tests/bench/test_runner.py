@@ -1,0 +1,97 @@
+"""The subprocess-per-suite runner, driven against a scratch suites dir."""
+
+import pytest
+
+from repro.bench import discover_suites, load_record, run_suites
+from repro.bench.runner import DEFAULT_SUITES_DIR, run_suite
+
+_CONFTEST = (DEFAULT_SUITES_DIR / "conftest.py").read_text()
+
+_TINY_SUITE = """\
+import time
+
+
+def test_tiny(benchmark):
+    result = benchmark.pedantic(lambda: 6 * 7, rounds=1, iterations=1)
+    assert result == 42
+
+
+def test_inline(benchmark):
+    with benchmark.measure("inline_block"):
+        time.sleep(0.001)
+    benchmark.annotate("inline_block", answer=42)
+"""
+
+_FAILING_SUITE = """\
+def test_broken(benchmark):
+    benchmark.pedantic(lambda: 1, rounds=1, iterations=1)
+    assert False, "deliberate failure"
+"""
+
+
+@pytest.fixture
+def scratch_suites(tmp_path):
+    suites = tmp_path / "suites"
+    suites.mkdir()
+    (suites / "conftest.py").write_text(_CONFTEST)
+    (suites / "test_tiny.py").write_text(_TINY_SUITE)
+    return suites
+
+
+def test_discover_suites_strips_the_module_prefix(scratch_suites):
+    assert discover_suites(scratch_suites) == ["tiny"]
+    assert "incremental" in discover_suites()  # the real benchmarks/
+
+
+def test_unknown_suite_reports_the_available_ones(scratch_suites, tmp_path):
+    with pytest.raises(ValueError, match="tiny"):
+        run_suite("nope", tmp_path / "out", directory=scratch_suites)
+
+
+def test_run_suites_writes_records_and_summary(scratch_suites, tmp_path):
+    out = tmp_path / "out"
+    records = run_suites(
+        ["tiny"], out, repeats=2, warmup=1,
+        directory=scratch_suites, quiet=True,
+    )
+    record = records["tiny"]
+    assert record["suite"] == "tiny"
+    assert record["repeats"] == 2 and record["warmup"] == 1
+    by_name = {case["name"]: case for case in record["cases"]}
+    assert len(by_name["tiny"]["samples"]) == 2      # repeats honoured
+    assert by_name["inline_block"]["extra"] == {"answer": 42}
+    assert load_record(out / "BENCH_tiny.json") == record
+    summary = load_record(out / "BENCH_summary.json")
+    assert summary["suites"]["tiny"]["cases"] == 2
+
+
+def test_failed_suite_publishes_no_record(scratch_suites, tmp_path):
+    (scratch_suites / "test_bad.py").write_text(_FAILING_SUITE)
+    out = tmp_path / "out"
+    with pytest.raises(RuntimeError, match="deliberate failure"):
+        run_suite("bad", out, directory=scratch_suites, quiet=True)
+    assert not (out / "BENCH_bad.json").exists()
+
+
+def test_keep_going_writes_partial_summary_then_raises(
+        scratch_suites, tmp_path):
+    (scratch_suites / "test_bad.py").write_text(_FAILING_SUITE)
+    out = tmp_path / "out"
+    with pytest.raises(RuntimeError, match="failures"):
+        run_suites(["bad", "tiny"], out, directory=scratch_suites,
+                   keep_going=True, quiet=True)
+    summary = load_record(out / "BENCH_summary.json")
+    assert list(summary["suites"]) == ["tiny"]      # survivor recorded
+    assert (out / "BENCH_tiny.json").exists()
+    assert not (out / "BENCH_bad.json").exists()
+
+
+def test_stale_record_is_deleted_before_a_failing_rerun(
+        scratch_suites, tmp_path):
+    out = tmp_path / "out"
+    run_suite("tiny", out, directory=scratch_suites, quiet=True)
+    assert (out / "BENCH_tiny.json").exists()
+    (scratch_suites / "test_tiny.py").write_text(_FAILING_SUITE)
+    with pytest.raises(RuntimeError):
+        run_suite("tiny", out, directory=scratch_suites, quiet=True)
+    assert not (out / "BENCH_tiny.json").exists()   # no stale baseline

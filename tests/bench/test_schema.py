@@ -1,0 +1,93 @@
+"""Schema round-trip and validation for the bench record formats."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    SCHEMA_VERSION,
+    load_record,
+    validate_record,
+    validate_summary,
+)
+from repro.bench.recorder import BenchRecorder
+from repro.bench.runner import summarise
+from repro.bench.schema import dump_record, median
+
+
+def _recorded_suite(repeats=3):
+    recorder = BenchRecorder("demo", repeats=repeats)
+    recorder.run("tiny", lambda: sum(range(100)))
+    recorder.annotate("tiny", answer=4950)
+    return recorder.record()
+
+
+def test_recorder_record_is_schema_valid():
+    record = _recorded_suite()
+    assert validate_record(record) == []
+    assert record["schema"] == SCHEMA_VERSION
+    assert record["kind"] == "suite"
+    (case,) = record["cases"]
+    assert case["name"] == "tiny"
+    assert len(case["samples"]) == 3
+    assert case["wall_s"] == median(case["samples"])
+    assert case["extra"] == {"answer": 4950}
+
+
+def test_record_round_trips_through_disk(tmp_path):
+    record = _recorded_suite()
+    path = tmp_path / "BENCH_demo.json"
+    dump_record(record, path)
+    loaded = load_record(path)
+    assert loaded == json.loads(json.dumps(record))
+
+
+def test_summary_round_trips_through_disk(tmp_path):
+    summary = summarise({"demo": _recorded_suite()}, repeats=3, warmup=1)
+    assert validate_summary(summary) == []
+    path = tmp_path / "BENCH_summary.json"
+    dump_record(summary, path)
+    loaded = load_record(path)
+    assert loaded["kind"] == "summary"
+    assert loaded["suites"]["demo"]["cases"] == 1
+    assert loaded["suites"]["demo"]["record"] == "BENCH_demo.json"
+
+
+def test_validate_record_reports_every_problem():
+    record = _recorded_suite()
+    record["cases"][0].pop("wall_s")
+    record["cases"][0]["samples"] = []
+    record.pop("suite")
+    problems = validate_record(record)
+    assert any("wall_s" in p for p in problems)
+    assert any("empty samples" in p for p in problems)
+    assert any("suite" in p for p in problems)
+
+
+def test_validate_record_rejects_duplicate_case_names():
+    record = _recorded_suite()
+    record["cases"] = record["cases"] * 2
+    assert any("duplicate" in p for p in validate_record(record))
+
+
+def test_validate_record_rejects_foreign_schema_version():
+    record = _recorded_suite()
+    record["schema"] = SCHEMA_VERSION + 1
+    assert any("schema version" in p for p in validate_record(record))
+
+
+def test_load_record_raises_with_all_problems(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"kind": "suite", "cases": [{}]}))
+    with pytest.raises(ValueError) as excinfo:
+        load_record(path)
+    message = str(excinfo.value)
+    assert "missing field" in message
+    assert "repeats" in message
+
+
+def test_median_odd_even_and_empty():
+    assert median([3, 1, 2]) == 2
+    assert median([4, 1, 2, 3]) == 2.5
+    with pytest.raises(ValueError):
+        median([])

@@ -1,0 +1,46 @@
+"""Every migrated benchmark suite must produce a schema-valid record.
+
+The default run drives a fast subset (sub-second suites) end-to-end
+through the real runner; ``REPRO_BENCH_SMOKE=1`` widens it to every
+suite in ``benchmarks/`` (≈ 1-2 minutes, exercised by the CI
+``bench-smoke`` job via ``trued bench run`` instead).
+"""
+
+import os
+
+import pytest
+
+from repro.bench import discover_suites, load_record, run_suites
+
+FAST_SUITES = [
+    "fig1_floating_vs_transition",
+    "fig2_monotone_speedup",
+    "fig5_symbolic_formulas",
+]
+
+_FULL = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+
+def _suites():
+    return discover_suites() if _FULL else FAST_SUITES
+
+
+def test_fast_suites_exist_on_disk():
+    available = discover_suites()
+    for suite in FAST_SUITES:
+        assert suite in available
+
+
+@pytest.mark.parametrize("suite", _suites())
+def test_suite_produces_schema_valid_record(suite, tmp_path):
+    records = run_suites([suite], tmp_path, repeats=1, warmup=0, quiet=True)
+    # run_suites validates on load; re-load from disk to prove the file
+    # round-trips, then sanity-check the measured content.
+    record = load_record(tmp_path / f"BENCH_{suite}.json")
+    assert record == records[suite]
+    assert record["suite"] == suite
+    assert record["cases"], "suite recorded no cases"
+    for case in record["cases"]:
+        assert case["samples"], case["name"]
+    summary = load_record(tmp_path / "BENCH_summary.json")
+    assert summary["suites"][suite]["cases"] == len(record["cases"])

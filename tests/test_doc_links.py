@@ -1,0 +1,102 @@
+"""Every relative cross-link in the documentation set must resolve.
+
+Walks ``README.md`` and ``docs/*.md`` for inline markdown links,
+skipping fenced code blocks and external URLs.  File targets must exist;
+fragment targets (``FILE.md#anchor``) must match a heading in the target
+file under GitHub's anchor-slug rules.  This is the acceptance check
+that the documentation set cannot silently rot.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_FENCE = re.compile(r"^(```|~~~)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$")
+
+
+def _doc_files():
+    return [REPO_ROOT / "README.md"] + sorted(
+        (REPO_ROOT / "docs").glob("*.md")
+    )
+
+
+def _links(path):
+    """(lineno, target) for every inline link outside fenced code."""
+    links = []
+    in_fence = False
+    for lineno, line in enumerate(path.read_text().splitlines(), 1):
+        if _FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in _LINK.finditer(line):
+            links.append((lineno, match.group(1)))
+    return links
+
+
+def _github_slug(heading):
+    """GitHub's markdown anchor: lowercase, strip punctuation, spaces
+    become hyphens (inline code markers are dropped with the rest)."""
+    text = heading.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _anchors(path):
+    anchors = set()
+    in_fence = False
+    counts = {}
+    for line in path.read_text().splitlines():
+        if _FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING.match(line)
+        if not match:
+            continue
+        slug = _github_slug(match.group(1))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        anchors.add(slug if n == 0 else f"{slug}-{n}")
+    return anchors
+
+
+@pytest.mark.parametrize(
+    "doc", _doc_files(), ids=lambda p: str(p.relative_to(REPO_ROOT))
+)
+def test_all_relative_links_resolve(doc):
+    problems = []
+    for lineno, target in _links(doc):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        file_part, _, fragment = target.partition("#")
+        resolved = (
+            doc if not file_part else (doc.parent / file_part).resolve()
+        )
+        if not resolved.exists():
+            problems.append(f"{doc.name}:{lineno}: broken link {target!r}")
+            continue
+        if fragment and resolved.suffix == ".md":
+            if fragment not in _anchors(resolved):
+                problems.append(
+                    f"{doc.name}:{lineno}: no anchor #{fragment} "
+                    f"in {resolved.name}"
+                )
+    assert not problems, "\n".join(problems)
+
+
+def test_docs_index_lists_every_doc_file():
+    index = (REPO_ROOT / "docs" / "README.md").read_text()
+    for path in sorted((REPO_ROOT / "docs").glob("*.md")):
+        if path.name == "README.md":
+            continue
+        assert f"({path.name})" in index, (
+            f"docs/README.md does not link {path.name}"
+        )
