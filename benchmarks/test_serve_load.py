@@ -1,0 +1,97 @@
+"""Multi-client server load benchmark: latency, throughput, coalescing.
+
+Acceptance checks for the asyncio front-end (:mod:`repro.serve`):
+
+* N concurrent clients replaying identical scripts against one
+  in-process :class:`~repro.serve.server.TimingServer` finish with zero
+  errors and at least one cross-client coalesce hit (the scripts issue
+  identical queries, so in-flight dedup must trigger),
+* every session's response stream is byte-identical to every other's
+  once wall-clock and coalescing accounting are stripped — concurrency
+  must not perturb ids or records,
+* the durable record — p50/p95/p99 latency, queries/sec, coalesce and
+  busy counts — lands in ``benchmarks/results/BENCH_serve_load.json``
+  via the suite recorder.
+"""
+
+import json
+
+from repro.circuits import build_circuit
+from repro.network import dumps_bench
+from repro.serve import TimingServer, default_script, run_loadgen
+
+from .common import render_rows, write_result
+
+CLIENTS = 4
+QUERIES = 6
+
+
+def _strip_volatile(session):
+    """Drop wall-clock and coalescing accounting; keep ids + records."""
+    out = []
+    for response in session:
+        response = json.loads(json.dumps(response))
+        response.pop("elapsed_ms", None)
+        result = response.get("result")
+        if isinstance(result, dict):
+            result.pop("stats", None)
+        out.append(response)
+    return out
+
+
+def test_concurrent_clients_coalesce_with_identical_sessions(benchmark):
+    bench_text = dumps_bench(build_circuit("rand210"))
+    script = default_script(
+        bench_text, queries=QUERIES, kinds=["transition", "floating"]
+    )
+
+    with benchmark.measure("loadgen_4clients") as m:
+        report = run_loadgen(script, clients=CLIENTS, server=TimingServer())
+
+    assert report.clients == CLIENTS
+    assert report.errors == 0
+    assert report.requests == CLIENTS * (QUERIES + 1)
+    # Identical in-flight queries across >= 2 concurrent clients must
+    # dedup onto one computation at least once.
+    assert report.coalesce_hits > 0
+    # Concurrency must not leak between sessions: byte-identical
+    # response streams (ids, records) modulo timing/coalesce accounting.
+    reference = _strip_volatile(report.responses[0])
+    for session in report.responses[1:]:
+        assert _strip_volatile(session) == reference
+
+    benchmark.annotate(
+        "loadgen_4clients",
+        clients=report.clients,
+        requests=report.requests,
+        qps=report.qps,
+        p50_ms=report.p50_ms,
+        p95_ms=report.p95_ms,
+        p99_ms=report.p99_ms,
+        coalesce_hits=report.coalesce_hits,
+        coalesce_leaders=int(
+            report.server_stats.get("coalesce_leaders", 0)
+        ),
+        busy_rejections=int(
+            report.server_stats.get("busy_rejections", 0)
+        ),
+        busy_retries=report.busy_retries,
+    )
+    write_result(
+        "serve_load",
+        render_rows(
+            f"{CLIENTS} clients x {QUERIES + 1} requests, "
+            "210-gate generated circuit, in-process TCP server",
+            [[
+                report.clients,
+                report.requests,
+                f"{m.elapsed * 1000:.1f}",
+                f"{report.p50_ms:.2f}",
+                f"{report.p99_ms:.2f}",
+                f"{report.qps:.0f}",
+                report.coalesce_hits,
+            ]],
+            headers=["clients", "requests", "wall ms", "p50 ms",
+                     "p99 ms", "req/s", "coalesced"],
+        ),
+    )

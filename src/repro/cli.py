@@ -16,7 +16,12 @@ Commands
   waveforms for a viewer.
 * ``convert FILE``    — netlist format conversion (.bench/.blif/.v).
 * ``serve``           — long-lived incremental what-if query service
-  (JSON-lines over stdio or ``--socket PATH``; see ``docs/INCREMENTAL.md``).
+  (JSON-lines over stdio or ``--socket PATH``; ``--tcp HOST:PORT`` /
+  ``--async-socket PATH`` start the multi-client asyncio front-end with
+  admission control and request coalescing; see ``docs/INCREMENTAL.md``).
+* ``loadgen``         — concurrent client fleet against a timing server
+  (or a self-hosted in-process one): p50/p95/p99 latency, throughput,
+  busy-rejection and coalescing accounting.
 * ``bench``           — the performance observatory: ``bench run`` executes
   benchmark suites with warmup/repeat control, ``bench compare`` gates two
   result files with noise-aware thresholds (non-zero exit on regression),
@@ -315,7 +320,38 @@ def cmd_bench(args) -> int:
     raise ValueError(f"unknown bench command {args.bench_command!r}")
 
 
+def _parse_tcp(spec: str):
+    host, sep, port = spec.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ValueError(
+            f"--tcp expects HOST:PORT (e.g. 127.0.0.1:7440), got {spec!r}"
+        )
+    return host or "127.0.0.1", int(port)
+
+
 def cmd_serve(args) -> int:
+    if args.tcp or args.async_socket:
+        # The asyncio front-end: many concurrent sessions over one shared
+        # warm pool and delay cache, with admission control + coalescing.
+        from .serve import run_server
+
+        tcp = _parse_tcp(args.tcp) if args.tcp else None
+
+        def announce(address):
+            print(f"serving on {address}", file=sys.stderr, flush=True)
+
+        return run_server(
+            engine_name=args.engine,
+            jobs=args.jobs,
+            timeout=args.timeout,
+            tcp=tcp,
+            unix_path=args.async_socket,
+            max_pending=args.max_pending,
+            workers=args.workers,
+            preload=args.netlist,
+            announce=announce,
+        )
+
     from .incremental import QueryService, WarmPool, serve_stdio, serve_unix
 
     pool = None
@@ -329,6 +365,33 @@ def cmd_serve(args) -> int:
     if args.socket:
         return serve_unix(service, args.socket)
     return serve_stdio(service)
+
+
+def cmd_loadgen(args) -> int:
+    from .serve import default_script, run_loadgen
+
+    with open(args.netlist) as handle:
+        bench_text = handle.read()
+    script = default_script(
+        bench_text, queries=args.queries,
+        kinds=[k.strip() for k in args.kinds.split(",") if k.strip()],
+    )
+    tcp = _parse_tcp(args.tcp) if args.tcp else None
+    server = None
+    if tcp is None and not args.socket:
+        # No target given: self-host an in-process server for the run.
+        from .serve import TimingServer
+
+        server = TimingServer(
+            engine_name=args.engine, jobs=args.jobs, timeout=args.timeout,
+            max_pending=args.max_pending, workers=args.workers,
+        )
+    report = run_loadgen(
+        script, clients=args.clients, tcp=tcp, unix_path=args.socket,
+        server=server,
+    )
+    print(report.describe())
+    return 1 if report.errors else 0
 
 
 # ----------------------------------------------------------------------
@@ -467,7 +530,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--socket", default=None, metavar="PATH",
-        help="serve on a unix domain socket instead of stdio",
+        help="serve one session at a time on a unix domain socket "
+        "instead of stdio",
+    )
+    p.add_argument(
+        "--tcp", default=None, metavar="HOST:PORT",
+        help="serve many concurrent sessions over TCP (asyncio "
+        "front-end with admission control and request coalescing; "
+        "PORT 0 picks an ephemeral port, announced on stderr)",
+    )
+    p.add_argument(
+        "--async-socket", default=None, metavar="PATH",
+        help="like --tcp but on a unix domain socket (combinable "
+        "with --tcp to listen on both)",
     )
     p.add_argument(
         "--engine", choices=["auto", "bdd", "sat"], default="auto",
@@ -483,7 +558,69 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-request parallel-round timeout for the warm pool; "
         "timed-out work degrades to in-process serial execution",
     )
+    p.add_argument(
+        "--max-pending", type=int, default=64, metavar="N",
+        help="admission-queue bound for --tcp/--async-socket: requests "
+        "beyond N in flight get an immediate 'busy' response "
+        "(default: 64)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="request-execution threads for --tcp/--async-socket "
+        "(default: 1, which maximises coalescing opportunities)",
+    )
     p.set_defaults(func=cmd_serve)
+
+    # ``loadgen`` drives a client fleet against a running server (or a
+    # self-hosted in-process one) and prints latency percentiles.
+    p = sub.add_parser(
+        "loadgen",
+        help="concurrent client fleet for the timing server "
+        "(p50/p95/p99 latency, throughput, coalescing stats)",
+    )
+    p.add_argument("netlist", help="netlist every client loads (.bench)")
+    p.add_argument(
+        "--tcp", default=None, metavar="HOST:PORT",
+        help="target a running ``trued serve --tcp`` server",
+    )
+    p.add_argument(
+        "--socket", default=None, metavar="PATH",
+        help="target a running ``trued serve --async-socket`` server",
+    )
+    p.add_argument(
+        "--clients", type=int, default=4, metavar="N",
+        help="concurrent scripted sessions (default: 4)",
+    )
+    p.add_argument(
+        "--queries", type=int, default=8, metavar="N",
+        help="queries per client after the initial load (default: 8)",
+    )
+    p.add_argument(
+        "--kinds", default="transition", metavar="A,B,...",
+        help="query kinds cycled per client "
+        "(transition/floating/topological; default: transition)",
+    )
+    p.add_argument(
+        "--engine", choices=["auto", "bdd", "sat"], default="auto",
+        help="engine for the self-hosted server (no --tcp/--socket)",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="warm-pool jobs for the self-hosted server (default: 1)",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="warm-pool round timeout for the self-hosted server",
+    )
+    p.add_argument(
+        "--max-pending", type=int, default=64, metavar="N",
+        help="admission bound for the self-hosted server (default: 64)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="execution threads for the self-hosted server (default: 1)",
+    )
+    p.set_defaults(func=cmd_loadgen)
 
     # ``bench`` manages benchmark suites rather than analysing a netlist,
     # so it gets its own nested subparser tree.

@@ -17,13 +17,22 @@ results (design reference: ``docs/INCREMENTAL.md``):
 * :mod:`repro.incremental.pool` — a warm process pool reused across
   service requests;
 * :mod:`repro.incremental.service` — the ``repro serve`` JSON-lines
-  query service (stdio or unix socket).
+  query service (stdio or unix socket; the multi-client asyncio
+  front-end lives in :mod:`repro.serve` and runs one
+  :class:`~repro.incremental.service.QueryService` per connection).
 """
 
 from .cones import KINDS, ConeResult, evaluate_cone, extract_cone
 from .engine import IncrementalResult, IncrementalTimingEngine, cold_query
 from .pool import WarmPool
-from .service import QueryService, serve_stdio, serve_stream, serve_unix
+from .service import (
+    QueryService,
+    iter_request_lines,
+    prepare_unix_socket_path,
+    serve_stdio,
+    serve_stream,
+    serve_unix,
+)
 
 __all__ = [
     "KINDS",
@@ -35,6 +44,8 @@ __all__ = [
     "cold_query",
     "WarmPool",
     "QueryService",
+    "iter_request_lines",
+    "prepare_unix_socket_path",
     "serve_stdio",
     "serve_stream",
     "serve_unix",

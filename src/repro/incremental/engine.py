@@ -38,6 +38,15 @@ deterministic and byte-comparable: an incremental re-query equals a cold
 recomputation exactly (the acceptance test diffs the JSON).  Volatile
 accounting (dirty counts, reuse counts, '#check' totals) travels
 separately in the ``stats`` field.
+
+Observability here goes through the ``METRICS``/``TRACER`` context
+proxies (:mod:`repro.runtime.metrics` / :mod:`repro.runtime.tracing`):
+under the multi-client server (:mod:`repro.serve`) each session's engine
+runs inside its own :func:`~repro.runtime.metrics.metrics_scope` /
+:func:`~repro.runtime.tracing.tracer_scope`, so per-session counters and
+span trees never interleave even though every engine shares one process
+(and, optionally, one :class:`~repro.runtime.cache.DelayCache` and one
+:class:`~repro.incremental.pool.WarmPool`).
 """
 
 from __future__ import annotations

@@ -16,10 +16,20 @@ therefore never lost, only slower, exactly like the batch sharder's final
 degradation step.  Every degradation is counted
 (``warmpool.degraded_rounds`` / ``warmpool.restarts``) and surfaced by the
 service's ``stats`` op.
+
+The pool is shared by every session of the multi-client timing server
+(:mod:`repro.serve`), so :meth:`WarmPool.run` is serialised under a lock:
+one *round* runs at a time (parallelism lives inside the round, across
+its chunks), which keeps the kill/rebuild bookkeeping race-free and makes
+``jobs=N`` results independent of how many sessions share the pool.
+:meth:`WarmPool.drain` waits for the in-flight round — the reload path
+uses it so replacing a session's circuit can never race rounds still
+evaluating cones of the old one.
 """
 
 from __future__ import annotations
 
+import threading
 from concurrent.futures import (
     CancelledError,
     ProcessPoolExecutor,
@@ -52,9 +62,13 @@ class WarmPool:
         self.jobs = resolve_jobs(jobs)
         self.timeout = timeout
         self._pool: Optional[ProcessPoolExecutor] = None
+        #: Serialises rounds: the pool kill/rebuild dance and the
+        #: ``rounds``/``restarts`` accounting assume one round at a time.
+        self._lock = threading.RLock()
         self.rounds = 0
         self.restarts = 0
         self.degraded_rounds = 0
+        self.drains = 0
 
     # ------------------------------------------------------------------
     def _ensure_pool(self) -> ProcessPoolExecutor:
@@ -76,7 +90,20 @@ class WarmPool:
             # restarts, i.e. pool builds beyond the initial one.
             "restarts": max(0, self.restarts - 1),
             "degraded_rounds": self.degraded_rounds,
+            "drains": self.drains,
         }
+
+    def drain(self) -> None:
+        """Block until no round is in flight (a no-op on an idle pool).
+
+        The session-reload path calls this before detaching an engine so
+        warm workers can never still be chewing on cones of a circuit
+        the session no longer serves.  The worker processes themselves
+        stay warm — draining is about round completion, not teardown.
+        """
+        with self._lock:
+            self.drains += 1
+            METRICS.incr("warmpool.drains")
 
     # ------------------------------------------------------------------
     def run(self, worker, items: Sequence, make_payload, label="warm"):
@@ -85,7 +112,12 @@ class WarmPool:
         ``worker``/``make_payload`` follow the sharded-runner protocol
         (worker returns a ``(result, counters, gauges)`` triple).  Returns
         the list of per-chunk results; callers merge order-insensitively.
+        Rounds are serialised: concurrent callers queue on the pool lock.
         """
+        with self._lock:
+            return self._run_round(worker, items, make_payload, label)
+
+    def _run_round(self, worker, items: Sequence, make_payload, label):
         items = list(items)
         if not items:
             return []
@@ -192,9 +224,10 @@ class WarmPool:
         }
 
     def shutdown(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        with self._lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
 
     def __enter__(self) -> "WarmPool":
         return self

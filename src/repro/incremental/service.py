@@ -41,7 +41,7 @@ import signal
 import socket
 import sys
 import time
-from typing import Dict, Optional
+from typing import Dict, Iterator, Optional
 
 from ..core.transition import collect_certification_pairs
 from ..network.bench_io import load_bench, loads_bench
@@ -49,6 +49,7 @@ from ..network.blif_io import load_blif
 from ..network.circuit import Circuit
 from ..network.gates import GateType
 from ..network.verilog_io import load_verilog
+from ..runtime.cache import DelayCache
 from ..runtime.metrics import METRICS
 from ..runtime.tracing import TRACER
 from .cones import KINDS
@@ -82,12 +83,20 @@ class QueryService:
         engine_name: str = "auto",
         jobs: int = 1,
         pool: Optional[WarmPool] = None,
+        cache: Optional[DelayCache] = None,
     ):
         self.engine_name = engine_name
         self.jobs = jobs
         self.pool = pool
+        #: Cone-result cache handed to every engine this service builds.
+        #: ``None`` keeps the engine's private per-load default; the
+        #: multi-client server passes one shared content-addressed cache
+        #: so sessions analysing overlapping cones reuse each other's
+        #: results.
+        self.cache = cache
         self.engine: Optional[IncrementalTimingEngine] = None
         self._requests = 0
+        self._reloads = 0
         self._shutdown = False
 
     @property
@@ -104,10 +113,24 @@ class QueryService:
     # ------------------------------------------------------------------
     # Request handling
     # ------------------------------------------------------------------
-    def handle_line(self, line: str) -> Dict[str, object]:
-        """One request line in, one response object out (never raises)."""
+    def allocate_id(self) -> str:
+        """Allocate the next request id (a deterministic counter).
+
+        The async front-end allocates ids at line-arrival time — before a
+        request waits in the admission queue or coalesces onto another
+        session's in-flight computation — so a session's ids always
+        reflect its own request order, exactly as on a single-client
+        transport.
+        """
         self._requests += 1
-        trace_id = f"req-{self._requests:06d}"
+        return f"req-{self._requests:06d}"
+
+    def handle_line(
+        self, line: str, trace_id: Optional[str] = None
+    ) -> Dict[str, object]:
+        """One request line in, one response object out (never raises)."""
+        if trace_id is None:
+            trace_id = self.allocate_id()
         start = time.perf_counter()
         try:
             request = json.loads(line)
@@ -154,10 +177,22 @@ class QueryService:
             circuit = loads_bench(str(request["bench"]))
         else:
             raise ServiceError("load needs 'netlist' (path) or 'bench' (text)")
+        if self.engine is not None:
+            # Reloading replaces the engine while warm-pool rounds for the
+            # previous circuit could still be in flight (the async server
+            # shares one pool across sessions): drain the pool so no
+            # worker is left computing cones of the detached circuit, and
+            # drop the old engine's memo so its references die with it.
+            if self.pool is not None:
+                self.pool.drain()
+            self.engine.invalidate()
+            self._reloads += 1
+            METRICS.incr("service.reloads")
         self.engine = IncrementalTimingEngine(
             circuit,
             engine_name=self.engine_name,
             jobs=self.jobs,
+            cache=self.cache,
             pool=self.pool,
         )
         return {
@@ -240,6 +275,10 @@ class QueryService:
     def _op_stats(self, request):
         result: Dict[str, object] = {
             "requests": self._requests,
+            # Counted explicitly: a reload swaps in a fresh engine (and a
+            # fresh circuit revision), so without this the accounting
+            # would silently restart from zero mid-session.
+            "reloads": self._reloads,
             "jobs": self.jobs,
             "engine_name": self.engine_name,
             "counters": {
@@ -269,9 +308,31 @@ class QueryService:
 # ----------------------------------------------------------------------
 # Transports
 # ----------------------------------------------------------------------
+def iter_request_lines(reader) -> Iterator[str]:
+    """Yield request lines from ``reader``, including a final line that
+    arrives without a trailing newline at EOF.
+
+    ``readline()`` is used instead of raw chunked reads so an interactive
+    stdio session still gets a response per line; on stream close the
+    buffered partial line is returned by ``readline`` itself, so the last
+    request of a piped script that forgot its trailing ``\\n`` is
+    serviced rather than dropped.  Plain iterables (scripted tests hand
+    in line lists) pass through unchanged.
+    """
+    readline = getattr(reader, "readline", None)
+    if readline is None:
+        yield from reader
+        return
+    while True:
+        line = readline()
+        if line == "":
+            return
+        yield line
+
+
 def serve_stream(service: QueryService, reader, writer) -> None:
     """Drive the request loop over text streams (stdio or a socket file)."""
-    for line in reader:
+    for line in iter_request_lines(reader):
         if not line.strip():
             continue
         response = service.handle_line(line)
@@ -303,16 +364,66 @@ def serve_stdio(service: QueryService) -> int:
     return 0
 
 
+def prepare_unix_socket_path(path: str) -> None:
+    """Make ``path`` bindable, distinguishing stale from live sockets.
+
+    A server that crashed mid-request (SIGKILL, OOM) leaves its socket
+    file behind, and a plain ``bind`` on the next start fails with
+    ``EADDRINUSE`` — the unix-domain equivalent of missing
+    ``SO_REUSEADDR``.  Blindly unlinking is worse: it silently
+    disconnects a *live* server from its clients.  So: connect-probe
+    first.  If something accepts (or the connection is merely backlogged,
+    ``EAGAIN``), the address is genuinely in use and we refuse; if the
+    probe is refused or times out, the file is a corpse and is unlinked.
+    """
+    if not os.path.exists(path):
+        return
+    probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    probe.settimeout(0.25)
+    try:
+        probe.connect(path)
+    except (ConnectionRefusedError, socket.timeout, FileNotFoundError):
+        try:
+            os.unlink(path)
+        except FileNotFoundError:
+            pass
+    except OSError as error:
+        raise ServiceError(
+            f"socket {path!r} looks live but is not connectable "
+            f"({error}); remove it manually if it is stale"
+        )
+    else:
+        raise ServiceError(
+            f"socket {path!r} already has a listening server; "
+            "refusing to unlink it"
+        )
+    finally:
+        probe.close()
+
+
 def serve_unix(service: QueryService, path: str) -> int:
     """Accept connections on a unix socket, one session at a time.
 
     Sequential sessions share the service state (loaded circuit, warm
     pool, memoised cones), so a reconnecting client resumes where it
-    left off.
+    left off.  The socket file is unlinked on *every* exit path —
+    graceful shutdown, a crash escaping the request loop, or interpreter
+    teardown (``atexit``) — and a stale file from a hard-killed
+    predecessor is probe-detected and removed before binding.
     """
+    import atexit
+
     _install_signal_handlers(service)
-    if os.path.exists(path):
-        os.unlink(path)
+    prepare_unix_socket_path(path)
+
+    def _unlink_socket() -> None:
+        if os.path.exists(path):
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+    atexit.register(_unlink_socket)
     server = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
     try:
         server.bind(path)
@@ -328,8 +439,8 @@ def serve_unix(service: QueryService, path: str) -> int:
                 serve_stream(service, reader, writer)
     finally:
         server.close()
-        if os.path.exists(path):
-            os.unlink(path)
+        _unlink_socket()
+        atexit.unregister(_unlink_socket)
         if service.pool is not None:
             service.pool.shutdown()
     return 0

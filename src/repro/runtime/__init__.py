@@ -36,7 +36,7 @@ from .fingerprint import (
     node_cone_fingerprints,
     params_token,
 )
-from .metrics import METRICS, Metrics
+from .metrics import GLOBAL_METRICS, METRICS, Metrics, current_metrics, metrics_scope
 from .parallel import (
     execution_policy,
     resolve_jobs,
@@ -46,7 +46,7 @@ from .parallel import (
     shard_fault_tests,
     shard_monte_carlo,
 )
-from .tracing import TRACER, Span, Tracer
+from .tracing import GLOBAL_TRACER, TRACER, Span, Tracer, current_tracer, tracer_scope
 
 __all__ = [
     "CACHE_SCHEMA",
@@ -63,11 +63,17 @@ __all__ = [
     "cone_fingerprint",
     "node_cone_fingerprints",
     "params_token",
+    "GLOBAL_METRICS",
     "METRICS",
     "Metrics",
+    "current_metrics",
+    "metrics_scope",
+    "GLOBAL_TRACER",
     "TRACER",
     "Span",
     "Tracer",
+    "current_tracer",
+    "tracer_scope",
     "execution_policy",
     "resolve_jobs",
     "set_execution_policy",

@@ -1,11 +1,19 @@
 """Lightweight runtime counters and phase timers.
 
-A single process-global :data:`METRICS` instance is threaded through the
+A single :data:`METRICS` instance is threaded through the
 delay cores, the cache, the sharder, the trace replayer, the CLI, and the
 benchmark harness.  Everything is plain dict arithmetic — cheap enough to
 stay enabled unconditionally.
 
-The global instance additionally mirrors every counter, gauge, and phase
+:data:`METRICS` is *context-scoped* (mirroring :data:`TRACER`): a proxy
+resolving, per call, to the :class:`Metrics` installed in the current
+:mod:`contextvars` context — by default the process-global
+:data:`GLOBAL_METRICS`, so CLI commands, tests, and worker processes see
+singleton semantics.  The multi-client timing server installs one
+instance per session with :func:`metrics_scope`, so concurrent sessions
+never interleave counter deltas.
+
+The default instance additionally mirrors every counter, gauge, and phase
 onto the current span of :data:`~repro.runtime.tracing.TRACER`, which is
 where the *hierarchical* view (nested phases, worker attribution,
 retry/degradation events) lives; this module keeps the cheap flat
@@ -16,6 +24,7 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager, nullcontext
+from contextvars import ContextVar
 from typing import Dict, Iterator, Optional
 
 from .tracing import TRACER
@@ -118,7 +127,63 @@ class Metrics:
         return "\n".join(lines)
 
 
-METRICS = Metrics(mirror_to_trace=True)
+#: The default (process-global) metrics instance.
+GLOBAL_METRICS = Metrics(mirror_to_trace=True)
+
+#: The metrics of the *current execution context*; everything outside an
+#: explicit :func:`metrics_scope` resolves to :data:`GLOBAL_METRICS`.
+_METRICS_VAR: ContextVar[Metrics] = ContextVar(
+    "repro_metrics", default=GLOBAL_METRICS
+)
+
+
+def current_metrics() -> Metrics:
+    """The :class:`Metrics` instance the proxy resolves to right now."""
+    return _METRICS_VAR.get()
+
+
+@contextmanager
+def metrics_scope(metrics: Optional[Metrics] = None) -> Iterator[Metrics]:
+    """Install ``metrics`` (default: a fresh mirroring instance) as
+    :data:`METRICS` for the duration of the block, in this context only.
+
+    Scopes nest; concurrent asyncio tasks or threads that each enter
+    their own scope accumulate into disjoint instances.  Session-scoped
+    instances mirror onto whatever :data:`~repro.runtime.tracing.TRACER`
+    resolves to, so pair this with
+    :func:`~repro.runtime.tracing.tracer_scope` for fully isolated
+    observability (the timing server does exactly that per session).
+    """
+    metrics = (
+        metrics if metrics is not None else Metrics(mirror_to_trace=True)
+    )
+    token = _METRICS_VAR.set(metrics)
+    try:
+        yield metrics
+    finally:
+        _METRICS_VAR.reset(token)
+
+
+class _MetricsProxy:
+    """Context-resolving face of the metrics singleton.
+
+    Attribute access — ``METRICS.incr``, ``METRICS.snapshot``,
+    ``METRICS.reset`` — forwards to :func:`current_metrics`, so every
+    existing call site transparently records into the session's instance
+    when one is scoped, and into :data:`GLOBAL_METRICS` otherwise.
+    """
+
+    __slots__ = ()
+
+    def __getattr__(self, name: str):
+        return getattr(_METRICS_VAR.get(), name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<METRICS proxy -> {_METRICS_VAR.get()!r}>"
+
+
+#: Context-scoped metrics proxy (see module docstring).
+METRICS = _MetricsProxy()
 
 
 def engine_peak_nodes(engine) -> Optional[int]:

@@ -4,9 +4,17 @@ The flat phase map in :mod:`repro.runtime.metrics` answers "how much total
 time went into phase X"; spans answer "what happened inside this run, in
 what order, and under which parent" — nested phases, per-chunk worker
 attribution, and the retry/degradation events of the fault-tolerant
-sharder.  The process-global :data:`~repro.runtime.metrics.METRICS`
+sharder.  The :data:`~repro.runtime.metrics.METRICS`
 instance mirrors its counters, gauges, and phase timers onto the current
 span of :data:`TRACER`, so instrumented code needs no second set of hooks.
+
+:data:`TRACER` is *context-scoped*: it is a proxy that resolves, per
+call, to the :class:`Tracer` installed in the current
+:mod:`contextvars` context — by default the process-global instance, so
+CLI commands and tests behave exactly as a true singleton would.  The
+multi-client timing server (:mod:`repro.serve`) installs one tracer per
+session with :func:`tracer_scope`, so concurrent sessions never
+interleave spans into each other's trees.
 
 The tree is exported as JSON by the CLI ``--trace FILE`` flag and rendered
 as an indented text tree by ``--metrics`` (schema in ``docs/RUNTIME.md``).
@@ -17,6 +25,7 @@ from __future__ import annotations
 import json
 import time
 from contextlib import contextmanager
+from contextvars import ContextVar
 from typing import Dict, Iterator, List, Optional
 
 
@@ -175,6 +184,62 @@ class Tracer:
         return "\n".join(lines)
 
 
-#: Process-global tracer; the CLI resets it per invocation and exports it
-#: via ``--trace``.  Worker processes have their own (discarded) instance.
-TRACER = Tracer()
+#: The default (process-global) tracer; the CLI resets it per invocation
+#: and exports it via ``--trace``.  Worker processes have their own
+#: (discarded) instance.
+GLOBAL_TRACER = Tracer()
+
+#: The tracer of the *current execution context*.  Everything outside an
+#: explicit :func:`tracer_scope` — the CLI, tests, worker processes —
+#: resolves to :data:`GLOBAL_TRACER`.
+_TRACER_VAR: ContextVar[Tracer] = ContextVar(
+    "repro_tracer", default=GLOBAL_TRACER
+)
+
+
+def current_tracer() -> Tracer:
+    """The :class:`Tracer` instance the proxy resolves to right now."""
+    return _TRACER_VAR.get()
+
+
+@contextmanager
+def tracer_scope(tracer: Optional[Tracer] = None) -> Iterator[Tracer]:
+    """Install ``tracer`` (default: a fresh one) as :data:`TRACER` for the
+    duration of the block, in this context only.
+
+    Scopes nest, and — because the backing store is a
+    :class:`~contextvars.ContextVar` — concurrent asyncio tasks or
+    threads that each enter their own scope record into disjoint trees.
+    A thread that should *inherit* a scope must either call this again
+    with the same instance or run inside a copied context
+    (:func:`contextvars.copy_context`), which is what the timing
+    server's compute executor does.
+    """
+    tracer = tracer if tracer is not None else Tracer()
+    token = _TRACER_VAR.set(tracer)
+    try:
+        yield tracer
+    finally:
+        _TRACER_VAR.reset(token)
+
+
+class _TracerProxy:
+    """Context-resolving face of the tracer singleton.
+
+    Every attribute access — ``TRACER.span``, ``TRACER.incr``,
+    ``TRACER.reset`` — is forwarded to :func:`current_tracer`, so code
+    written against the old process-global keeps working unchanged while
+    server sessions transparently get per-session trees.
+    """
+
+    __slots__ = ()
+
+    def __getattr__(self, name: str):
+        return getattr(_TRACER_VAR.get(), name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<TRACER proxy -> {_TRACER_VAR.get()!r}>"
+
+
+#: Context-scoped tracer proxy (see module docstring).
+TRACER = _TracerProxy()

@@ -1,0 +1,35 @@
+"""The multi-client async timing server (``trued serve --tcp``).
+
+:mod:`repro.incremental.service` answers one client at a time over stdio
+or a unix socket.  This package puts an asyncio front-end on the same
+JSON-lines protocol so *many* concurrent sessions multiplex over one
+process — and over one shared :class:`~repro.incremental.pool.WarmPool`
+and one shared content-addressed
+:class:`~repro.runtime.cache.DelayCache`:
+
+* :mod:`repro.serve.server` — :class:`TimingServer`: per-session circuit
+  namespaces (each connection owns a
+  :class:`~repro.incremental.service.QueryService` with its own
+  :class:`~repro.incremental.engine.IncrementalTimingEngine`), a bounded
+  admission queue with explicit ``busy`` backpressure, cross-client
+  request coalescing keyed on circuit content fingerprints, and
+  session-scoped metrics/tracing contexts
+  (:func:`~repro.runtime.metrics.metrics_scope` /
+  :func:`~repro.runtime.tracing.tracer_scope`);
+* :mod:`repro.serve.loadgen` — the ``trued loadgen`` client fleet:
+  N concurrent scripted sessions with p50/p95/p99 latency, throughput,
+  and coalescing accounting (the ``serve_load`` benchmark suite records
+  it through the bench observatory).
+"""
+
+from .loadgen import LoadReport, default_script, run_loadgen
+from .server import ServerStats, TimingServer, run_server
+
+__all__ = [
+    "LoadReport",
+    "default_script",
+    "run_loadgen",
+    "ServerStats",
+    "TimingServer",
+    "run_server",
+]

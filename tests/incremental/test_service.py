@@ -9,7 +9,16 @@ import sys
 import threading
 from pathlib import Path
 
-from repro.incremental import QueryService, WarmPool, serve_stream, serve_unix
+import pytest
+
+from repro.incremental import (
+    QueryService,
+    WarmPool,
+    prepare_unix_socket_path,
+    serve_stream,
+    serve_unix,
+)
+from repro.incremental.service import ServiceError
 from repro.runtime import METRICS
 
 from tests.helpers import C17_BENCH
@@ -134,6 +143,100 @@ def test_degraded_warm_pool_round_preserves_records():
         .splitlines()
     ]
     assert degraded == golden
+
+
+def test_final_line_without_trailing_newline_is_serviced():
+    """Regression: a stream ending without '\\n' on the last request
+    used to drop it; readline-based framing services it at EOF."""
+    service = QueryService()
+    reader = io.StringIO(
+        json.dumps({"op": "load", "bench": C17_BENCH})
+        + "\n"
+        + json.dumps({"op": "query", "kind": "transition"})  # no newline
+    )
+    writer = io.StringIO()
+    serve_stream(service, reader, writer)
+    responses = [json.loads(line) for line in writer.getvalue().splitlines()]
+    assert len(responses) == 2
+    assert responses[1]["ok"]
+    assert responses[1]["result"]["record"]["delay"] == 3
+
+
+def test_final_line_without_trailing_newline_over_subprocess_cli():
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+    payload = (
+        json.dumps({"op": "load", "bench": C17_BENCH})
+        + "\n"
+        + json.dumps({"op": "query", "kind": "transition"})  # no newline
+    )
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro", "serve"],
+        input=payload,
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=str(REPO_ROOT),
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    responses = [
+        json.loads(line) for line in completed.stdout.splitlines()
+    ]
+    assert len(responses) == 2
+    assert responses[1]["result"]["record"]["delay"] == 3
+
+
+def test_reload_drains_pool_and_counts():
+    """Regression: 'load' on an already-loaded session replaces the
+    engine without draining warm-pool state; now it drains the pool,
+    invalidates the engine, and 'stats' reports the reload."""
+    with WarmPool(jobs=2, timeout=60) as pool:
+        service = QueryService(jobs=2, pool=pool)
+        responses = []
+        reader = iter(
+            [
+                json.dumps({"op": "load", "bench": C17_BENCH}),
+                json.dumps({"op": "query", "kind": "transition"}),
+                json.dumps({"op": "load", "bench": C17_BENCH}),
+                json.dumps({"op": "query", "kind": "transition"}),
+                json.dumps({"op": "stats"}),
+            ]
+        )
+        writer = io.StringIO()
+        serve_stream(service, reader, writer)
+        responses = [
+            json.loads(line) for line in writer.getvalue().splitlines()
+        ]
+        assert all(r["ok"] for r in responses)
+        assert responses[3]["result"]["record"] == (
+            responses[1]["result"]["record"]
+        )
+        assert responses[4]["result"]["reloads"] == 1
+        assert pool.stats()["drains"] == 1
+
+
+def test_stale_socket_file_is_probed_and_removed(tmp_path):
+    path = str(tmp_path / "stale.sock")
+    stale = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    stale.bind(path)
+    stale.close()  # no unlink: simulates a hard-killed server
+    assert os.path.exists(path)
+    prepare_unix_socket_path(path)
+    assert not os.path.exists(path)
+
+
+def test_live_socket_is_not_stolen(tmp_path):
+    path = str(tmp_path / "live.sock")
+    listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    listener.bind(path)
+    listener.listen(1)
+    try:
+        with pytest.raises(ServiceError, match="listening"):
+            prepare_unix_socket_path(path)
+        assert os.path.exists(path)  # the live server keeps its socket
+    finally:
+        listener.close()
+        os.unlink(path)
 
 
 def test_unix_socket_transport(tmp_path):

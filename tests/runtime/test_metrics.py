@@ -73,3 +73,42 @@ def test_merge_gauges_keeps_the_max_across_workers():
     m.merge_gauges({"boolfn.peak_nodes": 12})
     assert m.gauge("boolfn.peak_nodes") == 56
     assert m.gauge("other.peak") == 3
+
+
+def test_metrics_scope_isolates_counters_from_the_global_instance():
+    from repro.runtime import GLOBAL_METRICS, METRICS, metrics_scope
+
+    before = GLOBAL_METRICS.counter("scope.probe")
+    with metrics_scope() as session:
+        METRICS.incr("scope.probe", 3)
+        assert METRICS.counter("scope.probe") == 3
+        assert session.counter("scope.probe") == 3
+    # Outside the scope the proxy resolves to the global again.
+    assert GLOBAL_METRICS.counter("scope.probe") == before
+    assert session.counter("scope.probe") == 3
+
+
+def test_metrics_scope_crosses_threads_only_when_entered_inside():
+    """Contextvars do not propagate into executor threads on their own —
+    the server enters the scope *inside* the worker thread; this pins
+    the behaviour that makes that wrapping necessary."""
+    import threading
+
+    from repro.runtime import METRICS, Metrics, current_metrics, metrics_scope
+
+    session = Metrics()
+    seen = {}
+
+    def worker():
+        # Fresh thread => fresh context => the global instance.
+        seen["before"] = current_metrics() is session
+        with metrics_scope(session):
+            METRICS.incr("thread.probe")
+            seen["inside"] = current_metrics() is session
+
+    with metrics_scope(session):
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+    assert seen == {"before": False, "inside": True}
+    assert session.counter("thread.probe") == 1

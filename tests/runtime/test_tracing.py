@@ -126,3 +126,26 @@ def test_private_metrics_instances_do_not_touch_the_tracer():
         private.incr("quiet.counter")
     assert TRACER.root.children == []
     assert TRACER.root.counters == {}
+
+
+def test_tracer_scope_isolates_spans_from_the_global_instance():
+    from repro.runtime import tracer_scope
+
+    TRACER.reset()
+    with tracer_scope() as session:
+        with TRACER.span("session-only"):
+            TRACER.event("inside")
+        assert session.root.children[0].name == "session-only"
+    # The global tracer never saw the scoped session's spans.
+    assert TRACER.root.children == []
+
+
+def test_tracer_scope_accepts_an_explicit_instance():
+    from repro.runtime import tracer_scope
+
+    mine = Tracer()
+    with tracer_scope(mine) as active:
+        assert active is mine
+        with TRACER.span("routed"):
+            pass
+    assert mine.root.children[0].name == "routed"
