@@ -1,0 +1,168 @@
+"""Vectorized Boolean kernel benchmark: batch settle vs the scalar loop.
+
+Acceptance checks for the bit-parallel word-level kernel:
+
+* batch witness validation (all certification-style vectors settled in
+  one kernel pass) is byte-identical to the scalar ``settle`` loop and at
+  least 3x faster on a medium ISCAS stand-in,
+* the Monte Carlo settled-state hoist (one batch pass replacing the
+  per-sample scalar settles) is byte-identical — sample for sample — to
+  the pre-kernel reference loop, and the settle phase itself speeds up by
+  well over 3x,
+* the durable record goes to ``benchmarks/results/boolkernel*.txt`` and
+  the canonical bench record to ``BENCH_boolkernel.json`` via the suite
+  recorder (gated by CI's bench-smoke job).
+"""
+
+import random
+
+from repro.circuits import build_circuit
+from repro.core import sample_delay_once, settle_pair_initials, uniform_variation
+from repro.core.statistical import _nominal_delays
+from repro.core.vectors import VectorPair
+from repro.runtime.parallel import sample_seed
+from repro.sim import batch_settle, batch_settle_outputs, settle
+
+from .common import render_rows, write_metrics, write_result
+
+
+def random_vectors(circuit, count, seed=2718):
+    rng = random.Random(seed)
+    return [
+        {name: bool(rng.getrandbits(1)) for name in circuit.inputs}
+        for __ in range(count)
+    ]
+
+
+def random_pairs(circuit, count, seed=577):
+    vectors = random_vectors(circuit, 2 * count, seed=seed)
+    return [
+        VectorPair(vectors[2 * i], vectors[2 * i + 1]) for i in range(count)
+    ]
+
+
+def test_batch_witness_validation_throughput(benchmark):
+    circuit = build_circuit("c880")
+    vectors = random_vectors(circuit, 1024)
+
+    with benchmark.measure("settle_scalar", circuit=circuit) as scalar:
+        scalar_states = [settle(circuit, vector) for vector in vectors]
+    with benchmark.measure("settle_batch", circuit=circuit) as batch:
+        batch_states = batch_settle(circuit, vectors)
+    with benchmark.measure("settle_batch_outputs", circuit=circuit) as outs:
+        batch_outputs = batch_settle_outputs(circuit, vectors)
+
+    # Byte identity: every lane of the kernel equals the scalar evaluator.
+    assert batch_states == scalar_states
+    assert batch_outputs == [
+        {name: state[name] for name in circuit.outputs}
+        for state in scalar_states
+    ]
+
+    full_speedup = scalar.elapsed / max(batch.elapsed, 1e-9)
+    outputs_speedup = scalar.elapsed / max(outs.elapsed, 1e-9)
+    benchmark.annotate(
+        "settle_batch",
+        vectors=len(vectors),
+        speedup_vs_scalar=round(full_speedup, 2),
+    )
+    benchmark.annotate(
+        "settle_batch_outputs",
+        vectors=len(vectors),
+        speedup_vs_scalar=round(outputs_speedup, 2),
+    )
+    # One kernel pass replaces 1024 circuit traversals; anything below 3x
+    # means the kernel is broken (typical is far higher).
+    assert full_speedup >= 3
+    assert outputs_speedup >= 3
+
+    rows = [
+        ["scalar loop", f"{scalar.elapsed*1000:.1f}", "1.0"],
+        ["batch (all nodes)", f"{batch.elapsed*1000:.1f}",
+         f"{full_speedup:.1f}"],
+        ["batch (outputs)", f"{outs.elapsed*1000:.1f}",
+         f"{outputs_speedup:.1f}"],
+    ]
+    write_result(
+        "boolkernel",
+        render_rows(
+            "witness validation, 1024 vectors on c880 stand-in",
+            rows,
+            headers=["run", "ms", "speedup"],
+        ),
+    )
+    write_metrics("boolkernel")
+
+
+def test_monte_carlo_settle_hoist(benchmark):
+    circuit = build_circuit("csa16")
+    pairs = random_pairs(circuit, 64)
+    num_samples = 8
+    seed = 13
+    model = uniform_variation(1)
+    nominal = _nominal_delays(circuit)
+
+    # The settle phase alone: the reference pays samples x pairs scalar
+    # settles; the hoist pays one batch pass shared by every sample.
+    with benchmark.measure("mc_settle_scalar", circuit=circuit) as scalar:
+        for __ in range(num_samples):
+            reference_initials = [
+                settle(circuit, pair.v_prev) for pair in pairs
+            ]
+    with benchmark.measure("mc_settle_batch", circuit=circuit) as batch:
+        initials = settle_pair_initials(circuit, pairs)
+    assert initials == reference_initials
+    settle_speedup = scalar.elapsed / max(batch.elapsed, 1e-9)
+    benchmark.annotate(
+        "mc_settle_batch",
+        pairs=len(pairs),
+        samples=num_samples,
+        speedup_vs_scalar=round(settle_speedup, 2),
+    )
+    assert settle_speedup >= 3
+
+    # End to end: the hoisted sampler must reproduce the reference samples
+    # (per-sample scalar settles, the pre-kernel behaviour) bit for bit.
+    with benchmark.measure("mc_end_to_end_scalar", circuit=circuit) as ref:
+        reference_samples = [
+            sample_delay_once(
+                circuit, pairs, model,
+                random.Random(sample_seed(seed, index)), nominal,
+                initials=[settle(circuit, pair.v_prev) for pair in pairs],
+            )
+            for index in range(num_samples)
+        ]
+    with benchmark.measure("mc_end_to_end_batch", circuit=circuit) as run:
+        samples = [
+            sample_delay_once(
+                circuit, pairs, model,
+                random.Random(sample_seed(seed, index)), nominal,
+                initials=initials,
+            )
+            for index in range(num_samples)
+        ]
+    assert samples == reference_samples
+    end_to_end_speedup = ref.elapsed / max(run.elapsed, 1e-9)
+    benchmark.annotate(
+        "mc_end_to_end_batch",
+        pairs=len(pairs),
+        samples=num_samples,
+        speedup_vs_scalar=round(end_to_end_speedup, 2),
+    )
+
+    rows = [
+        ["settle, scalar x samples", f"{scalar.elapsed*1000:.1f}", "1.0"],
+        ["settle, one batch", f"{batch.elapsed*1000:.1f}",
+         f"{settle_speedup:.1f}"],
+        ["end-to-end, scalar settles", f"{ref.elapsed*1000:.1f}", "1.0"],
+        ["end-to-end, hoisted batch", f"{run.elapsed*1000:.1f}",
+         f"{end_to_end_speedup:.1f}"],
+    ]
+    write_result(
+        "boolkernel_monte_carlo",
+        render_rows(
+            "Monte Carlo replay, 64 pairs x 8 samples on csa16",
+            rows,
+            headers=["run", "ms", "speedup"],
+        ),
+    )

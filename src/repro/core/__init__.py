@@ -37,6 +37,7 @@ from .delay_fault import (
     PathFaultTest,
     TestStrength,
     validate_test_by_fault_injection,
+    validate_tests_by_fault_injection,
 )
 from .clocking import (
     ClockValidation,
@@ -53,6 +54,7 @@ from .statistical import (
     monte_carlo_topological,
     resolve_delay_model,
     sample_delay_once,
+    settle_pair_initials,
     speedup_only_variation,
     uniform_variation,
 )
@@ -80,6 +82,7 @@ from .transition import (
     extend_floating_witness,
     pairs_for_outputs,
     query_delay_at_least,
+    validate_certification_pairs,
 )
 from .vectors import (
     CUR_SUFFIX,
@@ -87,6 +90,7 @@ from .vectors import (
     AttributionError,
     DelayCertificate,
     VectorPair,
+    batch_pair_states,
     canonical_input_order,
     cur_var,
     format_vector,
@@ -102,6 +106,7 @@ __all__ = [
     "pairs_for_outputs",
     "extend_floating_witness",
     "query_delay_at_least",
+    "validate_certification_pairs",
     "LowerBoundResult",
     "transition_delay_lower_bound",
     "EventChain",
@@ -123,6 +128,7 @@ __all__ = [
     "FaultCoverage",
     "TestStrength",
     "validate_test_by_fault_injection",
+    "validate_tests_by_fault_injection",
     "theorem31_min_period",
     "is_certified_period",
     "validate_period_by_simulation",
@@ -133,6 +139,7 @@ __all__ = [
     "monte_carlo_topological",
     "resolve_delay_model",
     "sample_delay_once",
+    "settle_pair_initials",
     "uniform_variation",
     "speedup_only_variation",
     "DiscreteDistribution",
@@ -141,6 +148,7 @@ __all__ = [
     "uniform_delay_model",
     "fixed_delay_model",
     "AttributionError",
+    "batch_pair_states",
     "canonical_input_order",
     "DelayCertificate",
     "VectorPair",

@@ -116,27 +116,53 @@ def _nominal_delays(circuit: Circuit) -> Dict[str, int]:
     }
 
 
+def settle_pair_initials(
+    circuit: Circuit, pairs: Sequence[VectorPair]
+) -> List[Dict[str, bool]]:
+    """Settled ``v_-1`` state of every pair, one word-kernel pass.
+
+    Settled values do not depend on gate delays, so one batch serves the
+    replay of *every* Monte Carlo sample — the per-sample scalar settles
+    the serial loop used to pay are hoisted out entirely.  Shared by the
+    serial path and the workers of :mod:`repro.runtime.parallel`.
+    """
+    from ..sim.wordsim import batch_settle
+
+    return batch_settle(circuit, [pair.v_prev for pair in pairs])
+
+
 def sample_delay_once(
     circuit: Circuit,
     pairs: Sequence[VectorPair],
     delay_model: DelayModel,
     rng: random.Random,
     nominal: Optional[Dict[str, int]] = None,
+    initials: Optional[Sequence[Dict[str, bool]]] = None,
 ) -> int:
     """One Monte Carlo trial: draw every gate's delay from ``delay_model``
     (in node order, one draw per gate) and replay all pairs, returning the
     worst observed delay.  Shared by the serial loop and the workers of
-    :mod:`repro.runtime.parallel`."""
+    :mod:`repro.runtime.parallel`.
+
+    ``initials`` optionally carries the pairs' settled ``v_-1`` states
+    (see :func:`settle_pair_initials`); absent, they are computed here —
+    either way the samples are bit-identical to a scalar-settle replay.
+    """
     if nominal is None:
         nominal = _nominal_delays(circuit)
+    if initials is None:
+        initials = settle_pair_initials(circuit, pairs)
     sample_circuit = circuit.copy()
     for name, nom in nominal.items():
         sample_circuit.set_delay(name, delay_model(rng, nom))
     simulator = EventSimulator(sample_circuit)
     worst = 0
-    for pair in pairs:
+    for pair, initial in zip(pairs, initials):
         worst = max(
-            worst, simulator.measure_pair_delay(pair.v_prev, pair.v_next)
+            worst,
+            simulator.measure_pair_delay(
+                pair.v_prev, pair.v_next, initial=initial
+            ),
         )
     return worst
 
@@ -166,6 +192,12 @@ def monte_carlo_delay(
     do); custom closures fall back to the serial loop, which draws the
     very same samples.  ``timeout``/``retries`` tune the sharded runner's
     fault tolerance (see :mod:`repro.runtime.parallel`).
+
+    Replays are seeded from one bit-parallel settle of all pairs'
+    ``v_-1`` states (:func:`settle_pair_initials`): settled values are
+    delay-independent, so serial runs and every worker compute them once
+    instead of once per sample — the samples themselves are unchanged
+    (the rng draws only gate delays, never settle results).
     """
     if not pairs:
         raise ValueError("need at least one certification vector pair")
@@ -183,10 +215,12 @@ def monte_carlo_delay(
     from ..runtime.parallel import sample_seed
 
     nominal = _nominal_delays(circuit)
+    initials = settle_pair_initials(circuit, pairs)
     samples = [
         sample_delay_once(
             circuit, pairs, delay_model,
             random.Random(sample_seed(seed, index)), nominal,
+            initials=initials,
         )
         for index in range(num_samples)
     ]

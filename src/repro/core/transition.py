@@ -35,6 +35,7 @@ from .vectors import (
     AttributionError,
     DelayCertificate,
     VectorPair,
+    batch_pair_states,
     canonical_input_order,
     cur_var,
     prev_var,
@@ -460,6 +461,55 @@ def pairs_for_outputs(
                 )
                 break
     return result
+
+
+def validate_certification_pairs(
+    circuit: Circuit,
+    pairs: Dict[str, Tuple[int, VectorPair]],
+    strict: bool = True,
+) -> Dict[str, int]:
+    """Dynamically validate per-output certification pairs in one batch.
+
+    All ``v_-1`` settled states are computed in a single pass of the
+    word-level kernel (cross-checked lane-vs-scalar) and fed into the
+    event-driven replay of each pair.  For every output the observed last
+    event at that output must land exactly at the predicted time — the
+    witness really excites the claimed critical event.  Returns
+    ``{output: observed last-event time}``; with ``strict`` a mismatch
+    (or a pair exciting no event at its output) raises
+    :class:`~repro.core.vectors.AttributionError`.
+    """
+    if not pairs:
+        return {}
+    from ..sim.event_sim import EventSimulator
+
+    entries = list(pairs.items())
+    initials, __ = batch_pair_states(
+        circuit, [pair for __, (__, pair) in entries], check=True
+    )
+    simulator = EventSimulator(circuit)
+    observed: Dict[str, int] = {}
+    with METRICS.phase("core.validate_pairs"):
+        for (out, (predicted, pair)), initial in zip(entries, initials):
+            replay = simulator.simulate_transition(
+                pair.v_prev, pair.v_next, initial=initial
+            )
+            at_output = replay.waveforms[out].last_event_time
+            if at_output is None:
+                if strict:
+                    raise AttributionError(
+                        f"certification pair for output {out!r} of "
+                        f"{circuit.name!r} excites no event at that output"
+                    )
+                at_output = 0
+            elif strict and at_output != predicted:
+                raise AttributionError(
+                    f"certification pair for output {out!r} of "
+                    f"{circuit.name!r} replays its last event at "
+                    f"t={at_output}, computed t={predicted}"
+                )
+            observed[out] = at_output
+    return observed
 
 
 def collect_certification_pairs(

@@ -15,8 +15,8 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 from .gates import (
     GateType,
     SOURCE_GATES,
-    UNARY_GATES,
     evaluate_gate,
+    validate_arity,
 )
 
 
@@ -49,17 +49,9 @@ class Node:
 
     def __post_init__(self):
         self.fanins = tuple(self.fanins)
-        if self.gate_type in SOURCE_GATES:
-            if self.fanins:
-                raise ValueError(f"{self.gate_type} node {self.name!r} takes no fanins")
-            if self.gate_type == GateType.INPUT:
-                self.delay = 0
-        elif self.gate_type in UNARY_GATES:
-            if len(self.fanins) != 1:
-                raise ValueError(f"{self.gate_type} node {self.name!r} needs 1 fanin")
-        else:
-            if len(self.fanins) < 1:
-                raise ValueError(f"gate {self.name!r} needs at least one fanin")
+        validate_arity(self.gate_type, self.name, len(self.fanins))
+        if self.gate_type == GateType.INPUT:
+            self.delay = 0
         if self.delay < 0:
             raise ValueError(f"node {self.name!r} has negative delay")
 
@@ -308,8 +300,12 @@ class Circuit:
         )
 
     def validate(self) -> None:
-        """Check structural sanity: fanins exist, outputs exist, acyclic."""
+        """Check structural sanity: arity, fanins exist, outputs exist,
+        acyclic.  Re-checking arity here (the Node constructor already
+        enforces it) catches nodes corrupted after construction, so the
+        scalar and word-level evaluators reject them identically."""
         for node in self._nodes.values():
+            validate_arity(node.gate_type, node.name, len(node.fanins))
             for fanin in node.fanins:
                 if fanin not in self._nodes:
                     raise ValueError(
@@ -410,13 +406,28 @@ class Circuit:
     # Evaluation
     # ------------------------------------------------------------------
     def evaluate(self, input_values: Dict[str, bool]) -> Dict[str, bool]:
-        """Steady-state value of every node under an input assignment."""
+        """Steady-state value of every node under an input assignment.
+
+        ``input_values`` must cover every primary input (a missing one
+        raises a ValueError naming it); extra keys are tolerated — the
+        sequential simulation passes state+input supersets."""
         values: Dict[str, bool] = {}
         for name in self.topological_order():
             node = self._nodes[name]
             if node.gate_type == GateType.INPUT:
-                values[name] = bool(input_values[name])
+                try:
+                    values[name] = bool(input_values[name])
+                except KeyError:
+                    raise ValueError(
+                        f"missing value for primary input {name!r} of "
+                        f"circuit {self.name!r}"
+                    ) from None
             else:
+                if not node.fanins and node.gate_type not in SOURCE_GATES:
+                    # A node corrupted after construction: refuse to fold
+                    # it into a constant (the word-level kernel raises the
+                    # identical error at compile time).
+                    validate_arity(node.gate_type, name, 0)
                 values[name] = evaluate_gate(
                     node.gate_type, [values[f] for f in node.fanins]
                 )

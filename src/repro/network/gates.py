@@ -36,6 +36,25 @@ SOURCE_GATES = {GateType.INPUT, GateType.CONST0, GateType.CONST1}
 CONTROLLED_GATES = {GateType.AND, GateType.NAND, GateType.OR, GateType.NOR}
 
 
+def validate_arity(gate_type: GateType, name: str, num_fanins: int) -> None:
+    """Raise ValueError unless ``num_fanins`` is legal for ``gate_type``.
+
+    This is the single arity contract shared by node construction
+    (:class:`repro.network.circuit.Node`), the scalar evaluator, and the
+    word-level kernel (:mod:`repro.sim.wordsim`): all paths reject a
+    malformed gate with the same message instead of silently folding a
+    zero-fanin AND/XOR into a constant.
+    """
+    if gate_type in SOURCE_GATES:
+        if num_fanins:
+            raise ValueError(f"{gate_type} node {name!r} takes no fanins")
+    elif gate_type in UNARY_GATES:
+        if num_fanins != 1:
+            raise ValueError(f"{gate_type} node {name!r} needs 1 fanin")
+    elif num_fanins < 1:
+        raise ValueError(f"gate {name!r} needs at least one fanin")
+
+
 def controlling_value(gate_type: GateType) -> Optional[bool]:
     """The controlling input value of the gate, or None (XOR family, unary)."""
     if gate_type in (GateType.AND, GateType.NAND):

@@ -459,14 +459,34 @@ def sample_seed(seed: int, index: int) -> str:
 
 def _monte_carlo_worker(payload):
     circuit, pairs, indices, seed, model_spec = payload
-    from ..core.statistical import resolve_delay_model, sample_delay_once
+    from ..core.statistical import (
+        resolve_delay_model,
+        sample_delay_once,
+        settle_pair_initials,
+    )
+
+    from .metrics import metrics_scope
 
     delay_model = resolve_delay_model(model_spec)
     samples = []
-    for index in indices:
-        rng = random.Random(sample_seed(seed, index))
-        samples.append((index, sample_delay_once(circuit, pairs, delay_model, rng)))
-    return samples, {}, {}
+    # A scoped instance isolates this chunk's counters (pool processes are
+    # reused), so the wordsim accounting folds back exactly once.
+    with metrics_scope() as chunk_metrics:
+        # One bit-parallel settle of all pairs' v_-1 states per worker
+        # chunk; settled values are delay-independent, so every sample
+        # reuses them.
+        initials = settle_pair_initials(circuit, pairs)
+        for index in indices:
+            rng = random.Random(sample_seed(seed, index))
+            samples.append(
+                (
+                    index,
+                    sample_delay_once(
+                        circuit, pairs, delay_model, rng, initials=initials
+                    ),
+                )
+            )
+    return samples, chunk_metrics.snapshot()["counters"], {}
 
 
 def shard_monte_carlo(

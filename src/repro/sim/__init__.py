@@ -1,4 +1,5 @@
-"""Simulators: zero-delay, event-driven timing, and ternary bounded-delay."""
+"""Simulators: zero-delay, word-level bit-parallel, event-driven timing,
+and ternary bounded-delay."""
 
 from .event_sim import ClockedResult, EventSimulator, TransitionResult
 from .logic_sim import (
@@ -6,7 +7,15 @@ from .logic_sim import (
     functional_sequence,
     settle,
     settle_outputs,
+)
+from .wordsim import (
+    WordKernel,
+    batch_settle,
+    batch_settle_outputs,
+    kernel_for,
+    pack_vectors,
     simulate_words,
+    unpack_word,
 )
 from .ternary import (
     ONE,
@@ -29,6 +38,12 @@ __all__ = [
     "settle",
     "settle_outputs",
     "simulate_words",
+    "WordKernel",
+    "batch_settle",
+    "batch_settle_outputs",
+    "kernel_for",
+    "pack_vectors",
+    "unpack_word",
     "all_input_vectors",
     "functional_sequence",
     "Waveform",

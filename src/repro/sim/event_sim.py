@@ -221,14 +221,23 @@ class EventSimulator:
         v_prev: Dict[str, bool],
         v_next: Dict[str, bool],
         input_times: Optional[Dict[str, int]] = None,
+        initial: Optional[Dict[str, bool]] = None,
     ) -> TransitionResult:
         """Single-stepping simulation of the vector pair ``(v_prev, v_next)``.
 
         ``input_times`` optionally staggers when each input takes its new
         value (default 0 for all) — the per-input clocking of Sec. V-C and
         the late-arriving ``i4`` of Fig. 3.
+
+        ``initial`` optionally supplies the settled per-node state under
+        ``v_prev`` (it must equal ``settle(self.circuit, v_prev)``) —
+        batch consumers precompute it for many pairs in one pass of the
+        word-level kernel (:mod:`repro.sim.wordsim`) instead of one scalar
+        settle per replay.  Settled values are delay-independent, so one
+        precomputed state also serves replays under re-annotated delays.
         """
-        initial = settle(self.circuit, v_prev)
+        if initial is None:
+            initial = settle(self.circuit, v_prev)
         stimuli: Dict[int, Dict[str, bool]] = {}
         for name in self.circuit.inputs:
             time = (input_times or {}).get(name, 0)
@@ -237,10 +246,13 @@ class EventSimulator:
         return TransitionResult(waveforms, self.circuit.outputs)
 
     def measure_pair_delay(
-        self, v_prev: Dict[str, bool], v_next: Dict[str, bool]
+        self,
+        v_prev: Dict[str, bool],
+        v_next: Dict[str, bool],
+        initial: Optional[Dict[str, bool]] = None,
     ) -> int:
         """Shorthand: the transition delay observed for one vector pair."""
-        return self.simulate_transition(v_prev, v_next).delay
+        return self.simulate_transition(v_prev, v_next, initial=initial).delay
 
     def simulate_clocked(
         self,

@@ -2,8 +2,9 @@
 
 The *settle* step of the single-stepping transition mode (Sec. III): before
 ``v_0`` is applied, every node carries its stable value under ``v_-1``.
-Also provides bit-parallel (64-vector-per-word) simulation used for quick
-random cross-checks of the symbolic machinery.
+Bit-parallel (word-level) simulation lives in :mod:`repro.sim.wordsim` —
+``simulate_words`` is re-exported from there so this module keeps its
+historical public surface while there is exactly one word-level evaluator.
 """
 
 from __future__ import annotations
@@ -11,9 +12,7 @@ from __future__ import annotations
 from typing import Dict, List, Sequence
 
 from ..network.circuit import Circuit
-from ..network.gates import GateType
-
-_WORD_MASK = (1 << 64) - 1
+from .wordsim import simulate_words  # noqa: F401 - re-exported kernel entry
 
 
 def settle(circuit: Circuit, input_values: Dict[str, bool]) -> Dict[str, bool]:
@@ -23,51 +22,6 @@ def settle(circuit: Circuit, input_values: Dict[str, bool]) -> Dict[str, bool]:
 
 def settle_outputs(circuit: Circuit, input_values: Dict[str, bool]) -> Dict[str, bool]:
     return circuit.evaluate_outputs(input_values)
-
-
-def simulate_words(
-    circuit: Circuit, input_words: Dict[str, int]
-) -> Dict[str, int]:
-    """Bit-parallel simulation: each input carries a 64-bit word; every bit
-    lane is an independent vector."""
-    values: Dict[str, int] = {}
-    for name in circuit.topological_order():
-        node = circuit.node(name)
-        if node.gate_type == GateType.INPUT:
-            values[name] = input_words[name] & _WORD_MASK
-            continue
-        fanins = [values[f] for f in node.fanins]
-        gate = node.gate_type
-        if gate == GateType.CONST0:
-            word = 0
-        elif gate == GateType.CONST1:
-            word = _WORD_MASK
-        elif gate == GateType.BUF:
-            word = fanins[0]
-        elif gate == GateType.NOT:
-            word = fanins[0] ^ _WORD_MASK
-        elif gate in (GateType.AND, GateType.NAND):
-            word = _WORD_MASK
-            for w in fanins:
-                word &= w
-            if gate == GateType.NAND:
-                word ^= _WORD_MASK
-        elif gate in (GateType.OR, GateType.NOR):
-            word = 0
-            for w in fanins:
-                word |= w
-            if gate == GateType.NOR:
-                word ^= _WORD_MASK
-        elif gate in (GateType.XOR, GateType.XNOR):
-            word = 0
-            for w in fanins:
-                word ^= w
-            if gate == GateType.XNOR:
-                word ^= _WORD_MASK
-        else:
-            raise ValueError(f"cannot simulate gate type {gate}")
-        values[name] = word & _WORD_MASK
-    return values
 
 
 def all_input_vectors(circuit: Circuit) -> List[Dict[str, bool]]:

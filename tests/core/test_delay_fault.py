@@ -6,6 +6,7 @@ from repro.core import (
     PathFaultGenerator,
     TestStrength,
     validate_test_by_fault_injection,
+    validate_tests_by_fault_injection,
 )
 from repro.network import CircuitBuilder
 from repro.sim import EventSimulator
@@ -110,6 +111,30 @@ class TestXorPaths:
         test = gen.generate(PathFault(["a", "g"], rising=True))
         assert test is not None
         assert test.pair.v_prev["c"] == test.pair.v_next["c"]
+
+
+class TestBatchValidation:
+    def test_batch_matches_per_test(self):
+        circuit = c17()
+        gen = PathFaultGenerator(circuit, engine=BddEngine())
+        coverage = gen.generate_for_longest_paths(4, strong=True)
+        assert coverage.tests
+        batch = validate_tests_by_fault_injection(circuit, coverage.tests)
+        assert batch == [
+            validate_test_by_fault_injection(circuit, test)
+            for test in coverage.tests
+        ]
+
+    def test_empty_batch(self):
+        assert validate_tests_by_fault_injection(c17(), []) == []
+
+    def test_all_strong_tests_validate(self):
+        circuit = parity_tree(4)
+        gen = PathFaultGenerator(circuit, engine=BddEngine())
+        coverage = gen.generate_for_longest_paths(4, strong=True)
+        assert validate_tests_by_fault_injection(circuit, coverage.tests) == [
+            True
+        ] * len(coverage.tests)
 
 
 class TestCoverageRuns:

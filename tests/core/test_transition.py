@@ -163,3 +163,32 @@ class TestCertificationPairs:
         c = b.build()
         pairs = collect_certification_pairs(c)
         assert set(pairs) == {"live"}
+
+
+class TestValidateCertificationPairs:
+    def test_all_pairs_replay_at_predicted_times(self):
+        from repro.core import validate_certification_pairs
+
+        c = c17()
+        pairs = collect_certification_pairs(c)
+        observed = validate_certification_pairs(c, pairs)
+        assert observed == {out: t for out, (t, __) in pairs.items()}
+
+    def test_empty(self):
+        from repro.core import validate_certification_pairs
+
+        assert validate_certification_pairs(c17(), {}) == {}
+
+    def test_strict_rejects_wrong_prediction(self):
+        from repro.core import AttributionError, validate_certification_pairs
+
+        c = c17()
+        pairs = collect_certification_pairs(c)
+        out, (t, pair) = next(iter(pairs.items()))
+        doctored = dict(pairs)
+        doctored[out] = (t + 7, pair)
+        with pytest.raises(AttributionError, match="computed t="):
+            validate_certification_pairs(c, doctored)
+        # Non-strict mode reports the observed times instead of raising.
+        observed = validate_certification_pairs(c, doctored, strict=False)
+        assert observed[out] == t
