@@ -1,0 +1,83 @@
+"""Characterization pipeline benchmark: spec fan-out, cache reuse, and
+jobs invariance.
+
+Acceptance checks:
+
+* the small figures spec runs end-to-end and PASSes,
+* a warm-cache rerun serves every job from the cache, reproduces the
+  normalized datasheet byte-for-byte, and is measurably faster,
+* ``jobs=4`` produces the identical normalized datasheet.
+
+The durable record goes to ``benchmarks/results/characterize.txt`` and
+the canonical bench record to ``BENCH_characterize.json`` via the suite
+recorder.
+"""
+
+import json
+from pathlib import Path
+
+from repro.characterize import load_spec, normalized, run_spec
+from repro.runtime import METRICS, DelayCache
+
+from .common import render_rows, write_metrics, write_result
+
+SPEC_PATH = Path(__file__).resolve().parent.parent / "examples" \
+    / "characterize_figures.toml"
+
+
+def canonical(document):
+    return json.dumps(normalized(document), sort_keys=True)
+
+
+def test_small_spec_cold_warm_and_sharded(tmp_path, benchmark):
+    spec = load_spec(SPEC_PATH)
+    cache = DelayCache(cache_dir=str(tmp_path))
+    METRICS.reset()
+
+    with benchmark.measure("cold_jobs1") as cold:
+        cold_doc = run_spec(spec, jobs=1, cache=cache)
+    assert cold_doc["verdict"] == "PASS"
+    assert cold_doc["provenance"]["cache"]["job_hits"] == 0
+
+    with benchmark.measure("warm_jobs1") as warm:
+        warm_doc = run_spec(spec, jobs=1, cache=cache)
+    assert canonical(warm_doc) == canonical(cold_doc)
+    assert warm_doc["provenance"]["cache"]["job_hits"] == len(
+        cold_doc["jobs"]
+    )
+    assert warm_doc["provenance"]["cache"]["hits"] > 0
+    # A job hit skips the whole analysis; 2x is a flake-proof floor
+    # (typical is far higher).
+    assert warm.elapsed < cold.elapsed / 2
+
+    with benchmark.measure("cold_jobs4") as sharded:
+        sharded_doc = run_spec(spec, jobs=4, cache=None)
+    assert canonical(sharded_doc) == canonical(cold_doc)
+
+    jobs = cold_doc["counters"]["jobs"]
+    benchmark.annotate(
+        "cold_jobs1", jobs=jobs, checks=cold_doc["counters"]["checks"],
+        parameters=cold_doc["counters"]["parameters"],
+    )
+    benchmark.annotate(
+        "warm_jobs1",
+        job_hits=warm_doc["provenance"]["cache"]["job_hits"],
+        speedup_vs_cold=round(cold.elapsed / max(warm.elapsed, 1e-9), 2),
+    )
+    benchmark.annotate("cold_jobs4", jobs=jobs)
+
+    rows = [
+        ["cold jobs=1", f"{cold.elapsed*1000:.1f}", jobs, "PASS"],
+        ["warm jobs=1", f"{warm.elapsed*1000:.1f}",
+         warm_doc["provenance"]["cache"]["job_hits"], "identical"],
+        ["cold jobs=4", f"{sharded.elapsed*1000:.1f}", jobs, "identical"],
+    ]
+    write_result(
+        "characterize",
+        render_rows(
+            "figures spec end-to-end (normalized datasheets identical)",
+            rows,
+            headers=["run", "ms", "jobs/hits", "verdict"],
+        ),
+    )
+    write_metrics("characterize")

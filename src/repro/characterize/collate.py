@@ -1,0 +1,175 @@
+"""Fold job results into per-parameter measured-vs-target verdicts.
+
+The collation is pure: it reads only the (deterministic) job result
+dicts, so the datasheet content is identical for serial, sharded, and
+warm-cache runs.  Every parameter yields one row per circuit with the
+measured value, the target, a pass/fail verdict, and a human-readable
+detail string; the parameter passes when *all* of its rows pass, and the
+datasheet verdict is ``PASS`` only when every parameter passes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .datasheet import DATASHEET_SCHEMA
+from .plan import Job, analysis_for
+from .spec import CharacterizeSpec, ParameterSpec
+
+
+def _meets(measured: float, op: str, target: float) -> bool:
+    return measured <= target if op == "<=" else measured >= target
+
+
+def _yield_at(samples: List[int], period: int) -> float:
+    return sum(1 for s in samples if s <= period) / len(samples)
+
+
+def evaluate_parameter(
+    spec: CharacterizeSpec,
+    parameter: ParameterSpec,
+    results: Dict[str, Dict[str, object]],
+) -> Dict[str, object]:
+    """One parameter's datasheet entry: target + per-circuit rows."""
+    corner = spec.corners[parameter.corner]
+    analysis = analysis_for(corner, parameter)
+    rows: List[Dict[str, object]] = []
+    for circuit in parameter.circuits:
+        job_id = f"{circuit}/{corner.name}/{analysis}"
+        result = results[job_id]
+        row: Dict[str, object] = {"circuit": circuit, "job": job_id}
+        if parameter.kind == "clock_period":
+            measured = result["min_period"]
+            row["detail"] = (
+                "certified min clock period (Thm 3.1); floating "
+                f"{result['floating']}, transition {result['transition']}"
+            )
+        elif parameter.kind == "floating_slack":
+            measured = int(result["topological"]) - int(result["floating"])
+            row["detail"] = (
+                f"topological {result['topological']} - floating "
+                f"{result['floating']}"
+            )
+        elif parameter.kind == "transition_slack":
+            measured = int(result["floating"]) - int(result["transition"])
+            row["detail"] = (
+                f"floating {result['floating']} - transition "
+                f"{result['transition']}"
+            )
+        elif parameter.kind == "bounded_delay":
+            measured = result["bounded_delay"]
+            row["detail"] = (
+                "monotone-speedup bounded transition delay "
+                f"(#check {result['checks']})"
+            )
+        elif parameter.kind == "fault_coverage":
+            measured = result["coverage"]
+            row["detail"] = (
+                f"{result['tests']}/{result['total']} path-fault tests "
+                f"found ({result['strength']}, k={result['paths']} longest "
+                "paths, both directions)"
+            )
+        elif parameter.kind == "yield":
+            measured, row_extra = _evaluate_yield_row(
+                spec, parameter, circuit, result, results
+            )
+            row.update(row_extra)
+        else:  # pragma: no cover - parse_spec rejects unknown kinds
+            raise ValueError(f"unknown parameter kind {parameter.kind!r}")
+        row["measured"] = measured
+        row["pass"] = _meets(float(measured), parameter.op,
+                             float(parameter.value))
+        rows.append(row)
+    return {
+        "id": parameter.param_id,
+        "kind": parameter.kind,
+        "corner": parameter.corner,
+        "target": {"op": parameter.op, "value": parameter.value},
+        "rows": rows,
+        "pass": bool(rows) and all(row["pass"] for row in rows),
+    }
+
+
+def _evaluate_yield_row(
+    spec: CharacterizeSpec,
+    parameter: ParameterSpec,
+    circuit: str,
+    result: Dict[str, object],
+    results: Dict[str, Dict[str, object]],
+):
+    """Yield at the target period, plus the gamma..delta curve from the
+    baseline fixed corner's certification (Sec. VII speed binning)."""
+    baseline = results[f"{circuit}/{parameter.baseline}/certify"]
+    samples = list(result["samples"])
+    delta = int(baseline["transition"])
+    gamma = int(baseline["gamma"])
+    period = parameter.options.get("period")
+    period = delta if period is None else int(period)
+    extra: Dict[str, object] = {
+        "period": period,
+        "gamma": gamma,
+        "delta": delta,
+    }
+    if not samples:
+        extra["detail"] = (
+            f"no Monte Carlo samples ({result.get('note', 'empty model')})"
+        )
+        return 0.0, extra
+    measured = _yield_at(samples, period)
+    lo, hi = min(gamma, delta), max(gamma, delta)
+    extra["curve"] = [
+        [tau, _yield_at(samples, tau)] for tau in range(lo, hi + 1)
+    ]
+    extra["detail"] = (
+        f"yield at period {period} over {len(samples)} samples "
+        f"(curve spans gamma={gamma}..delta={delta})"
+    )
+    return measured, extra
+
+
+def collate(
+    spec: CharacterizeSpec,
+    plan: List[Job],
+    results: Dict[str, Dict[str, object]],
+) -> Dict[str, object]:
+    """Assemble the datasheet document (sans provenance) from a plan's
+    results."""
+    parameters = [
+        evaluate_parameter(spec, parameter, results)
+        for parameter in spec.parameters
+    ]
+    passed = sum(1 for parameter in parameters if parameter["pass"])
+    checks = sum(int(results[job.job_id].get("checks", 0)) for job in plan)
+    return {
+        "schema": DATASHEET_SCHEMA,
+        "kind": "datasheet",
+        "spec": {
+            "id": spec.spec_id,
+            "title": spec.title,
+            "source": spec.source,
+            "engine": spec.engine,
+            "circuits": list(spec.circuits),
+        },
+        "corners": {
+            name: {"kind": corner.kind, "options": dict(corner.options)}
+            for name, corner in spec.corners.items()
+        },
+        "jobs": [
+            {
+                "id": job.job_id,
+                "circuit": job.circuit,
+                "corner": job.corner,
+                "analysis": job.analysis,
+                "result": results[job.job_id],
+            }
+            for job in plan
+        ],
+        "parameters": parameters,
+        "counters": {
+            "jobs": len(plan),
+            "checks": checks,
+            "parameters": len(parameters),
+            "parameters_passed": passed,
+        },
+        "verdict": "PASS" if passed == len(parameters) else "FAIL",
+    }

@@ -1,0 +1,133 @@
+"""Spec expansion into a deterministic plan of measurement jobs.
+
+A :class:`Job` is one (circuit x corner x analysis) unit of work.  Two
+parameters that need the same measurement (e.g. ``clock_period`` and
+``floating_slack`` both need the fixed corner's certification run)
+share one job, so the plan is deduplicated; job ids are stable strings
+(``"<circuit>/<corner>/<analysis>"``) usable as cache-token components
+and trace-span tags.
+
+Analyses (dispatched by :func:`repro.characterize.runner.execute_payload`):
+
+``certify``
+    Full certification at the corner: topological delay, floating and
+    transition delay with #check counters, certification pairs, model
+    replay (``gamma``), verdict, Theorem 3.1 min clock period.
+``clocked``
+    Same measurements under per-input arrival times (odd-indexed inputs
+    arrive ``skew`` late).
+``bounded``
+    Bounded (monotone-speedup) transition delay.
+``faults-k<paths>-<strength>``
+    Path-delay-fault test generation for the ``<paths>`` longest paths.
+``monte_carlo``
+    Monte Carlo replay of the certification pairs under the corner's
+    statistical delay model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from .spec import CharacterizeSpec, CornerSpec, ParameterSpec
+
+
+@dataclass(frozen=True)
+class Job:
+    """One (circuit x corner x analysis) measurement."""
+
+    job_id: str
+    circuit: str
+    corner: str
+    corner_kind: str
+    analysis: str                      # certify | clocked | bounded |
+    #                                  # faults | monte_carlo
+    engine: str
+    options: Tuple[Tuple[str, object], ...] = field(default_factory=tuple)
+
+    @property
+    def option_dict(self) -> Dict[str, object]:
+        return dict(self.options)
+
+
+def analysis_for(corner: CornerSpec, parameter: ParameterSpec) -> str:
+    """The analysis name a parameter's measurement comes from — shared
+    with :mod:`.collate`, which uses it to find a parameter's job ids."""
+    if parameter.kind == "fault_coverage":
+        return "faults-k{paths}-{strength}".format(
+            paths=parameter.options["paths"],
+            strength=parameter.options["strength"],
+        )
+    if parameter.kind == "yield":
+        return "monte_carlo"
+    if corner.kind == "bounded":
+        return "bounded"
+    if corner.kind == "clocked":
+        return "clocked"
+    return "certify"
+
+
+def _job_options(corner: CornerSpec, parameter: ParameterSpec,
+                 analysis: str) -> Tuple[Tuple[str, object], ...]:
+    options: Dict[str, object] = {}
+    if corner.kind == "statistical":
+        options.update(corner.options)
+    elif corner.kind == "clocked":
+        options["skew"] = corner.options["skew"]
+    if analysis.startswith("faults"):
+        options["paths"] = parameter.options["paths"]
+        options["strength"] = parameter.options["strength"]
+    return tuple(sorted(options.items()))
+
+
+def plan_jobs(spec: CharacterizeSpec) -> List[Job]:
+    """Expand a spec into its deduplicated, deterministically ordered
+    job list.
+
+    Order: spec circuit order, then corner declaration order, then
+    analysis name — so two runs of the same spec always shard the same
+    items in the same sequence (a precondition for the jobs=1 vs
+    jobs=4 byte-identity guarantee).
+    """
+    jobs: Dict[str, Job] = {}
+    for parameter in spec.parameters:
+        corner = spec.corners[parameter.corner]
+        analysis = analysis_for(corner, parameter)
+        for circuit in parameter.circuits:
+            _add(jobs, spec, circuit, corner, analysis,
+                 _job_options(corner, parameter, analysis))
+        if parameter.kind == "yield":
+            # Yield needs the certified bracket [gamma, delta] from the
+            # baseline fixed corner as well as the Monte Carlo samples.
+            baseline = spec.corners[parameter.baseline]
+            for circuit in parameter.circuits:
+                _add(jobs, spec, circuit, baseline, "certify", ())
+
+    circuit_rank = {name: i for i, name in enumerate(spec.circuits)}
+    corner_rank = {name: i for i, name in enumerate(spec.corners)}
+    return sorted(
+        jobs.values(),
+        key=lambda job: (
+            circuit_rank[job.circuit],
+            corner_rank[job.corner],
+            job.analysis,
+        ),
+    )
+
+
+def _add(jobs: Dict[str, Job], spec: CharacterizeSpec, circuit: str,
+         corner: CornerSpec, analysis: str,
+         options: Tuple[Tuple[str, object], ...]) -> None:
+    job_id = f"{circuit}/{corner.name}/{analysis}"
+    if job_id in jobs:
+        return
+    jobs[job_id] = Job(
+        job_id=job_id,
+        circuit=circuit,
+        corner=corner.name,
+        corner_kind=corner.kind,
+        analysis=analysis,
+        engine=spec.engine,
+        options=options,
+    )

@@ -1,0 +1,461 @@
+"""The declarative characterization spec format.
+
+A spec is one TOML (Python >= 3.11) or JSON document with three
+sections::
+
+    [spec]                         # identity + the circuits under test
+    id = "figures-small"
+    title = "Paper figure circuits"
+    circuits = ["fig1", "fig5", "csa8"]
+    engine = "auto"                # optional: auto | bdd | sat
+
+    [corners.fixed]                # delay-model corners
+    kind = "fixed"                 # fixed | bounded | statistical | clocked
+    [corners.mc]
+    kind = "statistical"
+    model = "uniform"              # uniform | speedup
+    spread = 1
+    samples = 48
+    seed = 97
+    [corners.skewed]
+    kind = "clocked"
+    skew = 2                       # odd-indexed inputs arrive `skew` late
+
+    [[parameter]]                  # named pass/fail targets
+    id = "tau"
+    kind = "clock_period"          # measured tau must be <= max
+    max = 20
+
+Parameter kinds and their targets:
+
+==================  ======  =========================================
+kind                target  measured value
+==================  ======  =========================================
+``clock_period``    max     Theorem 3.1 certified min clock period
+``floating_slack``  min     topological delay - floating delay
+``transition_slack``min     floating delay - transition delay
+``bounded_delay``   max     bounded (monotone-speedup) transition delay
+``fault_coverage``  min     robust/non-robust coverage of the k longest
+                            paths (target in [0, 1])
+``yield``           min     Monte Carlo yield at ``period`` (default:
+                            the verifier's bound delta), target in [0,1]
+==================  ======  =========================================
+
+Every parameter resolves to one corner (explicit ``corner = "name"`` or
+the first declared corner of the kind the parameter needs); ``yield``
+parameters additionally need a ``fixed`` corner, whose certification run
+brackets the yield curve between ``gamma`` and ``delta``.  A parameter
+may restrict its ``circuits`` to a subset of the spec's.
+
+Validation is strict: every failure raises :class:`SpecError` naming the
+spec file and the offending key, and unknown keys anywhere are errors —
+a typo must never silently weaken a datasheet.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..circuits.registry import available_circuits
+
+
+class SpecError(ValueError):
+    """A malformed characterization spec.  Messages always name the spec
+    source and the offending key, so a failing batch run is actionable
+    without opening the parser."""
+
+
+ENGINES = ("auto", "bdd", "sat")
+
+#: corner kind -> {option: (type, default)}
+CORNER_KINDS: Dict[str, Dict[str, tuple]] = {
+    "fixed": {},
+    "bounded": {},
+    "statistical": {
+        "model": (str, "uniform"),
+        "spread": (int, 1),
+        "samples": (int, 64),
+        "seed": (int, 97),
+    },
+    "clocked": {
+        "skew": (int, 1),
+    },
+}
+
+STATISTICAL_MODELS = ("uniform", "speedup")
+
+#: parameter kind -> (target key, op, unit-interval?, required corner kind,
+#:                    {option: (type, default)})
+PARAMETER_KINDS: Dict[str, tuple] = {
+    "clock_period": ("max", "<=", False, ("fixed", "clocked"), {}),
+    "floating_slack": ("min", ">=", False, ("fixed", "clocked"), {}),
+    "transition_slack": ("min", ">=", False, ("fixed", "clocked"), {}),
+    "bounded_delay": ("max", "<=", False, ("bounded",), {}),
+    "fault_coverage": (
+        "min", ">=", True, ("fixed",),
+        {"paths": (int, 5), "strength": (str, "robust")},
+    ),
+    "yield": ("min", ">=", True, ("statistical",), {"period": (int, None)}),
+}
+
+FAULT_STRENGTHS = ("robust", "non-robust")
+
+
+@dataclass
+class CornerSpec:
+    """One named delay-model corner."""
+
+    name: str
+    kind: str
+    options: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class ParameterSpec:
+    """One named measured-vs-target parameter."""
+
+    param_id: str
+    kind: str
+    op: str                      # "<=" or ">="
+    value: float
+    corner: str                  # resolved corner name
+    circuits: List[str]          # subset of the spec's circuits
+    options: Dict[str, object] = field(default_factory=dict)
+    #: For ``yield`` parameters: the fixed corner whose certification
+    #: brackets the curve between gamma and delta.
+    baseline: Optional[str] = None
+
+
+@dataclass
+class CharacterizeSpec:
+    """A parsed, fully validated characterization spec."""
+
+    spec_id: str
+    title: str
+    source: str
+    circuits: List[str]
+    engine: str
+    corners: Dict[str, CornerSpec]       # declaration order
+    parameters: List[ParameterSpec]
+
+
+# ----------------------------------------------------------------------
+# Validation helpers
+# ----------------------------------------------------------------------
+def _require_table(obj, where: str, source: str) -> dict:
+    if not isinstance(obj, dict):
+        raise SpecError(f"{source}: {where} must be a table/object")
+    return obj
+
+
+def _check_keys(table: dict, allowed, where: str, source: str) -> None:
+    for key in table:
+        if key not in allowed:
+            raise SpecError(
+                f"{source}: {where}: unknown key {key!r} "
+                f"(allowed: {', '.join(sorted(allowed))})"
+            )
+
+
+def _typed(table: dict, key: str, types, where: str, source: str,
+           default=None):
+    if key not in table:
+        return default
+    value = table[key]
+    if types is int and isinstance(value, bool):
+        raise SpecError(f"{source}: {where}.{key}: expected an integer")
+    if not isinstance(value, types):
+        expected = (
+            types.__name__ if isinstance(types, type)
+            else "/".join(t.__name__ for t in types)
+        )
+        raise SpecError(
+            f"{source}: {where}.{key}: expected {expected}, "
+            f"got {type(value).__name__}"
+        )
+    return value
+
+
+def _parse_options(table: dict, option_spec: Dict[str, tuple], skip,
+                   where: str, source: str) -> Dict[str, object]:
+    _check_keys(table, set(option_spec) | set(skip), where, source)
+    options: Dict[str, object] = {}
+    for key, (typ, default) in option_spec.items():
+        value = _typed(table, key, typ, where, source, default=default)
+        if value is not None:
+            options[key] = value
+    return options
+
+
+# ----------------------------------------------------------------------
+# Parsing
+# ----------------------------------------------------------------------
+def load_spec(path) -> CharacterizeSpec:
+    """Read and validate a spec file (``.toml`` or ``.json``)."""
+    path = Path(path)
+    source = str(path)
+    try:
+        text = path.read_text()
+    except OSError as error:
+        raise SpecError(f"{source}: cannot read spec: {error}")
+    suffix = path.suffix.lower()
+    if suffix == ".toml":
+        try:
+            import tomllib
+        except ImportError:  # pragma: no cover - Python < 3.11
+            raise SpecError(
+                f"{source}: TOML specs need Python >= 3.11 (tomllib); "
+                "use an equivalent .json spec on this interpreter"
+            )
+        try:
+            document = tomllib.loads(text)
+        except tomllib.TOMLDecodeError as error:
+            raise SpecError(f"{source}: invalid TOML: {error}")
+    elif suffix == ".json":
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise SpecError(f"{source}: invalid JSON: {error}")
+    else:
+        raise SpecError(
+            f"{source}: unsupported spec extension {path.suffix!r} "
+            "(expected .toml or .json)"
+        )
+    return parse_spec(document, source=source)
+
+
+def parse_spec(document, source: str = "<spec>") -> CharacterizeSpec:
+    """Validate a raw spec document (already parsed TOML/JSON)."""
+    document = _require_table(document, "spec document", source)
+    _check_keys(document, {"spec", "corners", "parameter"},
+                "top level", source)
+
+    # -- [spec] --------------------------------------------------------
+    head = _require_table(document.get("spec", {}), "[spec]", source)
+    _check_keys(head, {"id", "title", "circuits", "engine"},
+                "[spec]", source)
+    spec_id = _typed(head, "id", str, "spec", source)
+    if not spec_id:
+        raise SpecError(f"{source}: spec.id: missing or empty")
+    title = _typed(head, "title", str, "spec", source, default=spec_id)
+    engine = _typed(head, "engine", str, "spec", source, default="auto")
+    if engine not in ENGINES:
+        raise SpecError(
+            f"{source}: spec.engine: unknown engine {engine!r} "
+            f"(expected one of {', '.join(ENGINES)})"
+        )
+    circuits = head.get("circuits")
+    if not isinstance(circuits, list) or not circuits:
+        raise SpecError(
+            f"{source}: spec.circuits: must be a non-empty list of "
+            "registry circuit names"
+        )
+    known = set(available_circuits())
+    seen_circuits = set()
+    for index, name in enumerate(circuits):
+        where = f"spec.circuits[{index}]"
+        if not isinstance(name, str):
+            raise SpecError(f"{source}: {where}: circuit name must be a "
+                            f"string, got {type(name).__name__}")
+        if name not in known:
+            raise SpecError(
+                f"{source}: {where}: unknown circuit {name!r} "
+                "(not in the repro.circuits registry; see "
+                "`repro.circuits.available_circuits()`)"
+            )
+        if name in seen_circuits:
+            raise SpecError(
+                f"{source}: {where}: duplicate circuit {name!r}"
+            )
+        seen_circuits.add(name)
+
+    # -- [corners.*] ---------------------------------------------------
+    corners: Dict[str, CornerSpec] = {}
+    corner_tables = _require_table(
+        document.get("corners", {}), "[corners]", source
+    )
+    for name, table in corner_tables.items():
+        where = f"corners.{name}"
+        table = _require_table(table, where, source)
+        kind = _typed(table, "kind", str, where, source, default=name)
+        if kind not in CORNER_KINDS:
+            raise SpecError(
+                f"{source}: {where}.kind: unknown corner kind {kind!r} "
+                f"(expected one of {', '.join(sorted(CORNER_KINDS))})"
+            )
+        options = _parse_options(
+            table, CORNER_KINDS[kind], {"kind"}, where, source
+        )
+        if kind == "statistical":
+            if options["model"] not in STATISTICAL_MODELS:
+                raise SpecError(
+                    f"{source}: {where}.model: unknown delay model "
+                    f"{options['model']!r} (expected one of "
+                    f"{', '.join(STATISTICAL_MODELS)})"
+                )
+            if options["samples"] < 1:
+                raise SpecError(
+                    f"{source}: {where}.samples: must be >= 1"
+                )
+            if options["spread"] < 0:
+                raise SpecError(f"{source}: {where}.spread: must be >= 0")
+        if kind == "clocked" and options["skew"] < 0:
+            raise SpecError(f"{source}: {where}.skew: must be >= 0")
+        corners[name] = CornerSpec(name=name, kind=kind, options=options)
+    if not corners:
+        raise SpecError(
+            f"{source}: corners: at least one corner table is required "
+            "(e.g. [corners.fixed])"
+        )
+
+    def first_corner_of(kinds) -> Optional[str]:
+        for corner in corners.values():
+            if corner.kind in kinds:
+                return corner.name
+        return None
+
+    # -- [[parameter]] -------------------------------------------------
+    raw_parameters = document.get("parameter", [])
+    if not isinstance(raw_parameters, list) or not raw_parameters:
+        raise SpecError(
+            f"{source}: parameter: at least one [[parameter]] table is "
+            "required"
+        )
+    parameters: List[ParameterSpec] = []
+    seen_ids = set()
+    for index, table in enumerate(raw_parameters):
+        where = f"parameter[{index}]"
+        table = _require_table(table, where, source)
+        param_id = _typed(table, "id", str, where, source)
+        if not param_id:
+            raise SpecError(f"{source}: {where}.id: missing or empty")
+        where = f"parameter {param_id!r}"
+        if param_id in seen_ids:
+            raise SpecError(
+                f"{source}: {where}: duplicate parameter id"
+            )
+        seen_ids.add(param_id)
+        kind = _typed(table, "kind", str, where, source)
+        if kind not in PARAMETER_KINDS:
+            raise SpecError(
+                f"{source}: {where}.kind: unknown parameter kind "
+                f"{kind!r} (expected one of "
+                f"{', '.join(sorted(PARAMETER_KINDS))})"
+            )
+        target_key, op, unit, corner_kinds, option_spec = (
+            PARAMETER_KINDS[kind]
+        )
+        if target_key not in table:
+            raise SpecError(
+                f"{source}: {where}.{target_key}: missing target value "
+                f"(kind {kind!r} requires {target_key!r})"
+            )
+        value = _typed(table, target_key, (int, float), where, source)
+        if isinstance(value, bool):
+            raise SpecError(
+                f"{source}: {where}.{target_key}: expected a number"
+            )
+        if unit and not 0.0 <= float(value) <= 1.0:
+            raise SpecError(
+                f"{source}: {where}.{target_key}: threshold {value} out "
+                "of [0, 1]"
+            )
+
+        options = _parse_options(
+            table, option_spec,
+            {"id", "kind", target_key, "corner", "circuits"},
+            where, source,
+        )
+        if kind == "fault_coverage":
+            if options["paths"] < 1:
+                raise SpecError(f"{source}: {where}.paths: must be >= 1")
+            if options["strength"] not in FAULT_STRENGTHS:
+                raise SpecError(
+                    f"{source}: {where}.strength: unknown strength "
+                    f"{options['strength']!r} (expected one of "
+                    f"{', '.join(FAULT_STRENGTHS)})"
+                )
+        if kind == "yield" and options.get("period") is not None:
+            if options["period"] < 1:
+                raise SpecError(f"{source}: {where}.period: must be >= 1")
+
+        corner_name = _typed(table, "corner", str, where, source)
+        if corner_name is not None:
+            if corner_name not in corners:
+                raise SpecError(
+                    f"{source}: {where}.corner: unknown corner "
+                    f"{corner_name!r} (declared corners: "
+                    f"{', '.join(corners) or 'none'})"
+                )
+            if corners[corner_name].kind not in corner_kinds:
+                raise SpecError(
+                    f"{source}: {where}.corner: corner {corner_name!r} "
+                    f"has kind {corners[corner_name].kind!r}; parameter "
+                    f"kind {kind!r} needs one of "
+                    f"{', '.join(corner_kinds)}"
+                )
+        else:
+            corner_name = first_corner_of(corner_kinds[:1]) or \
+                first_corner_of(corner_kinds)
+            if corner_name is None:
+                raise SpecError(
+                    f"{source}: {where}: no corner of kind "
+                    f"{' or '.join(corner_kinds)} declared (needed by "
+                    f"parameter kind {kind!r})"
+                )
+
+        baseline = None
+        if kind == "yield":
+            baseline = first_corner_of(("fixed",))
+            if baseline is None:
+                raise SpecError(
+                    f"{source}: {where}: yield parameters need a "
+                    "'fixed' corner too (its certification run brackets "
+                    "the curve between gamma and delta)"
+                )
+
+        param_circuits = table.get("circuits")
+        if param_circuits is None:
+            param_circuits = list(circuits)
+        else:
+            if not isinstance(param_circuits, list) or not param_circuits:
+                raise SpecError(
+                    f"{source}: {where}.circuits: must be a non-empty "
+                    "list"
+                )
+            for name in param_circuits:
+                if name not in seen_circuits:
+                    raise SpecError(
+                        f"{source}: {where}.circuits: {name!r} is not "
+                        "one of the spec's circuits"
+                    )
+            # Re-impose the spec's declaration order.
+            param_circuits = [
+                name for name in circuits if name in set(param_circuits)
+            ]
+
+        parameters.append(
+            ParameterSpec(
+                param_id=param_id,
+                kind=kind,
+                op=op,
+                value=value,
+                corner=corner_name,
+                circuits=param_circuits,
+                options=options,
+                baseline=baseline,
+            )
+        )
+
+    return CharacterizeSpec(
+        spec_id=spec_id,
+        title=title,
+        source=source,
+        circuits=list(circuits),
+        engine=engine,
+        corners=corners,
+        parameters=parameters,
+    )

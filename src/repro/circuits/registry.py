@@ -22,9 +22,14 @@ from typing import Callable, Dict, List
 from . import iscas, mcnc
 from .figures import fig1_circuit, fig2_circuit, fig5_circuit
 from .generators import (
+    alu,
     array_multiplier,
     carry_skip_adder,
+    comparator,
+    decoder,
+    error_corrector,
     parity_tree,
+    ripple_carry_adder,
     random_logic,
 )
 
@@ -43,6 +48,49 @@ CIRCUITS: Dict[str, Callable] = {
     # The incremental benchmark's 210-gate random network.
     "rand210": lambda: random_logic(
         num_inputs=12, num_gates=210, num_outputs=8, seed=42
+    ),
+    # Characterization-corpus variants (spec-addressable, one canonical
+    # parameterisation per name — the catalog stays closed).
+    "rca8": lambda: ripple_carry_adder(8),
+    "rca16": lambda: ripple_carry_adder(16),
+    "rca32": lambda: ripple_carry_adder(32),
+    "rca64": lambda: ripple_carry_adder(64),
+    "csa24": lambda: carry_skip_adder(24, 4),
+    "csa32": lambda: carry_skip_adder(32, 4),
+    "csa48": lambda: carry_skip_adder(48, 4),
+    "csa64": lambda: carry_skip_adder(64, 4),
+    "mult4": lambda: array_multiplier(4),
+    "mult12": lambda: array_multiplier(12),
+    "mult16": lambda: array_multiplier(16),
+    "parity32": lambda: parity_tree(32),
+    "parity64": lambda: parity_tree(64),
+    "parity128": lambda: parity_tree(128),
+    "alu8": lambda: alu(8),
+    "alu16": lambda: alu(16),
+    "alu8skip": lambda: alu(8, with_carry_skip=True),
+    "alu16skip": lambda: alu(16, with_carry_skip=True),
+    "dec4": lambda: decoder(4),
+    "dec5": lambda: decoder(5),
+    "dec6": lambda: decoder(6),
+    "cmp16": lambda: comparator(16),
+    "cmp32": lambda: comparator(32),
+    "cmp64": lambda: comparator(64),
+    "ecc32": lambda: error_corrector(data_bits=32, check_bits=9, seed=499),
+    # Seeded random-logic instances: rand<gates>x<seed>.
+    "rand120x7": lambda: random_logic(
+        num_inputs=10, num_gates=120, num_outputs=6, seed=7
+    ),
+    "rand120x19": lambda: random_logic(
+        num_inputs=10, num_gates=120, num_outputs=6, seed=19
+    ),
+    "rand350x5": lambda: random_logic(
+        num_inputs=14, num_gates=350, num_outputs=10, seed=5
+    ),
+    "rand350x23": lambda: random_logic(
+        num_inputs=14, num_gates=350, num_outputs=10, seed=23
+    ),
+    "rand600x11": lambda: random_logic(
+        num_inputs=16, num_gates=600, num_outputs=12, seed=11
     ),
 }
 # Every ISCAS-85 stand-in under its paper name (c17 .. c7552).

@@ -22,6 +22,12 @@ Commands
 * ``loadgen``         — concurrent client fleet against a timing server
   (or a self-hosted in-process one): p50/p95/p99 latency, throughput,
   busy-rejection and coalescing accounting.
+* ``characterize``    — datasheet pipeline: ``characterize run SPEC``
+  fans a declarative TOML/JSON spec (registry circuits x delay-model
+  corners x analyses) through the sharded runtime and emits a versioned
+  ``DATASHEET_<id>.json`` plus markdown with per-parameter pass/fail
+  verdicts; ``characterize report FILE`` re-renders a datasheet
+  (see ``docs/CHARACTERIZE.md``).
 * ``bench``           — the performance observatory: ``bench run`` executes
   benchmark suites with warmup/repeat control, ``bench compare`` gates two
   result files with noise-aware thresholds (non-zero exit on regression),
@@ -318,6 +324,45 @@ def cmd_bench(args) -> int:
         return 0
 
     raise ValueError(f"unknown bench command {args.bench_command!r}")
+
+
+def cmd_characterize(args) -> int:
+    from pathlib import Path
+
+    from . import characterize
+
+    if args.characterize_command == "run":
+        spec = characterize.load_spec(args.spec)
+        document = characterize.run_spec(
+            spec,
+            jobs=args.jobs,
+            timeout=args.timeout,
+            retries=args.retries,
+        )
+        out_dir = Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        json_path = out_dir / f"DATASHEET_{spec.spec_id}.json"
+        md_path = out_dir / f"DATASHEET_{spec.spec_id}.md"
+        characterize.dump_datasheet(document, json_path)
+        with open(md_path, "w") as handle:
+            handle.write(characterize.render_datasheet_markdown(document))
+        counters = document["counters"]
+        print(
+            f"characterize: {document['verdict']} "
+            f"({counters['parameters_passed']}/{counters['parameters']} "
+            f"parameters, {counters['jobs']} jobs, "
+            f"{counters['checks']} #checks) -> {json_path}, {md_path}"
+        )
+        return 0 if document["verdict"] == "PASS" else 1
+
+    if args.characterize_command == "report":
+        document = characterize.load_datasheet(args.file)
+        print(characterize.render_datasheet_markdown(document))
+        return 0 if document["verdict"] == "PASS" else 1
+
+    raise ValueError(
+        f"unknown characterize command {args.characterize_command!r}"
+    )
 
 
 def _parse_tcp(spec: str):
@@ -621,6 +666,70 @@ def build_parser() -> argparse.ArgumentParser:
         help="execution threads for the self-hosted server (default: 1)",
     )
     p.set_defaults(func=cmd_loadgen)
+
+    # ``characterize`` runs a declarative spec over registry circuits, so
+    # it takes a spec file rather than a netlist positional.
+    p = sub.add_parser(
+        "characterize",
+        help="characterization datasheets: declarative spec -> corner "
+        "fan-out -> pass/fail DATASHEET.json + markdown",
+        description="Characterization pipeline (docs/CHARACTERIZE.md): "
+        "parse a TOML/JSON spec naming registry circuits, delay-model "
+        "corners and measured-vs-target parameters; fan the (circuit x "
+        "corner x analysis) plan through the sharded runtime; collate "
+        "into a versioned datasheet with per-parameter verdicts.",
+    )
+    characterize_sub = p.add_subparsers(
+        dest="characterize_command", required=True
+    )
+
+    c = characterize_sub.add_parser(
+        "run", help="execute a spec end-to-end (exit 1 when FAIL)"
+    )
+    c.add_argument("spec", help="characterization spec (.toml or .json)")
+    c.add_argument(
+        "-o", "--out", default=".", metavar="DIR",
+        help="output directory for DATASHEET_<id>.json + .md "
+        "(default: current directory)",
+    )
+    c.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the job fan-out "
+        "(1 = serial, 0 = all cores; default: 1)",
+    )
+    c.add_argument(
+        "--cache", default=None, metavar="DIR",
+        help="enable the result cache with an on-disk store under DIR "
+        "(warm reruns serve repeated jobs from it)",
+    )
+    c.add_argument(
+        "--no-cache", action="store_true",
+        help="disable result caching (overrides --cache and "
+        "REPRO_CACHE_DIR)",
+    )
+    c.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="per-round wall-clock timeout for sharded jobs",
+    )
+    c.add_argument(
+        "--retries", type=int, default=1, metavar="N",
+        help="retry rounds for failed/timed-out chunks (default: 1)",
+    )
+    c.add_argument(
+        "--metrics", action="store_true",
+        help="print runtime metrics and the trace tree to stderr",
+    )
+    c.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="write the execution trace as JSON to FILE",
+    )
+
+    c = characterize_sub.add_parser(
+        "report", help="render a DATASHEET.json as markdown"
+    )
+    c.add_argument("file", help="DATASHEET_<id>.json")
+
+    p.set_defaults(func=cmd_characterize)
 
     # ``bench`` manages benchmark suites rather than analysing a netlist,
     # so it gets its own nested subparser tree.

@@ -65,6 +65,14 @@ class StatisticalTimingResult:
     samples: List[int]
     pairs_used: int
 
+    def __post_init__(self) -> None:
+        if not self.samples:
+            raise ValueError(
+                "StatisticalTimingResult needs at least one sample: every "
+                "statistic (mean, yield, curve) is undefined on an empty "
+                "distribution — run the Monte Carlo with num_samples >= 1"
+            )
+
     @property
     def mean(self) -> float:
         return sum(self.samples) / len(self.samples)
@@ -102,9 +110,20 @@ class StatisticalTimingResult:
         self, lo: Optional[int] = None, hi: Optional[int] = None
     ) -> List[Tuple[int, float]]:
         """(period, yield) points between ``lo`` and ``hi`` (defaults:
-        sample min/max) — the gamma..delta speed-binning of Sec. VII."""
+        sample min/max) — the gamma..delta speed-binning of Sec. VII.
+
+        ``lo`` must not exceed ``hi``: a reversed range would silently
+        return an empty curve, hiding a swapped gamma/delta at the call
+        site.  Curve endpoints agree with :meth:`yield_at` by
+        construction (``curve[0] == (lo, yield_at(lo))`` etc.).
+        """
         lo = self.min if lo is None else lo
         hi = self.max if hi is None else hi
+        if lo > hi:
+            raise ValueError(
+                f"yield_curve bounds reversed: lo={lo} > hi={hi} "
+                "(pass lo=gamma, hi=delta with gamma <= delta)"
+            )
         return [(tau, self.yield_at(tau)) for tau in range(lo, hi + 1)]
 
 

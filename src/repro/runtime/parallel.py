@@ -520,3 +520,53 @@ def shard_monte_carlo(
     merged = [delay for chunk in results for delay in chunk]
     merged.sort(key=lambda item: item[0])
     return [delay for __, delay in merged]
+
+
+# ----------------------------------------------------------------------
+# Characterization jobs (spec-driven circuit x corner x analysis fan-out)
+# ----------------------------------------------------------------------
+def _characterize_worker(payload):
+    tasks = payload
+    from ..characterize.runner import execute_payload
+
+    from .metrics import metrics_scope
+
+    results = []
+    # Scoped counters: pool processes are reused across chunks, so the
+    # chunk's wordsim/engine accounting must fold back exactly once.
+    with metrics_scope() as chunk_metrics:
+        for index, job in tasks:
+            results.append((index, execute_payload(job)))
+    return results, chunk_metrics.snapshot()["counters"], {}
+
+
+def shard_characterize_jobs(
+    payloads: Sequence[Dict],
+    jobs: int = 2,
+    timeout: Optional[float] = None,
+    retries: Optional[int] = None,
+) -> List[Dict]:
+    """Run characterization job payloads across workers.
+
+    ``payloads`` are the picklable dicts of
+    :func:`repro.characterize.runner.job_payload`; each one names its
+    circuit (rebuilt from the registry inside the worker), so payloads
+    stay small and chunk-independent.  Results come back in payload
+    order (index-merged), making the datasheet identical to a serial
+    run; caching is the *caller's* job (the parent checks the cache
+    before dispatch), so workers always compute.
+    """
+    jobs = resolve_jobs(jobs, len(payloads))
+    tasks = list(enumerate(payloads))
+
+    def make_payload(chunk):
+        return list(chunk)
+
+    with METRICS.phase("parallel.characterize_jobs"):
+        results = _run_sharded(
+            _characterize_worker, tasks, make_payload, jobs,
+            timeout=timeout, retries=retries, label="characterize",
+        )
+    merged = [entry for chunk in results for entry in chunk]
+    merged.sort(key=lambda item: item[0])
+    return [result for __, result in merged]

@@ -1,0 +1,122 @@
+"""``trued characterize run/report`` end to end."""
+
+import json
+
+import pytest
+
+from repro.characterize import load_datasheet, normalized
+from repro.cli import main
+
+
+@pytest.fixture(autouse=True)
+def restore_global_cache():
+    # `main()` runs in-process here, and `--cache` configures the
+    # process-global DelayCache; put it back so later test modules keep
+    # seeing the disabled default.
+    import repro.runtime.cache as cache_mod
+
+    saved = cache_mod._GLOBAL
+    yield
+    cache_mod._GLOBAL = saved
+
+
+def spec_document(**overrides):
+    document = {
+        "spec": {"id": "cli", "circuits": ["fig1", "fig5"]},
+        "corners": {
+            "fixed": {"kind": "fixed"},
+            "mc": {"kind": "statistical", "samples": 4, "seed": 7},
+        },
+        "parameter": [
+            {"id": "tau", "kind": "clock_period", "max": 6},
+            {"id": "y", "kind": "yield", "min": 0.1},
+        ],
+    }
+    document.update(overrides)
+    return document
+
+
+@pytest.fixture
+def spec_file(tmp_path):
+    path = tmp_path / "cli.json"
+    path.write_text(json.dumps(spec_document()))
+    return str(path)
+
+
+class TestRun:
+    def test_run_emits_datasheet_and_markdown(self, spec_file, tmp_path,
+                                              capsys):
+        out = tmp_path / "out"
+        assert main([
+            "characterize", "run", spec_file, "-o", str(out),
+        ]) == 0
+        stdout = capsys.readouterr().out
+        assert "PASS (2/2 parameters" in stdout
+        document = load_datasheet(out / "DATASHEET_cli.json")
+        assert document["verdict"] == "PASS"
+        markdown = (out / "DATASHEET_cli.md").read_text()
+        assert "**Verdict: PASS**" in markdown
+        assert "| `tau` |" in markdown and "| `y` |" in markdown
+
+    def test_failing_spec_exits_one(self, tmp_path, capsys):
+        document = spec_document()
+        document["parameter"] = [
+            {"id": "tau", "kind": "clock_period", "max": 1},
+        ]
+        path = tmp_path / "fail.json"
+        path.write_text(json.dumps(document))
+        assert main([
+            "characterize", "run", str(path), "-o", str(tmp_path),
+        ]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_bad_spec_exits_two_naming_key(self, tmp_path, capsys):
+        document = spec_document()
+        document["spec"]["circuits"] = ["nonesuch"]
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(document))
+        assert main([
+            "characterize", "run", str(path), "-o", str(tmp_path),
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "bad.json" in err and "nonesuch" in err
+
+    def test_jobs_and_warm_cache_reproduce(self, spec_file, tmp_path,
+                                           capsys):
+        cache = tmp_path / "cache"
+        out1, out2 = tmp_path / "o1", tmp_path / "o2"
+        assert main([
+            "characterize", "run", spec_file, "-o", str(out1),
+            "--cache", str(cache),
+        ]) == 0
+        assert main([
+            "characterize", "run", spec_file, "-o", str(out2),
+            "--cache", str(cache), "--jobs", "4",
+        ]) == 0
+        capsys.readouterr()
+        cold = load_datasheet(out1 / "DATASHEET_cli.json")
+        warm = load_datasheet(out2 / "DATASHEET_cli.json")
+        assert (json.dumps(normalized(cold), sort_keys=True)
+                == json.dumps(normalized(warm), sort_keys=True))
+        # The warm rerun crossed processes through the disk tier.
+        assert warm["provenance"]["cache"]["job_hits"] == len(
+            warm["jobs"]
+        )
+
+
+class TestReport:
+    def test_report_renders_markdown(self, spec_file, tmp_path, capsys):
+        out = tmp_path / "out"
+        main(["characterize", "run", spec_file, "-o", str(out)])
+        capsys.readouterr()
+        assert main([
+            "characterize", "report",
+            str(out / "DATASHEET_cli.json"),
+        ]) == 0
+        assert "# Datasheet" in capsys.readouterr().out
+
+    def test_report_rejects_invalid_document(self, tmp_path, capsys):
+        path = tmp_path / "DATASHEET_x.json"
+        path.write_text(json.dumps({"kind": "datasheet"}))
+        assert main(["characterize", "report", str(path)]) == 2
+        assert "missing field" in capsys.readouterr().err

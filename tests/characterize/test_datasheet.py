@@ -1,0 +1,122 @@
+"""Datasheet schema validation, IO round-trip, and markdown rendering."""
+
+import pytest
+
+from repro.characterize import (
+    DATASHEET_SCHEMA,
+    dump_datasheet,
+    load_datasheet,
+    normalized,
+    render_datasheet_markdown,
+    validate_datasheet,
+)
+
+
+def minimal_document():
+    return {
+        "schema": DATASHEET_SCHEMA,
+        "kind": "datasheet",
+        "spec": {
+            "id": "t", "title": "t", "source": "t.json",
+            "engine": "auto", "circuits": ["fig1"],
+        },
+        "corners": {"fixed": {"kind": "fixed", "options": {}}},
+        "jobs": [
+            {"id": "fig1/fixed/certify", "circuit": "fig1",
+             "corner": "fixed", "analysis": "certify",
+             "result": {"min_period": 5, "checks": 2}},
+        ],
+        "parameters": [
+            {"id": "tau", "kind": "clock_period", "corner": "fixed",
+             "target": {"op": "<=", "value": 20},
+             "rows": [{"circuit": "fig1", "job": "fig1/fixed/certify",
+                       "measured": 5, "pass": True, "detail": "ok"}],
+             "pass": True},
+        ],
+        "counters": {"jobs": 1, "checks": 2, "parameters": 1,
+                     "parameters_passed": 1},
+        "verdict": "PASS",
+        "provenance": {"elapsed_seconds": 0.1, "jobs": 1,
+                       "cache": {"enabled": False, "hits": 0,
+                                 "misses": 0, "job_hits": 0}},
+    }
+
+
+class TestValidation:
+    def test_minimal_document_is_valid(self):
+        assert validate_datasheet(minimal_document()) == []
+
+    def test_reports_every_problem_at_once(self):
+        document = minimal_document()
+        del document["verdict"]
+        document["parameters"][0]["rows"] = []
+        document["counters"]["checks"] = "two"
+        problems = validate_datasheet(document)
+        assert len(problems) >= 3
+
+    def test_schema_version_mismatch(self):
+        document = minimal_document()
+        document["schema"] = DATASHEET_SCHEMA + 1
+        assert any("schema version" in p
+                   for p in validate_datasheet(document))
+
+    def test_duplicate_ids_detected(self):
+        document = minimal_document()
+        document["jobs"].append(dict(document["jobs"][0]))
+        document["parameters"].append(dict(document["parameters"][0]))
+        problems = validate_datasheet(document)
+        assert any("duplicate job id" in p for p in problems)
+        assert any("duplicate parameter id" in p for p in problems)
+
+    def test_bad_target_op(self):
+        document = minimal_document()
+        document["parameters"][0]["target"]["op"] = "=="
+        assert any("target.op" in p for p in validate_datasheet(document))
+
+    def test_non_dict_is_invalid(self):
+        assert validate_datasheet([]) == ["datasheet: not an object"]
+
+
+class TestIO:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "DATASHEET_t.json"
+        dump_datasheet(minimal_document(), path)
+        assert load_datasheet(path) == minimal_document()
+
+    def test_load_raises_with_all_problems(self, tmp_path):
+        document = minimal_document()
+        del document["counters"]
+        document["verdict"] = "MAYBE"
+        path = tmp_path / "DATASHEET_bad.json"
+        dump_datasheet(document, path)
+        with pytest.raises(ValueError) as info:
+            load_datasheet(path)
+        message = str(info.value)
+        assert "counters" in message and "MAYBE" in message
+
+
+class TestNormalized:
+    def test_strips_provenance_without_mutating(self):
+        document = minimal_document()
+        stripped = normalized(document)
+        assert "provenance" not in stripped
+        assert "provenance" in document
+        stripped["spec"]["id"] = "mutated"
+        assert document["spec"]["id"] == "t"     # deep copy
+
+
+class TestMarkdown:
+    def test_renders_verdicts_and_provenance(self):
+        text = render_datasheet_markdown(minimal_document())
+        assert "# Datasheet" in text
+        assert "**Verdict: PASS**" in text
+        assert "| `tau` | clock_period" in text
+        assert "cache disabled" in text
+
+    def test_fail_rows_are_bold(self):
+        document = minimal_document()
+        document["verdict"] = "FAIL"
+        document["parameters"][0]["pass"] = False
+        document["parameters"][0]["rows"][0]["pass"] = False
+        text = render_datasheet_markdown(document)
+        assert "**FAIL**" in text and "**fail**" in text

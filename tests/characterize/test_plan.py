@@ -1,0 +1,74 @@
+"""Plan expansion: dedup, determinism, and job identity."""
+
+from repro.characterize import parse_spec, plan_jobs
+
+
+def spec_document():
+    return {
+        "spec": {"id": "p", "circuits": ["fig1", "fig5"]},
+        "corners": {
+            "fixed": {"kind": "fixed"},
+            "skewed": {"kind": "clocked", "skew": 2},
+            "speedup": {"kind": "bounded"},
+            "mc": {"kind": "statistical", "samples": 4},
+        },
+        "parameter": [
+            {"id": "tau", "kind": "clock_period", "max": 20},
+            {"id": "fs", "kind": "floating_slack", "min": 0},
+            {"id": "tau-skew", "kind": "clock_period", "max": 20,
+             "corner": "skewed"},
+            {"id": "bd", "kind": "bounded_delay", "max": 20},
+            {"id": "cov", "kind": "fault_coverage", "min": 0.5,
+             "paths": 2},
+            {"id": "y", "kind": "yield", "min": 0.5},
+        ],
+    }
+
+
+def test_plan_dedups_shared_measurements():
+    spec = parse_spec(spec_document())
+    plan = plan_jobs(spec)
+    ids = [job.job_id for job in plan]
+    assert len(ids) == len(set(ids))
+    # tau, fs, and y's baseline all need the same fixed certify job.
+    assert ids.count("fig1/fixed/certify") == 1
+    assert set(ids) == {
+        "fig1/fixed/certify", "fig1/fixed/faults-k2-robust",
+        "fig1/skewed/clocked", "fig1/speedup/bounded",
+        "fig1/mc/monte_carlo",
+        "fig5/fixed/certify", "fig5/fixed/faults-k2-robust",
+        "fig5/skewed/clocked", "fig5/speedup/bounded",
+        "fig5/mc/monte_carlo",
+    }
+
+
+def test_plan_order_is_deterministic():
+    spec = parse_spec(spec_document())
+    assert plan_jobs(spec) == plan_jobs(parse_spec(spec_document()))
+    plan = plan_jobs(spec)
+    # Circuits in spec order, corners in declaration order within.
+    circuits = [job.circuit for job in plan]
+    assert circuits == sorted(circuits, key=["fig1", "fig5"].index)
+
+
+def test_jobs_carry_corner_options():
+    spec = parse_spec(spec_document())
+    by_id = {job.job_id: job for job in plan_jobs(spec)}
+    assert by_id["fig1/skewed/clocked"].option_dict == {"skew": 2}
+    mc = by_id["fig1/mc/monte_carlo"].option_dict
+    assert mc["samples"] == 4 and mc["model"] == "uniform"
+    faults = by_id["fig1/fixed/faults-k2-robust"].option_dict
+    assert faults == {"paths": 2, "strength": "robust"}
+    assert by_id["fig1/fixed/certify"].option_dict == {}
+
+
+def test_parameter_subset_limits_jobs():
+    document = spec_document()
+    document["parameter"] = [
+        {"id": "cov", "kind": "fault_coverage", "min": 0.5, "paths": 2,
+         "circuits": ["fig5"]},
+    ]
+    spec = parse_spec(document)
+    assert [job.job_id for job in plan_jobs(spec)] == [
+        "fig5/fixed/faults-k2-robust"
+    ]

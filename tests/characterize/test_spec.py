@@ -1,0 +1,214 @@
+"""Spec parsing: happy path and every failure mode.
+
+Failure-mode contract: each ``SpecError`` must name the spec source and
+the offending key, so a failing batch run is actionable from the message
+alone.
+"""
+
+import json
+import sys
+
+import pytest
+
+from repro.characterize import SpecError, load_spec, parse_spec
+
+
+def base_document():
+    return {
+        "spec": {
+            "id": "t",
+            "title": "test spec",
+            "circuits": ["fig1", "fig5"],
+        },
+        "corners": {
+            "fixed": {"kind": "fixed"},
+            "mc": {"kind": "statistical", "samples": 4, "seed": 1},
+        },
+        "parameter": [
+            {"id": "tau", "kind": "clock_period", "max": 20},
+        ],
+    }
+
+
+class TestHappyPath:
+    def test_parse_resolves_defaults(self):
+        spec = parse_spec(base_document(), source="spec.json")
+        assert spec.spec_id == "t"
+        assert spec.engine == "auto"
+        assert spec.circuits == ["fig1", "fig5"]
+        assert spec.corners["mc"].options == {
+            "model": "uniform", "spread": 1, "samples": 4, "seed": 1,
+        }
+        (tau,) = spec.parameters
+        assert tau.op == "<=" and tau.value == 20
+        assert tau.corner == "fixed"          # first corner of a fit kind
+        assert tau.circuits == ["fig1", "fig5"]
+
+    def test_yield_parameter_gets_fixed_baseline(self):
+        document = base_document()
+        document["parameter"].append(
+            {"id": "y", "kind": "yield", "min": 0.5}
+        )
+        spec = parse_spec(document, source="spec.json")
+        y = spec.parameters[1]
+        assert y.corner == "mc"
+        assert y.baseline == "fixed"
+
+    def test_parameter_circuit_subset_keeps_spec_order(self):
+        document = base_document()
+        document["parameter"][0]["circuits"] = ["fig5", "fig1"]
+        spec = parse_spec(document, source="spec.json")
+        assert spec.parameters[0].circuits == ["fig1", "fig5"]
+
+    def test_load_json_spec(self, tmp_path):
+        path = tmp_path / "small.json"
+        path.write_text(json.dumps(base_document()))
+        spec = load_spec(path)
+        assert spec.source == str(path)
+
+    @pytest.mark.skipif(sys.version_info < (3, 11),
+                        reason="tomllib needs Python >= 3.11")
+    def test_load_toml_spec(self, tmp_path):
+        path = tmp_path / "small.toml"
+        path.write_text(
+            '[spec]\nid = "t"\ncircuits = ["fig1"]\n'
+            '[corners.fixed]\nkind = "fixed"\n'
+            '[[parameter]]\nid = "tau"\nkind = "clock_period"\nmax = 9\n'
+        )
+        spec = load_spec(path)
+        assert spec.parameters[0].value == 9
+
+    @pytest.mark.skipif(sys.version_info < (3, 11),
+                        reason="tomllib needs Python >= 3.11")
+    def test_repo_example_specs_parse(self):
+        from pathlib import Path
+
+        examples = Path(__file__).resolve().parents[2] / "examples"
+        small = load_spec(examples / "characterize_figures.toml")
+        assert small.spec_id == "figures-small"
+        large = load_spec(examples / "characterize_corpus.toml")
+        assert len(large.circuits) > 25
+        assert {c.kind for c in large.corners.values()} == {
+            "fixed", "bounded", "statistical", "clocked",
+        }
+
+
+def expect_error(document, *needles):
+    with pytest.raises(SpecError) as info:
+        parse_spec(document, source="bad.json")
+    message = str(info.value)
+    assert "bad.json" in message
+    for needle in needles:
+        assert needle in message, (needle, message)
+
+
+class TestFailureModes:
+    def test_unknown_circuit_names_file_and_key(self):
+        document = base_document()
+        document["spec"]["circuits"] = ["fig1", "nonesuch"]
+        expect_error(document, "spec.circuits[1]", "nonesuch")
+
+    def test_unknown_corner_kind(self):
+        document = base_document()
+        document["corners"]["weird"] = {"kind": "typical"}
+        expect_error(document, "corners.weird.kind", "typical")
+
+    def test_unknown_corner_reference(self):
+        document = base_document()
+        document["parameter"][0]["corner"] = "nope"
+        expect_error(document, "parameter 'tau'", "corner", "nope")
+
+    def test_corner_kind_mismatch(self):
+        document = base_document()
+        document["parameter"][0]["corner"] = "mc"
+        expect_error(document, "parameter 'tau'", "'statistical'")
+
+    def test_threshold_out_of_unit_interval(self):
+        document = base_document()
+        document["parameter"].append(
+            {"id": "cov", "kind": "fault_coverage", "min": 1.5}
+        )
+        expect_error(document, "parameter 'cov'", "out of [0, 1]")
+        document["parameter"][-1]["min"] = -0.25
+        expect_error(document, "parameter 'cov'", "out of [0, 1]")
+
+    def test_duplicate_parameter_ids(self):
+        document = base_document()
+        document["parameter"].append(
+            {"id": "tau", "kind": "clock_period", "max": 5}
+        )
+        expect_error(document, "parameter 'tau'", "duplicate")
+
+    def test_duplicate_circuit(self):
+        document = base_document()
+        document["spec"]["circuits"] = ["fig1", "fig1"]
+        expect_error(document, "spec.circuits[1]", "duplicate")
+
+    def test_unknown_key_anywhere(self):
+        document = base_document()
+        document["spec"]["colour"] = "red"
+        expect_error(document, "[spec]", "colour")
+
+    def test_unknown_parameter_kind(self):
+        document = base_document()
+        document["parameter"][0]["kind"] = "slewrate"
+        expect_error(document, "parameter 'tau'", "slewrate")
+
+    def test_missing_target_value(self):
+        document = base_document()
+        del document["parameter"][0]["max"]
+        expect_error(document, "parameter 'tau'", "max")
+
+    def test_unknown_engine(self):
+        document = base_document()
+        document["spec"]["engine"] = "z3"
+        expect_error(document, "spec.engine", "z3")
+
+    def test_missing_corner_of_needed_kind(self):
+        document = base_document()
+        document["parameter"][0] = {
+            "id": "b", "kind": "bounded_delay", "max": 9,
+        }
+        expect_error(document, "parameter 'b'", "bounded")
+
+    def test_yield_without_fixed_baseline(self):
+        document = base_document()
+        del document["corners"]["fixed"]
+        document["parameter"] = [{"id": "y", "kind": "yield", "min": 0.5}]
+        expect_error(document, "parameter 'y'", "fixed")
+
+    def test_parameter_circuits_outside_spec(self):
+        document = base_document()
+        document["parameter"][0]["circuits"] = ["csa8"]
+        expect_error(document, "parameter 'tau'", "csa8")
+
+    def test_bad_statistical_model(self):
+        document = base_document()
+        document["corners"]["mc"]["model"] = "gaussian"
+        expect_error(document, "corners.mc.model", "gaussian")
+
+    def test_no_corners(self):
+        document = base_document()
+        document["corners"] = {}
+        expect_error(document, "corners")
+
+    def test_no_parameters(self):
+        document = base_document()
+        document["parameter"] = []
+        expect_error(document, "parameter")
+
+    def test_load_rejects_unknown_extension(self, tmp_path):
+        path = tmp_path / "spec.yaml"
+        path.write_text("spec: {}")
+        with pytest.raises(SpecError, match=r"\.yaml"):
+            load_spec(path)
+
+    def test_load_reports_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(SpecError, match="invalid JSON"):
+            load_spec(path)
+
+    def test_spec_error_is_value_error(self):
+        # The CLI maps ValueError to exit code 2; SpecError must ride that.
+        assert issubclass(SpecError, ValueError)

@@ -99,6 +99,27 @@ class TestStatisticsObject:
         assert stats.yield_at(6) == 1.0
         assert stats.yield_at(2) == 0.0
 
+    def test_yield_curve_endpoints_agree_with_yield_at(self):
+        # The Sec. VII speed binning between gamma and delta: the curve's
+        # endpoint values must be exactly yield_at(gamma) / yield_at(delta).
+        stats = self.make()
+        gamma, delta = 2, 7
+        curve = stats.yield_curve(gamma, delta)
+        assert curve[0] == (gamma, stats.yield_at(gamma))
+        assert curve[-1] == (delta, stats.yield_at(delta))
+        assert len(curve) == delta - gamma + 1
+
+    def test_yield_curve_rejects_reversed_bounds(self):
+        stats = self.make()
+        with pytest.raises(ValueError, match="lo=6 > hi=3"):
+            stats.yield_curve(6, 3)
+        # Degenerate single-point range is fine.
+        assert stats.yield_curve(4, 4) == [(4, stats.yield_at(4))]
+
+    def test_empty_samples_raise_clear_error(self):
+        with pytest.raises(ValueError, match="at least one sample"):
+            StatisticalTimingResult([], pairs_used=0)
+
 
 class TestTopologicalMonteCarlo:
     def test_distribution_centred_near_nominal(self):
