@@ -1,0 +1,87 @@
+"""Fuzz corpus benchmark: generation throughput and sweep rate.
+
+Acceptance checks:
+
+* every corpus size class generates valid, live circuits at its exact
+  gate target — including the large class at 10x the medium gate count,
+* tiling scales linearly to a 1000-gate circuit,
+* a fixed-seed oracle sweep stays all-PASS and is deterministic.
+
+The durable record goes to ``benchmarks/results/fuzz_corpus.txt`` and
+the canonical bench record to ``BENCH_fuzz_corpus.json`` via the suite
+recorder.
+"""
+
+from repro.fuzz.generate import (
+    corpus_profiles,
+    random_dag,
+    random_gate_circuit,
+    tile_circuit,
+)
+from repro.fuzz.runner import run_sweep
+
+from .common import render_rows, write_metrics, write_result
+
+#: (size class, batch count) — large is 10x medium's gate count, so a
+#: single draw is the honest throughput probe there.
+BATCHES = [("small", 8), ("medium", 4), ("large", 1)]
+
+
+def test_generation_and_sweep_throughput(benchmark):
+    rows = []
+    gates_by_size = {}
+    for size, count in BATCHES:
+        profiles = corpus_profiles(1, count, size=size)
+        with benchmark.measure(f"generate_{size}") as span:
+            circuits = [random_dag(profile) for profile in profiles]
+        for profile, circuit in zip(profiles, circuits):
+            circuit.validate()
+            assert circuit.num_gates == profile.num_gates
+        gates = sum(c.num_gates for c in circuits)
+        gates_by_size[size] = gates
+        rate = gates / max(span.elapsed, 1e-9)
+        benchmark.annotate(
+            f"generate_{size}", circuits=count, gates=gates,
+            gates_per_s=round(rate),
+        )
+        rows.append(
+            [f"generate {size}", count, gates,
+             f"{span.elapsed*1000:.1f}", f"{rate:,.0f}"]
+        )
+    # large really is the 10x class
+    assert gates_by_size["large"] >= 9 * gates_by_size["medium"] / 4
+
+    seed_circuit = random_gate_circuit(3, num_inputs=4, num_gates=10)
+    with benchmark.measure("tile_x100") as span:
+        tiled = tile_circuit(seed_circuit, 100)
+    tiled.validate()
+    assert tiled.num_gates == 100 * seed_circuit.num_gates
+    benchmark.annotate("tile_x100", gates=tiled.num_gates)
+    rows.append(
+        ["tile x100", 1, tiled.num_gates,
+         f"{span.elapsed*1000:.1f}", "-"]
+    )
+
+    with benchmark.measure("sweep_small") as span:
+        report = run_sweep(seed=5, count=6, shrink_failures=False)
+    assert report.ok, report.verdict_text()
+    scenarios_per_s = report.count / max(span.elapsed, 1e-9)
+    benchmark.annotate(
+        "sweep_small", scenarios=report.count,
+        verdicts=len(report.verdicts),
+        scenarios_per_s=round(scenarios_per_s, 1),
+    )
+    rows.append(
+        ["sweep 4-oracle", report.count, len(report.verdicts),
+         f"{span.elapsed*1000:.1f}", f"{scenarios_per_s:.1f}/s"]
+    )
+
+    write_result(
+        "fuzz_corpus",
+        render_rows(
+            "corpus generation and differential-sweep throughput",
+            rows,
+            headers=["stage", "n", "gates/verdicts", "ms", "rate"],
+        ),
+    )
+    write_metrics("fuzz_corpus")

@@ -13,6 +13,10 @@ from .registry import (
     available_fsm_logic,
     build_circuit,
     build_fsm_logic,
+    circuit_stats,
+    register_circuit,
+    registry_stats,
+    unregister_circuit,
 )
 from .figures import (
     FIG2_CRITICAL_PATH,
@@ -41,6 +45,10 @@ __all__ = [
     "available_fsm_logic",
     "build_circuit",
     "build_fsm_logic",
+    "circuit_stats",
+    "register_circuit",
+    "registry_stats",
+    "unregister_circuit",
     "fig1_circuit",
     "fig1_vector_pair",
     "fig2_circuit",

@@ -253,16 +253,16 @@ def _expand_xor_to_nand(circuit: Circuit) -> Circuit:
             node.fanins
         ) == 2:
             a, b = node.fanins
-            n1 = f"{name}#x1"
-            n2 = f"{name}#x2"
-            n3 = f"{name}#x3"
+            n1 = f"{name}_x1"
+            n2 = f"{name}_x2"
+            n3 = f"{name}_x3"
             result.add_gate(n1, GateType.NAND, [a, b], 1)
             result.add_gate(n2, GateType.NAND, [a, n1], 1)
             result.add_gate(n3, GateType.NAND, [b, n1], 1)
             if node.gate_type == GateType.XOR:
                 result.add_gate(name, GateType.NAND, [n2, n3], node.delay)
             else:
-                n4 = f"{name}#x4"
+                n4 = f"{name}_x4"
                 result.add_gate(n4, GateType.NAND, [n2, n3], 1)
                 result.add_gate(name, GateType.NOT, [n4], node.delay)
             continue

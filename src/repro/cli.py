@@ -365,6 +365,138 @@ def cmd_characterize(args) -> int:
     )
 
 
+def cmd_fuzz(args) -> int:
+    from . import fuzz
+
+    if args.fuzz_command == "run":
+        oracles = [o.strip() for o in args.oracles.split(",") if o.strip()]
+        report = fuzz.run_sweep(
+            seed=args.seed,
+            count=args.count,
+            oracles=oracles,
+            jobs=args.jobs,
+            oracle_jobs=args.oracle_jobs,
+            size=args.size,
+            max_edits=args.max_edits,
+            out_dir=args.out,
+            plant=args.plant,
+            shrink_failures=not args.no_shrink,
+            shrink_budget=args.shrink_budget,
+            timeout=args.timeout,
+            retries=args.retries,
+        )
+        for verdict in report.verdicts:
+            print(verdict.verdict_line())
+        print(report.summary_line())
+        for path in report.repro_paths:
+            print(f"repro: {path}")
+        return 0 if report.ok else 1
+
+    if args.fuzz_command == "replay":
+        reproduced, verdicts = fuzz.replay_repro(
+            args.file, oracle_jobs=args.oracle_jobs
+        )
+        for verdict in verdicts:
+            print(verdict.verdict_line())
+        if reproduced:
+            print(f"replay: {args.file}: failure reproduced")
+            return 0
+        print(f"replay: {args.file}: failure did NOT reproduce")
+        return 1
+
+    if args.fuzz_command == "shrink":
+        envelope = fuzz.load_repro(args.file)
+        scenario = fuzz.Scenario.from_dict(envelope["scenario"])
+        failure = fuzz.OracleVerdict.from_dict(envelope["failure"])
+        plant = envelope.get("plant")
+
+        def fails(candidate):
+            return not fuzz.run_oracle(
+                candidate,
+                failure.oracle,
+                oracle_jobs=args.oracle_jobs,
+                plant=plant,
+            ).ok
+
+        result = fuzz.shrink_scenario(
+            scenario, fails, max_evaluations=args.budget
+        )
+        envelope["scenario"] = result.scenario.to_dict()
+        envelope["shrink"] = result.to_dict()
+        out = args.out or args.file
+        fuzz.write_repro(out, envelope)
+        print(
+            f"shrink: {list(result.original_size)} -> "
+            f"{list(result.final_size)} in {result.evaluations} "
+            f"evaluations -> {out}"
+        )
+        return 0
+
+    if args.fuzz_command == "corpus":
+        from .circuits import registry
+
+        rows = []
+        if args.registry:
+            for name in registry.available_circuits():
+                stats = registry.circuit_stats(name)
+                rows.append((name, "registry", stats))
+        else:
+            names = []
+            if args.register:
+                names = fuzz.register_corpus(
+                    args.seed, args.count, args.size
+                )
+            for index, profile in enumerate(
+                fuzz.corpus_profiles(args.seed, args.count, args.size)
+            ):
+                circuit = fuzz.random_dag(profile)
+                rows.append(
+                    (
+                        profile.circuit_name(),
+                        f"dag seed={profile.seed}",
+                        fuzz.netlist_stats(circuit),
+                    )
+                )
+            if args.netlists:
+                for name in fuzz.register_netlist_dir(args.netlists):
+                    rows.append(
+                        (
+                            name,
+                            "netlist",
+                            registry.circuit_stats(name),
+                        )
+                    )
+            if names:
+                print(
+                    f"registered {len(names)} corpus circuits: "
+                    f"{', '.join(names)}"
+                )
+        header = ("name", "source", "in", "out", "gates", "lits", "delay")
+        widths = [
+            max(
+                len(header[0]), max((len(r[0]) for r in rows), default=0)
+            ),
+            max(
+                len(header[1]), max((len(r[1]) for r in rows), default=0)
+            ),
+        ]
+        print(
+            f"{header[0]:<{widths[0]}}  {header[1]:<{widths[1]}}  "
+            f"{header[2]:>5} {header[3]:>5} {header[4]:>6} "
+            f"{header[5]:>6} {header[6]:>6}"
+        )
+        for name, source, stats in rows:
+            print(
+                f"{name:<{widths[0]}}  {source:<{widths[1]}}  "
+                f"{stats['inputs']:>5} {stats['outputs']:>5} "
+                f"{stats['gates']:>6} {stats['literals']:>6} "
+                f"{stats['delay']:>6}"
+            )
+        return 0
+
+    raise ValueError(f"unknown fuzz command {args.fuzz_command!r}")
+
+
 def _parse_tcp(spec: str):
     host, sep, port = spec.rpartition(":")
     if not sep or not port.isdigit():
@@ -797,6 +929,141 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("file", help="BENCH_*.json record or summary")
 
     p.set_defaults(func=cmd_bench)
+
+    # ``fuzz`` — the scenario fuzzer (docs/FUZZING.md).
+    p = sub.add_parser(
+        "fuzz",
+        help="scenario fuzzer: differential sweeps, minimal-repro "
+        "shrinking, corpus listings",
+        description="Scenario fuzzer (docs/FUZZING.md): deterministic "
+        "seeded streams of circuit x delay-corner x edit-sequence "
+        "scenarios, cross-checked by four differential oracles (serial "
+        "vs sharded, cold vs incremental, scalar vs word-level, "
+        "cache-cold vs cache-warm); failures shrink to self-contained "
+        ".repro.json files.",
+    )
+    fuzz_sub = p.add_subparsers(dest="fuzz_command", required=True)
+
+    def fuzz_runtime_flags(f):
+        f.add_argument(
+            "--oracle-jobs", type=int, default=1, metavar="N",
+            help="worker processes *inside* each oracle's sharded leg "
+            "(default: 1)",
+        )
+        f.add_argument(
+            "--timeout", type=float, default=None, metavar="S",
+            help="per-chunk wall-clock timeout for sharded execution",
+        )
+        f.add_argument(
+            "--retries", type=int, default=1, metavar="N",
+            help="retry rounds for failed/timed-out chunks (default: 1)",
+        )
+        f.add_argument(
+            "--metrics", action="store_true",
+            help="print runtime metrics (fuzz.* counters, phase times) "
+            "and the trace tree to stderr",
+        )
+        f.add_argument(
+            "--trace", default=None, metavar="FILE",
+            help="write the execution trace as JSON to FILE",
+        )
+
+    f = fuzz_sub.add_parser(
+        "run",
+        help="run a seeded differential sweep (exit 1 on any failure)",
+    )
+    f.add_argument("--seed", type=int, default=0, metavar="N",
+                   help="stream seed (default: 0)")
+    f.add_argument("--count", type=int, default=20, metavar="N",
+                   help="number of scenarios (default: 20)")
+    f.add_argument(
+        "--size", default="small",
+        help="corpus size class: small/medium/large (default: small)",
+    )
+    f.add_argument(
+        "--oracles", default="jobs,incremental,wordsim,cache",
+        metavar="LIST",
+        help="comma-separated oracle subset (default: all four)",
+    )
+    f.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the scenario fan-out "
+        "(1 = serial, 0 = all cores; default: 1)",
+    )
+    f.add_argument(
+        "--max-edits", type=int, default=4, metavar="N",
+        help="edit-sequence length cap per scenario (default: 4)",
+    )
+    f.add_argument(
+        "-o", "--out", default=None, metavar="DIR",
+        help="write verdicts.txt and <scenario>.repro.json files here",
+    )
+    f.add_argument(
+        "--plant", default=None, choices=["xor"],
+        help="inject a deliberate divergence (CI golden path): 'xor' "
+        "perturbs the incremental oracle iff the circuit has an XOR "
+        "gate",
+    )
+    f.add_argument(
+        "--no-shrink", action="store_true",
+        help="file failing scenarios unshrunk",
+    )
+    f.add_argument(
+        "--shrink-budget", type=int, default=200, metavar="N",
+        help="max predicate evaluations per shrink (default: 200)",
+    )
+    fuzz_runtime_flags(f)
+
+    f = fuzz_sub.add_parser(
+        "replay",
+        help="re-execute a .repro.json (exit 0 iff the failure "
+        "reproduces)",
+    )
+    f.add_argument("file", help="a .repro.json written by 'fuzz run'")
+    fuzz_runtime_flags(f)
+
+    f = fuzz_sub.add_parser(
+        "shrink", help="re-shrink a .repro.json with a fresh budget"
+    )
+    f.add_argument("file", help="a .repro.json written by 'fuzz run'")
+    f.add_argument(
+        "-o", "--out", default=None, metavar="FILE",
+        help="output path (default: overwrite the input)",
+    )
+    f.add_argument(
+        "--budget", type=int, default=400, metavar="N",
+        help="max predicate evaluations (default: 400)",
+    )
+    fuzz_runtime_flags(f)
+
+    f = fuzz_sub.add_parser(
+        "corpus",
+        help="list (and optionally register) corpus circuits with "
+        "structural stats",
+    )
+    f.add_argument("--seed", type=int, default=0, metavar="N")
+    f.add_argument("--count", type=int, default=8, metavar="N")
+    f.add_argument(
+        "--size", default="small",
+        help="corpus size class: small/medium/large (default: small)",
+    )
+    f.add_argument(
+        "--register", action="store_true",
+        help="register the listed corpus slice with the circuit "
+        "registry for this process",
+    )
+    f.add_argument(
+        "--netlists", default=None, metavar="DIR",
+        help="also import and register every .bench/.blif under DIR",
+    )
+    f.add_argument(
+        "--registry", action="store_true",
+        help="list the full circuit registry with stats instead of a "
+        "generated slice",
+    )
+    fuzz_runtime_flags(f)
+
+    p.set_defaults(func=cmd_fuzz)
 
     return parser
 

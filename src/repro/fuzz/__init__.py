@@ -1,0 +1,105 @@
+"""Scenario fuzzer and scalable circuit corpus.
+
+Four layers (see ``docs/FUZZING.md``):
+
+* **corpus**    — :mod:`.generate` (seeded random DAGs, deep arithmetic
+  families, tiling) and :mod:`.netlist` (BLIF/BENCH import/export with
+  round-trip identity), both feeding :mod:`repro.circuits.registry`;
+* **scenarios** — :mod:`.scenario` (circuit × delay-model corner ×
+  journalled edit sequence, as deterministic seeded streams);
+* **oracles**   — :mod:`.oracle` (differential checks: serial vs
+  sharded, cold vs incremental, scalar vs word lanes, cache-cold vs
+  cache-warm);
+* **shrinking** — :mod:`.shrink` (greedy delta-debugging to a minimal
+  self-contained repro) and :mod:`.runner` (sweeps, ``.repro.json``
+  filing and replay — the engine behind ``trued fuzz``).
+"""
+
+from .generate import (
+    DagProfile,
+    GenerationError,
+    adder_tower,
+    corpus_profiles,
+    corpus_sizes,
+    multiplier_ladder,
+    random_dag,
+    random_gate_circuit,
+    register_corpus,
+    tile_circuit,
+    xor_spine,
+)
+from .netlist import (
+    NetlistError,
+    export_netlist,
+    import_netlist,
+    load_netlist,
+    loads_netlist,
+    netlist_stats,
+    register_netlist,
+    register_netlist_dir,
+    round_trip_fixpoint,
+    structurally_equal,
+)
+from .oracle import ORACLES, OracleVerdict, run_oracle, run_scenario
+from .runner import (
+    SweepReport,
+    load_repro,
+    replay_repro,
+    run_sweep,
+    write_repro,
+)
+from .scenario import (
+    CORNER_KINDS,
+    Corner,
+    Scenario,
+    apply_edits,
+    materialize,
+    random_edit,
+    scenario_for,
+    scenario_stream,
+)
+from .shrink import ShrinkResult, scenario_size, shrink_scenario
+
+__all__ = [
+    "CORNER_KINDS",
+    "Corner",
+    "DagProfile",
+    "GenerationError",
+    "NetlistError",
+    "ORACLES",
+    "OracleVerdict",
+    "Scenario",
+    "ShrinkResult",
+    "SweepReport",
+    "adder_tower",
+    "apply_edits",
+    "corpus_profiles",
+    "corpus_sizes",
+    "export_netlist",
+    "import_netlist",
+    "load_netlist",
+    "load_repro",
+    "loads_netlist",
+    "materialize",
+    "multiplier_ladder",
+    "netlist_stats",
+    "random_dag",
+    "random_edit",
+    "random_gate_circuit",
+    "register_corpus",
+    "register_netlist",
+    "register_netlist_dir",
+    "replay_repro",
+    "round_trip_fixpoint",
+    "run_oracle",
+    "run_scenario",
+    "run_sweep",
+    "scenario_for",
+    "scenario_size",
+    "scenario_stream",
+    "shrink_scenario",
+    "structurally_equal",
+    "tile_circuit",
+    "write_repro",
+    "xor_spine",
+]

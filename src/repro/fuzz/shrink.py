@@ -1,0 +1,300 @@
+"""Greedy delta-debugging: reduce a failing scenario to a minimal repro.
+
+The shrinker repeatedly proposes strictly-smaller candidate scenarios and
+keeps any candidate on which the failure predicate still holds, looping
+until a full round of passes makes no progress (a fixpoint) or the
+evaluation budget runs out.  Passes, in order:
+
+1. **edits**   — ddmin over the edit list (chunk halving, then singles);
+2. **corner**  — collapse the delay-model corner toward plain ``fixed``
+   (drop skew, shrink sample counts);
+3. **delays**  — flatten the explicit delay map back to unit delays;
+4. **outputs** — drop primary outputs one at a time (keeping >= 1);
+5. **gates**   — bypass-remove gates (rewire every fanout of ``g`` onto
+   ``g``'s first fanin, then strip ``g``), plus a dead-logic sweep that
+   removes everything outside the outputs' transitive fanin;
+6. **inputs**  — prune primary inputs no surviving gate reads.
+
+Every candidate is validated by materialising it; a candidate the
+circuit model rejects simply doesn't reproduce the failure and is
+discarded — the shrinker can never *produce* an invalid repro.
+
+The failure predicate is arbitrary (``Scenario -> bool``); the runner
+wires it to "this specific oracle still fails", so shrinking works for
+organic divergences and planted ones alike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace as dataclass_replace
+from typing import Callable, Dict, Iterator, Tuple
+
+from ..network.circuit import Circuit
+from ..network.gates import GateType
+from .scenario import Corner, Scenario, materialize, snapshot_circuit
+
+__all__ = ["ShrinkResult", "scenario_size", "shrink_scenario"]
+
+
+def scenario_size(scenario: Scenario) -> Tuple[int, int, int, int, int]:
+    """Lexicographic size: (gates, inputs, outputs, edits, corner+delay
+    complexity).  Shrinking only ever accepts strictly smaller scenarios
+    under this order, so it terminates."""
+    try:
+        circuit = materialize(scenario)
+        gates = circuit.num_gates
+        inputs = len(circuit.inputs)
+        outputs = len(circuit.outputs)
+    except ValueError:
+        gates = inputs = outputs = 1 << 30
+    corner_weight = 0 if scenario.corner.kind == "fixed" else 1 + sum(
+        value for __, value in scenario.corner.options
+    )
+    return (
+        gates,
+        inputs,
+        outputs,
+        len(scenario.edits),
+        corner_weight + len(scenario.delays),
+    )
+
+
+class ShrinkResult:
+    """The minimal scenario plus shrink accounting."""
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        original_size: Tuple[int, ...],
+        evaluations: int,
+        rounds: int,
+    ):
+        self.scenario = scenario
+        self.original_size = original_size
+        self.final_size = scenario_size(scenario)
+        self.evaluations = evaluations
+        self.rounds = rounds
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "original_size": list(self.original_size),
+            "final_size": list(self.final_size),
+            "evaluations": self.evaluations,
+            "rounds": self.rounds,
+        }
+
+
+# ----------------------------------------------------------------------
+# Candidate builders.  Each yields strictly-smaller Scenario variants.
+# ----------------------------------------------------------------------
+def _with_circuit(scenario: Scenario, circuit: Circuit) -> Scenario:
+    bench_text, delays = snapshot_circuit(circuit)
+    return dataclass_replace(
+        scenario, bench_text=bench_text, delays=delays
+    )
+
+
+def _edit_candidates(scenario: Scenario) -> Iterator[Scenario]:
+    edits = scenario.edits
+    if not edits:
+        return
+    yield dataclass_replace(scenario, edits=[])
+    chunk = max(1, len(edits) // 2)
+    while chunk >= 1:
+        for start in range(0, len(edits), chunk):
+            kept = edits[:start] + edits[start + chunk:]
+            if len(kept) < len(edits):
+                yield dataclass_replace(scenario, edits=list(kept))
+        if chunk == 1:
+            break
+        chunk //= 2
+
+
+def _corner_candidates(scenario: Scenario) -> Iterator[Scenario]:
+    corner = scenario.corner
+    if corner.kind != "fixed":
+        yield dataclass_replace(scenario, corner=Corner("fixed"))
+    if corner.kind == "clocked" and corner.option("skew", 1) > 1:
+        yield dataclass_replace(
+            scenario, corner=Corner("clocked", (("skew", 1),))
+        )
+    if corner.kind == "statistical" and corner.option("samples", 0) > 2:
+        yield dataclass_replace(
+            scenario,
+            corner=Corner(
+                "statistical", (("samples", 2), ("spread", 1))
+            ),
+        )
+
+
+def _delay_candidates(scenario: Scenario) -> Iterator[Scenario]:
+    if scenario.delays:
+        yield dataclass_replace(scenario, delays={})
+        for name in sorted(scenario.delays):
+            trimmed = dict(scenario.delays)
+            del trimmed[name]
+            yield dataclass_replace(scenario, delays=trimmed)
+
+
+def _output_candidates(scenario: Scenario) -> Iterator[Scenario]:
+    try:
+        circuit = materialize(scenario)
+    except ValueError:
+        return
+    outputs = circuit.outputs
+    if len(outputs) <= 1:
+        return
+    for dropped in outputs:
+        clone = circuit.copy()
+        clone.set_outputs([o for o in outputs if o != dropped])
+        yield _with_circuit(scenario, _strip_dead(clone))
+
+
+def _strip_dead(circuit: Circuit) -> Circuit:
+    """Remove every node outside the outputs' transitive fanin (unused
+    inputs included)."""
+    live = set(circuit.transitive_fanin(circuit.outputs))
+    clone = Circuit(circuit.name)
+    for name in circuit.inputs:
+        if name in live:
+            clone.add_input(name)
+    for node_name in circuit.topological_order():
+        node = circuit.node(node_name)
+        if node.gate_type == GateType.INPUT or node_name not in live:
+            continue
+        clone.add_gate(node.name, node.gate_type, node.fanins, node.delay)
+    clone.set_outputs(circuit.outputs)
+    return clone
+
+
+def _bypass_gate(circuit: Circuit, name: str) -> Circuit:
+    """Drop gate ``name``, steering its fanouts (and output role) to its
+    first fanin, then sweep dead logic."""
+    victim = circuit.node(name)
+    substitute = victim.fanins[0]
+    clone = Circuit(circuit.name)
+    for input_name in circuit.inputs:
+        clone.add_input(input_name)
+    for node_name in circuit.topological_order():
+        node = circuit.node(node_name)
+        if node.gate_type == GateType.INPUT or node_name == name:
+            continue
+        fanins = tuple(
+            substitute if fanin == name else fanin for fanin in node.fanins
+        )
+        clone.add_gate(node.name, node.gate_type, fanins, node.delay)
+    clone.set_outputs(
+        [substitute if out == name else out for out in circuit.outputs]
+    )
+    return _strip_dead(clone)
+
+
+def _gate_candidates(scenario: Scenario) -> Iterator[Scenario]:
+    try:
+        circuit = materialize(scenario)
+    except ValueError:
+        return
+    stripped = _strip_dead(circuit)
+    if stripped.num_gates < circuit.num_gates or len(
+        stripped.inputs
+    ) < len(circuit.inputs):
+        yield _with_circuit(scenario, stripped)
+    for name in sorted(circuit.gate_names()):
+        if not circuit.node(name).fanins:
+            continue  # constants have nothing to steer fanouts onto
+        try:
+            candidate = _bypass_gate(circuit, name)
+            candidate.validate()
+        except (ValueError, IndexError):
+            continue
+        if candidate.outputs and candidate.num_gates < circuit.num_gates:
+            yield _with_circuit(scenario, candidate)
+
+
+def _input_candidates(scenario: Scenario) -> Iterator[Scenario]:
+    try:
+        circuit = materialize(scenario)
+    except ValueError:
+        return
+    fanouts = circuit.fanouts()
+    dead = [
+        name
+        for name in circuit.inputs
+        if not fanouts[name] and name not in circuit.outputs
+    ]
+    if not dead or len(dead) == len(circuit.inputs):
+        return
+    clone = Circuit(circuit.name)
+    for name in circuit.inputs:
+        if name not in dead:
+            clone.add_input(name)
+    for node_name in circuit.topological_order():
+        node = circuit.node(node_name)
+        if node.gate_type != GateType.INPUT:
+            clone.add_gate(
+                node.name, node.gate_type, node.fanins, node.delay
+            )
+    clone.set_outputs(circuit.outputs)
+    yield _with_circuit(scenario, clone)
+
+
+_PASSES: Tuple[Callable[[Scenario], Iterator[Scenario]], ...] = (
+    _edit_candidates,
+    _corner_candidates,
+    _delay_candidates,
+    _output_candidates,
+    _gate_candidates,
+    _input_candidates,
+)
+
+
+def shrink_scenario(
+    scenario: Scenario,
+    fails: Callable[[Scenario], bool],
+    max_evaluations: int = 400,
+) -> ShrinkResult:
+    """Reduce ``scenario`` while ``fails`` keeps returning True.
+
+    ``fails`` must hold on the input scenario (ValueError otherwise —
+    shrinking a passing scenario would "converge" to garbage).  The
+    returned scenario is a local minimum: no single pass candidate both
+    stays smaller and still fails.
+    """
+    if not fails(scenario):
+        raise ValueError(
+            f"scenario {scenario.scenario_id!r} does not fail; "
+            "nothing to shrink"
+        )
+    current = scenario
+    evaluations = 0
+    rounds = 0
+    progress = True
+    while progress and evaluations < max_evaluations:
+        progress = False
+        rounds += 1
+        for candidate_pass in _PASSES:
+            # Re-enumerate from the *current* scenario each time a
+            # candidate is accepted, so passes compound within a round.
+            accepted = True
+            while accepted and evaluations < max_evaluations:
+                accepted = False
+                for candidate in candidate_pass(current):
+                    if evaluations >= max_evaluations:
+                        break
+                    if not scenario_size(candidate) < scenario_size(
+                        current
+                    ):
+                        continue
+                    evaluations += 1
+                    try:
+                        still_failing = fails(candidate)
+                    except Exception:
+                        continue
+                    if still_failing:
+                        current = candidate
+                        accepted = True
+                        progress = True
+                        break
+    return ShrinkResult(
+        current, scenario_size(scenario), evaluations, rounds
+    )

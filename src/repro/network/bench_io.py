@@ -54,8 +54,16 @@ _REVERSE_TYPE_MAP: Dict[GateType, str] = {
 }
 
 
-def loads_bench(text: str, name: str = "bench") -> Circuit:
-    """Parse ``.bench`` text into a :class:`Circuit`."""
+def loads_bench(
+    text: str, name: str = "bench", source: str = "<bench>"
+) -> Circuit:
+    """Parse ``.bench`` text into a :class:`Circuit`.
+
+    Parse diagnostics are prefixed ``source:line:``.  Structural errors —
+    cyclic or undriven netlists — surface from :meth:`Circuit.validate`
+    with the same messages construction through
+    :class:`~repro.network.builder.CircuitBuilder` would raise.
+    """
     circuit = Circuit(name)
     outputs: List[str] = []
     pending: List[tuple] = []
@@ -77,12 +85,12 @@ def loads_bench(text: str, name: str = "bench") -> Circuit:
             type_name = type_name.upper()
             if type_name not in _TYPE_MAP:
                 raise ValueError(
-                    f"line {line_no}: unknown gate type {type_name!r}"
+                    f"{source}:{line_no}: unknown gate type {type_name!r}"
                 )
             fanins = [a.strip() for a in arg_text.split(",") if a.strip()]
             pending.append((target, _TYPE_MAP[type_name], fanins))
             continue
-        raise ValueError(f"line {line_no}: cannot parse {raw!r}")
+        raise ValueError(f"{source}:{line_no}: cannot parse {raw!r}")
     # Gates may reference signals defined later in the file.
     for target, gate_type, fanins in pending:
         circuit.add_gate(target, gate_type, fanins)
@@ -93,18 +101,26 @@ def loads_bench(text: str, name: str = "bench") -> Circuit:
 
 def load_bench(path: str, name: str = "") -> Circuit:
     with open(path) as handle:
-        return loads_bench(handle.read(), name or path)
+        return loads_bench(handle.read(), name or path, source=path)
 
 
 def dumps_bench(circuit: Circuit) -> str:
     """Render a circuit as ``.bench`` text (delays are not representable in
     the format and are dropped; the reader restores unit delays)."""
+    for node in circuit.nodes():
+        # '#' starts a comment on re-read; such names cannot survive a
+        # round trip, so refuse to emit them rather than corrupt silently.
+        if "#" in node.name or any(ch.isspace() for ch in node.name):
+            raise ValueError(
+                f"cannot emit BENCH: node name {node.name!r} is not "
+                f"representable"
+            )
     lines = [f"# {circuit.name}"]
     for name in circuit.inputs:
         lines.append(f"INPUT({name})")
     for name in circuit.outputs:
         lines.append(f"OUTPUT({name})")
-    for node_name in circuit.topological_order():
+    for node_name in circuit.canonical_topological_order():
         node = circuit.node(node_name)
         if node.gate_type == GateType.INPUT:
             continue

@@ -19,86 +19,139 @@ def _synthesize_cover(
     target: str,
     fanins: List[str],
     rows: List[Tuple[str, str]],
+    where: str = "",
 ) -> None:
     """Create gates realising the single-output cover ``rows`` at ``target``.
 
     Each row is ``(input_pattern, output_value)`` with pattern chars 0/1/-.
     All-'1' output rows form an SOP; all-'0' rows define the complement.
+    ``where`` is the ``source:line`` location of the ``.names`` header,
+    prefixed onto parse diagnostics.
     """
     if not rows:
         circuit.add_gate(target, GateType.CONST0, ())
         return
     out_values = {value for __, value in rows}
     if len(out_values) != 1:
-        raise ValueError(f".names {target}: mixed on-set/off-set cover")
+        raise ValueError(
+            f"{where}.names {target}: mixed on-set/off-set cover"
+        )
     invert = out_values == {"0"}
     if not fanins:
         # Constant: a single row with empty pattern.
         gate = GateType.CONST0 if invert else GateType.CONST1
         circuit.add_gate(target, gate, ())
         return
+    for pattern, __ in rows:
+        if len(pattern) != len(fanins):
+            raise ValueError(
+                f"{where}.names {target}: row {pattern!r} arity mismatch"
+            )
 
-    def literal(net: str, positive: bool, hint: str) -> str:
+    # Canonical cover shapes map straight onto mapped gates.  Recognising
+    # them keeps import(export(c)) a structural fixpoint: the writer emits
+    # exactly these shapes, so re-importing does not grow helper layers.
+    if len(rows) == 1:
+        pattern = rows[0][0]
+        if set(pattern) == {"1"}:
+            if len(fanins) == 1:
+                gate = GateType.NOT if invert else GateType.BUF
+            else:
+                gate = GateType.NAND if invert else GateType.AND
+            circuit.add_gate(target, gate, fanins)
+            return
+        if set(pattern) == {"0"}:
+            if len(fanins) == 1:
+                gate = GateType.BUF if invert else GateType.NOT
+            else:
+                gate = GateType.OR if invert else GateType.NOR
+            circuit.add_gate(target, gate, fanins)
+            return
+    one_hot = [
+        fanins[pattern.index("1")]
+        for pattern, __ in rows
+        if pattern.count("1") == 1 and pattern.count("-") == len(pattern) - 1
+    ]
+    if len(one_hot) == len(rows) > 1:
+        gate = GateType.NOR if invert else GateType.OR
+        circuit.add_gate(target, gate, one_hot)
+        return
+
+    # General SOP path.  Helper names use '$', which BLIF tokenises as an
+    # ordinary identifier character ('#' would start a comment on re-read).
+    def literal(net: str, positive: bool) -> str:
         if positive:
             return net
-        inv_name = f"{target}#inv#{net}"
+        inv_name = f"{target}$inv${net}"
         if inv_name not in circuit:
             circuit.add_gate(inv_name, GateType.NOT, [net])
         return inv_name
 
     product_names: List[str] = []
     for row_index, (pattern, __) in enumerate(rows):
-        if len(pattern) != len(fanins):
-            raise ValueError(
-                f".names {target}: row {pattern!r} arity mismatch"
-            )
         literals = [
-            literal(net, ch == "1", f"{row_index}")
+            literal(net, ch == "1")
             for net, ch in zip(fanins, pattern)
             if ch != "-"
         ]
         if not literals:
             # Tautological row.
-            const = f"{target}#const1#{row_index}"
+            const = f"{target}$const1${row_index}"
             circuit.add_gate(const, GateType.CONST1, ())
             literals = [const]
+        if len(rows) == 1 and len(literals) > 1:
+            # A single product row: the target IS the product gate.
+            gate = GateType.NAND if invert else GateType.AND
+            circuit.add_gate(target, gate, literals)
+            return
         if len(literals) == 1:
             product_names.append(literals[0])
         else:
-            product = f"{target}#and#{row_index}"
+            product = f"{target}$and${row_index}"
             circuit.add_gate(product, GateType.AND, literals)
             product_names.append(product)
 
-    final_type = GateType.NOR if invert else GateType.OR
     if len(product_names) == 1:
-        if invert:
-            circuit.add_gate(target, GateType.NOT, product_names)
-        else:
-            circuit.add_gate(target, GateType.BUF, product_names)
+        gate = GateType.NOT if invert else GateType.BUF
+        circuit.add_gate(target, gate, product_names)
     else:
+        final_type = GateType.NOR if invert else GateType.OR
         circuit.add_gate(target, final_type, product_names)
 
 
-def loads_blif(text: str) -> Circuit:
-    """Parse a combinational BLIF model into a :class:`Circuit`."""
+def loads_blif(text: str, source: str = "<blif>") -> Circuit:
+    """Parse a combinational BLIF model into a :class:`Circuit`.
+
+    Parse diagnostics are prefixed ``source:line:`` (the physical line of
+    the offending construct; continuation lines report their first
+    physical line).  Structural errors — cyclic or undriven netlists —
+    surface from :meth:`Circuit.validate` with the same messages
+    construction through :class:`~repro.network.builder.CircuitBuilder`
+    would raise.
+    """
     model_name = "blif"
     inputs: List[str] = []
     outputs: List[str] = []
-    covers: List[Tuple[str, List[str], List[Tuple[str, str]]]] = []
-    current: Optional[Tuple[str, List[str], List[Tuple[str, str]]]] = None
+    # covers: (target, fanins, rows, source-line of the .names header)
+    covers: List[Tuple[str, List[str], List[Tuple[str, str]], int]] = []
+    current: Optional[Tuple[str, List[str], List[Tuple[str, str]], int]] = (
+        None
+    )
 
-    # Join continuation lines.
-    logical_lines: List[str] = []
-    for raw in text.splitlines():
+    # Join continuation lines, remembering each logical line's first
+    # physical line number.
+    logical_lines: List[Tuple[int, str]] = []
+    for line_no, raw in enumerate(text.splitlines(), start=1):
         line = raw.split("#", 1)[0].rstrip()
         if not line.strip():
             continue
-        if logical_lines and logical_lines[-1].endswith("\\"):
-            logical_lines[-1] = logical_lines[-1][:-1] + " " + line.strip()
+        if logical_lines and logical_lines[-1][1].endswith("\\"):
+            start, joined = logical_lines[-1]
+            logical_lines[-1] = (start, joined[:-1] + " " + line.strip())
         else:
-            logical_lines.append(line.strip())
+            logical_lines.append((line_no, line.strip()))
 
-    for line in logical_lines:
+    for line_no, line in logical_lines:
         tokens = line.split()
         if tokens[0] == ".model":
             model_name = tokens[1] if len(tokens) > 1 else model_name
@@ -107,15 +160,25 @@ def loads_blif(text: str) -> Circuit:
         elif tokens[0] == ".outputs":
             outputs.extend(tokens[1:])
         elif tokens[0] == ".names":
-            current = (tokens[-1], tokens[1:-1], [])
+            if len(tokens) < 2:
+                raise ValueError(
+                    f"{source}:{line_no}: .names needs a target signal"
+                )
+            current = (tokens[-1], tokens[1:-1], [], line_no)
             covers.append(current)
         elif tokens[0] == ".end":
             current = None
         elif tokens[0].startswith("."):
-            raise ValueError(f"unsupported BLIF construct {tokens[0]!r}")
+            raise ValueError(
+                f"{source}:{line_no}: unsupported BLIF construct "
+                f"{tokens[0]!r}"
+            )
         else:
             if current is None:
-                raise ValueError(f"cover row outside .names: {line!r}")
+                raise ValueError(
+                    f"{source}:{line_no}: cover row outside .names: "
+                    f"{line!r}"
+                )
             if len(tokens) == 1:
                 # Constant row: output value only.
                 current[2].append(("", tokens[0]))
@@ -125,8 +188,10 @@ def loads_blif(text: str) -> Circuit:
     circuit = Circuit(model_name)
     for name in inputs:
         circuit.add_input(name)
-    for target, fanins, rows in covers:
-        _synthesize_cover(circuit, target, fanins, rows)
+    for target, fanins, rows, line_no in covers:
+        _synthesize_cover(
+            circuit, target, fanins, rows, where=f"{source}:{line_no}: "
+        )
     circuit.set_outputs(outputs)
     circuit.validate()
     return circuit
@@ -134,7 +199,7 @@ def loads_blif(text: str) -> Circuit:
 
 def load_blif(path: str) -> Circuit:
     with open(path) as handle:
-        return loads_blif(handle.read())
+        return loads_blif(handle.read(), source=path)
 
 
 _COVER_FOR_TYPE: Dict[GateType, str] = {}
@@ -173,10 +238,18 @@ def _gate_rows(gate: GateType, arity: int) -> List[str]:
 
 def dumps_blif(circuit: Circuit) -> str:
     """Render the circuit as BLIF (delays are not representable)."""
+    for node in circuit.nodes():
+        # '#' starts a comment on re-read; such names cannot survive a
+        # round trip, so refuse to emit them rather than corrupt silently.
+        if "#" in node.name or any(ch.isspace() for ch in node.name):
+            raise ValueError(
+                f"cannot emit BLIF: node name {node.name!r} is not "
+                f"representable"
+            )
     lines = [f".model {circuit.name}"]
     lines.append(".inputs " + " ".join(circuit.inputs))
     lines.append(".outputs " + " ".join(circuit.outputs))
-    for node_name in circuit.topological_order():
+    for node_name in circuit.canonical_topological_order():
         node = circuit.node(node_name)
         if node.gate_type == GateType.INPUT:
             continue

@@ -339,6 +339,32 @@ class Circuit:
         self._topo_cache = order
         return order
 
+    def canonical_topological_order(self) -> List[str]:
+        """Topological order that is a pure function of the graph.
+
+        Unlike :meth:`topological_order`, which is sensitive to node
+        insertion order, ties are broken by name — so two structurally
+        equal circuits serialise identically (netlist exports are
+        byte-stable round trips).  Raises ValueError on cycles.
+        """
+        import heapq
+
+        in_degree = {name: len(node.fanins) for name, node in self._nodes.items()}
+        fanouts = self.fanouts()
+        ready = [name for name, deg in in_degree.items() if deg == 0]
+        heapq.heapify(ready)
+        order: List[str] = []
+        while ready:
+            name = heapq.heappop(ready)
+            order.append(name)
+            for fo in fanouts[name]:
+                in_degree[fo] -= 1
+                if in_degree[fo] == 0:
+                    heapq.heappush(ready, fo)
+        if len(order) != len(self._nodes):
+            raise ValueError("circuit graph contains a cycle")
+        return order
+
     def fanouts(self) -> Dict[str, List[str]]:
         """Map from node name to the names of nodes it feeds."""
         if self._fanout_cache is not None:

@@ -570,3 +570,52 @@ def shard_characterize_jobs(
     merged = [entry for chunk in results for entry in chunk]
     merged.sort(key=lambda item: item[0])
     return [result for __, result in merged]
+
+
+def _fuzz_worker(payload):
+    tasks, config = payload
+    from ..fuzz.runner import execute_scenario_payload
+
+    from .metrics import metrics_scope
+
+    results = []
+    with metrics_scope() as chunk_metrics:
+        for index, scenario_data in tasks:
+            results.append(
+                (index, execute_scenario_payload(scenario_data, config))
+            )
+    return results, chunk_metrics.snapshot()["counters"], {}
+
+
+def shard_fuzz_scenarios(
+    scenarios: Sequence[Dict],
+    config: Dict,
+    jobs: int = 2,
+    timeout: Optional[float] = None,
+    retries: Optional[int] = None,
+) -> List[List[Dict]]:
+    """Run fuzz scenarios (as ``Scenario.to_dict`` payloads) across
+    workers.
+
+    ``config`` carries the oracle selection (``oracles``, ``oracle_jobs``,
+    ``plant``).  Scenarios are self-contained (embedded BENCH text), so
+    payloads never reference registry state.  Results come back
+    index-merged — each entry is the scenario's ordered verdict-dict
+    list — making the sweep's verdict stream byte-identical to a serial
+    run, which is exactly what the ``jobs`` differential oracle and the
+    CI determinism check rely on.
+    """
+    jobs = resolve_jobs(jobs, len(scenarios))
+    tasks = list(enumerate(scenarios))
+
+    def make_payload(chunk):
+        return (list(chunk), dict(config))
+
+    with METRICS.phase("parallel.fuzz_scenarios"):
+        results = _run_sharded(
+            _fuzz_worker, tasks, make_payload, jobs,
+            timeout=timeout, retries=retries, label="fuzz",
+        )
+    merged = [entry for chunk in results for entry in chunk]
+    merged.sort(key=lambda item: item[0])
+    return [verdicts for __, verdicts in merged]

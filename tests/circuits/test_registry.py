@@ -51,3 +51,68 @@ def test_builds_are_reproducible():
 def test_unknown_name_lists_catalog():
     with pytest.raises(ValueError, match="unknown benchmark circuit"):
         build_circuit("rca128")
+
+
+def test_builders_ignore_global_random_state():
+    """Regression: registry builds must be a pure function of the name.
+
+    Seeded builders must use their own private ``random.Random``; a
+    builder that reads the *global* generator would produce different
+    circuits depending on unrelated code having touched ``random.seed``.
+    """
+    import random
+
+    from repro.runtime.fingerprint import circuit_fingerprint
+
+    sample = ["rand120x7", "rand350x5", "c880", "ecc32"]
+    random.seed(1)
+    first = {n: circuit_fingerprint(build_circuit(n)) for n in sample}
+    random.seed(999983)
+    random.random()
+    second = {n: circuit_fingerprint(build_circuit(n)) for n in sample}
+    assert first == second
+
+
+class TestStatsAndRegistration:
+    def test_circuit_stats_shape(self):
+        from repro.circuits.registry import circuit_stats
+
+        stats = circuit_stats("c17")
+        circuit = build_circuit("c17")
+        assert stats["inputs"] == len(circuit.inputs)
+        assert stats["outputs"] == len(circuit.outputs)
+        assert stats["gates"] == circuit.num_gates
+        assert stats["delay"] == circuit.topological_delay()
+        assert stats["literals"] >= stats["gates"]
+
+    def test_registry_stats_covers_catalog(self):
+        from repro.circuits.registry import registry_stats
+
+        table = registry_stats(["c17", "fig1"])
+        assert set(table) == {"c17", "fig1"}
+        assert all("gates" in row for row in table.values())
+
+    def test_register_and_unregister(self):
+        from repro.circuits.registry import (
+            circuit_stats,
+            register_circuit,
+            unregister_circuit,
+        )
+
+        register_circuit("tmp_test_circ", lambda: build_circuit("fig1"))
+        try:
+            assert "tmp_test_circ" in available_circuits()
+            assert circuit_stats("tmp_test_circ")["gates"] > 0
+            with pytest.raises(ValueError):
+                register_circuit(
+                    "tmp_test_circ", lambda: build_circuit("fig2")
+                )
+        finally:
+            unregister_circuit("tmp_test_circ")
+        assert "tmp_test_circ" not in available_circuits()
+
+    def test_register_rejects_empty_name(self):
+        from repro.circuits.registry import register_circuit
+
+        with pytest.raises(ValueError):
+            register_circuit("", lambda: build_circuit("fig1"))

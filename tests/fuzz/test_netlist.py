@@ -1,0 +1,190 @@
+"""Netlist layer: located parse errors, round-trip identity on every
+registry circuit, and CircuitBuilder-identical structural rejection."""
+
+import pytest
+
+from repro.circuits import available_circuits, build_circuit
+from repro.fuzz.netlist import (
+    NetlistError,
+    export_netlist,
+    load_netlist,
+    loads_netlist,
+    register_netlist,
+    round_trip_fixpoint,
+    structurally_equal,
+)
+from repro.network import CircuitBuilder, GateType
+
+
+class TestLocatedErrors:
+    def test_bench_unknown_gate_names_file_and_line(self):
+        with pytest.raises(NetlistError) as err:
+            loads_netlist(
+                "INPUT(a)\nOUTPUT(f)\nf = FROB(a)\n",
+                "bench",
+                source="bad.bench",
+            )
+        assert str(err.value).startswith("bad.bench:3: ")
+        assert err.value.source == "bad.bench"
+        assert err.value.line == 3
+
+    def test_bench_garbage_line_names_file_and_line(self):
+        with pytest.raises(NetlistError) as err:
+            loads_netlist(
+                "INPUT(a)\n\n# comment\nwhat is this\n",
+                "bench",
+                source="g.bench",
+            )
+        assert str(err.value).startswith("g.bench:4: ")
+
+    def test_blif_unsupported_construct_names_file_and_line(self):
+        with pytest.raises(NetlistError) as err:
+            loads_netlist(
+                ".model m\n.inputs a\n.outputs f\n.latch a f\n.end\n",
+                "blif",
+                source="m.blif",
+            )
+        assert str(err.value).startswith("m.blif:4: ")
+        assert err.value.line == 4
+
+    def test_blif_cover_row_outside_names(self):
+        with pytest.raises(NetlistError) as err:
+            loads_netlist(
+                ".model m\n.inputs a\n.outputs f\n1 1\n",
+                "blif",
+                source="m.blif",
+            )
+        assert str(err.value).startswith("m.blif:4: ")
+
+    def test_blif_arity_mismatch_names_names_header_line(self):
+        text = (
+            ".model m\n.inputs a b\n.outputs f\n"
+            ".names a b f\n111 1\n.end\n"
+        )
+        with pytest.raises(NetlistError) as err:
+            loads_netlist(text, "blif", source="m.blif")
+        assert str(err.value).startswith("m.blif:4: ")
+
+    def test_file_loader_uses_path_as_source(self, tmp_path):
+        path = tmp_path / "broken.bench"
+        path.write_text("INPUT(a)\nf = FROB(a)\n")
+        with pytest.raises(NetlistError) as err:
+            load_netlist(str(path))
+        assert str(err.value).startswith(f"{path}:2: ")
+
+    def test_unknown_format_and_extension(self, tmp_path):
+        with pytest.raises(NetlistError):
+            loads_netlist("x", "verilog")
+        path = tmp_path / "c.v"
+        path.write_text("module c; endmodule\n")
+        with pytest.raises(NetlistError):
+            load_netlist(str(path))
+
+
+class TestStructuralRejection:
+    """Cyclic/undriven netlists raise the exact construction-time
+    messages CircuitBuilder raises."""
+
+    def builder_error(self, build) -> str:
+        with pytest.raises(ValueError) as err:
+            build()
+        return str(err.value)
+
+    def test_cycle_matches_builder(self):
+        def build_cyclic():
+            b = CircuitBuilder("cyc")
+            b.input("a")
+            b.gate(GateType.AND, ["a", "g2"], name="g1")
+            b.gate(GateType.NOT, ["g1"], name="g2")
+            b.output("g1")
+            return b.build()
+
+        message = self.builder_error(build_cyclic)
+        text = (
+            "INPUT(a)\nOUTPUT(g1)\n"
+            "g1 = AND(a, g2)\ng2 = NOT(g1)\n"
+        )
+        with pytest.raises(NetlistError) as err:
+            loads_netlist(text, "bench", source="cyc.bench")
+        assert str(err.value) == message
+        assert "cycle" in message
+
+    def test_undriven_matches_builder(self):
+        def build_undriven():
+            b = CircuitBuilder("und")
+            b.input("a")
+            b.gate(GateType.AND, ["a", "ghost"], name="f")
+            b.output("f")
+            return b.build()
+
+        message = self.builder_error(build_undriven)
+        text = "INPUT(a)\nOUTPUT(f)\nf = AND(a, ghost)\n"
+        with pytest.raises(NetlistError) as err:
+            loads_netlist(text, "bench", source="und.bench")
+        assert str(err.value) == message
+
+    def test_missing_output_matches_builder(self):
+        def build_missing():
+            b = CircuitBuilder("mo")
+            a = b.input("a")
+            b.not_(a, name="f")
+            b.output("nothere")
+            return b.build()
+
+        message = self.builder_error(build_missing)
+        text = "INPUT(a)\nOUTPUT(nothere)\nf = NOT(a)\n"
+        with pytest.raises(NetlistError) as err:
+            loads_netlist(text, "bench", source="mo.bench")
+        assert str(err.value) == message
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", available_circuits())
+    @pytest.mark.parametrize("fmt", ("bench", "blif"))
+    def test_every_registry_circuit_is_a_fixpoint(self, name, fmt):
+        circuit = build_circuit(name)
+        first, second = round_trip_fixpoint(circuit, fmt)
+        assert structurally_equal(first, second)
+
+    def test_bench_round_trip_preserves_structure(self):
+        circuit = build_circuit("fig2")
+        text = export_netlist(circuit, "bench")
+        back = loads_netlist(text, "bench", name=circuit.name)
+        assert back.inputs == circuit.inputs
+        assert back.outputs == circuit.outputs
+        assert {n.name for n in back.nodes()} == {
+            n.name for n in circuit.nodes()
+        }
+
+    def test_structurally_equal_detects_difference(self):
+        a = build_circuit("fig1")
+        b = build_circuit("fig1")
+        assert structurally_equal(a, b)
+        b.set_delay(b.gate_names()[0], 7)
+        assert not structurally_equal(a, b)
+
+
+class TestRegistryFeeding:
+    def test_register_netlist_roundtrip(self, tmp_path):
+        from repro.circuits import registry
+
+        circuit = build_circuit("c17")
+        path = tmp_path / "c17copy.bench"
+        path.write_text(export_netlist(circuit, "bench"))
+        name = register_netlist(str(path))
+        try:
+            assert name == "c17copy"
+            built = registry.build_circuit(name)
+            assert built.num_gates == circuit.num_gates
+            stats = registry.circuit_stats(name)
+            assert stats["inputs"] == len(circuit.inputs)
+        finally:
+            registry.unregister_circuit(name)
+
+    def test_register_collision_requires_replace(self, tmp_path):
+        from repro.circuits import registry
+
+        with pytest.raises(ValueError):
+            registry.register_circuit(
+                "c17", lambda: build_circuit("fig1")
+            )

@@ -4,7 +4,6 @@ strategies for random circuits."""
 from __future__ import annotations
 
 import itertools
-import random
 
 from repro.network import Circuit, CircuitBuilder, GateType, loads_bench
 from repro.sim import EventSimulator, all_input_vectors
@@ -85,33 +84,19 @@ def random_circuit(
     num_gates: int = 6,
     max_delay: int = 2,
 ) -> Circuit:
-    """Small random circuit for oracle-based property tests."""
-    rng = random.Random(seed)
-    types = [
-        GateType.AND,
-        GateType.NAND,
-        GateType.OR,
-        GateType.NOR,
-        GateType.XOR,
-        GateType.NOT,
-        GateType.BUF,
-    ]
-    b = CircuitBuilder(f"rand{seed}")
-    nodes = [b.input(f"x{i}") for i in range(num_inputs)]
-    for g in range(num_gates):
-        gate_type = types[rng.randrange(len(types))]
-        delay = rng.randint(1, max_delay)
-        if gate_type in (GateType.NOT, GateType.BUF):
-            fanins = [nodes[rng.randrange(len(nodes))]]
-        else:
-            arity = rng.randint(2, min(3, len(nodes)))
-            fanins = rng.sample(nodes, arity)
-        nodes.append(b.gate(gate_type, fanins, name=f"g{g}", delay=delay))
-    # Expose the last couple of gates as outputs.
-    b.output(nodes[-1])
-    if num_gates >= 2:
-        b.output(nodes[-2])
-    return b.build()
+    """Small random circuit for oracle-based property tests.
+
+    A thin delegate to the fuzz corpus generator — the one seeded
+    random-circuit implementation shared by the property suites and
+    ``trued fuzz`` (see :mod:`repro.fuzz.generate`)."""
+    from repro.fuzz.generate import random_gate_circuit
+
+    return random_gate_circuit(
+        seed,
+        num_inputs=num_inputs,
+        num_gates=num_gates,
+        max_delay=max_delay,
+    )
 
 
 def assert_same_function(left: Circuit, right: Circuit) -> None:

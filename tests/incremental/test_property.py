@@ -1,51 +1,20 @@
-"""Property: random journal-edit sequences, incremental == from-scratch."""
+"""Property: random journal-edit sequences, incremental == from-scratch.
+
+Circuits and edits both come from the shared fuzz corpus generators
+(:mod:`repro.fuzz.generate` / :mod:`repro.fuzz.scenario`) — the same
+draws ``trued fuzz`` sweeps, so a divergence found here is directly
+expressible as a fuzz scenario and vice versa."""
+
+import random
 
 import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.circuits.generators import random_logic
+from repro.fuzz.generate import random_gate_circuit
+from repro.fuzz.scenario import apply_edits, random_edit
 from repro.incremental import IncrementalTimingEngine, KINDS, cold_query
-from repro.network.gates import GateType, UNARY_GATES
-
-GATE_TYPES = [
-    GateType.AND, GateType.NAND, GateType.OR, GateType.NOR,
-    GateType.XOR, GateType.NOT, GateType.BUF,
-]
-
-
-def apply_random_edit(circuit, rng_draw) -> bool:
-    """Apply one randomly drawn journalled edit; returns False if the
-    drawn edit was rejected (e.g. would create a cycle) and skipped."""
-    gates = circuit.gate_names()
-    name = gates[rng_draw(st.integers(0, len(gates) - 1))]
-    op = rng_draw(st.sampled_from(["set_delay", "rewire", "replace_gate"]))
-    try:
-        if op == "set_delay":
-            circuit.set_delay(name, rng_draw(st.integers(0, 3)))
-        elif op == "rewire":
-            node = circuit.node(name)
-            pool = circuit.inputs + [g for g in gates if g != name]
-            arity = (
-                1
-                if node.gate_type in UNARY_GATES
-                else rng_draw(st.integers(1, 3))
-            )
-            fanins = [
-                pool[rng_draw(st.integers(0, len(pool) - 1))]
-                for __ in range(arity)
-            ]
-            circuit.rewire(name, fanins)
-        else:
-            circuit.replace_gate(
-                name,
-                gate_type=rng_draw(st.sampled_from(GATE_TYPES)),
-                fanins=None,
-                delay=rng_draw(st.integers(0, 3)),
-            )
-    except ValueError:
-        return False  # cycle or arity rejection: the circuit is unchanged
-    return True
 
 
 @settings(
@@ -53,17 +22,24 @@ def apply_random_edit(circuit, rng_draw) -> bool:
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow],
 )
-@given(data=st.data())
-def test_random_edit_sequences_match_cold_rebuild(data):
-    seed = data.draw(st.integers(0, 50))
-    circuit = random_logic(
-        num_inputs=5, num_gates=15, num_outputs=3, seed=seed
+@given(
+    seed=st.integers(0, 50),
+    edit_seed=st.integers(0, 10_000),
+    num_edits=st.integers(1, 4),
+)
+def test_random_edit_sequences_match_cold_rebuild(
+    seed, edit_seed, num_edits
+):
+    circuit = random_gate_circuit(
+        seed, num_inputs=5, num_gates=15, max_delay=2, num_outputs=3
     )
     engine = IncrementalTimingEngine(circuit)
     engine.query("transition")
-    num_edits = data.draw(st.integers(1, 4))
+    rng = random.Random(f"prop-edit:{edit_seed}")
     for __ in range(num_edits):
-        apply_random_edit(circuit, data.draw)
+        edit = random_edit(circuit, rng, max_delay=3)
+        if edit is not None:
+            apply_edits(circuit, [edit])
         circuit.validate()
         incremental = engine.query("transition")
         assert incremental.record_json() == (
