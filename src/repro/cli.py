@@ -22,6 +22,10 @@ Commands
 * ``loadgen``         — concurrent client fleet against a timing server
   (or a self-hosted in-process one): p50/p95/p99 latency, throughput,
   busy-rejection and coalescing accounting.
+* ``worker``          — distributed shard worker: accepts chunk jobs over
+  a JSON-lines socket with the content-addressed disk cache as the
+  shared artifact store; analysis commands reach it with ``--transport
+  remote --hosts H:P[,...]`` (see ``docs/DISTRIBUTED.md``).
 * ``characterize``    — datasheet pipeline: ``characterize run SPEC``
   fans a declarative TOML/JSON spec (registry circuits x delay-model
   corners x analyses) through the sharded runtime and emits a versioned
@@ -68,7 +72,13 @@ from .network import (
     render_cone,
     render_levels,
 )
-from .runtime import METRICS, TRACER, configure_cache, set_execution_policy
+from .runtime import (
+    METRICS,
+    TRACER,
+    configure_cache,
+    set_execution_policy,
+    set_transport_policy,
+)
 from .sim import EventSimulator, dumps_vcd
 from .sta import render_table, statistics_row, timing_report
 
@@ -506,6 +516,19 @@ def _parse_tcp(spec: str):
     return host or "127.0.0.1", int(port)
 
 
+def cmd_worker(args) -> int:
+    if bool(args.tcp) == bool(args.socket):
+        raise ValueError(
+            "worker needs exactly one of --tcp HOST:PORT or --socket PATH"
+        )
+    from .runtime.remote import run_worker
+
+    endpoint = (
+        f"tcp://{args.tcp}" if args.tcp else f"unix://{args.socket}"
+    )
+    return run_worker(endpoint, cache_dir=args.cache)
+
+
 def cmd_serve(args) -> int:
     if args.tcp or args.async_socket:
         # The asyncio front-end: many concurrent sessions over one shared
@@ -631,6 +654,22 @@ def build_parser() -> argparse.ArgumentParser:
             help="retry rounds for failed or timed-out chunks (each "
             "retry isolates items one per task) before degrading to "
             "serial in-process execution (default: 1)",
+        )
+        p.add_argument(
+            "--transport",
+            choices=["local", "remote"],
+            default="local",
+            help="sharded-execution substrate: the in-host process pool, "
+            "or remote `trued worker` hosts (--hosts) sharing the --cache "
+            "DIR artifact store; results stay byte-identical either way "
+            "(default: local; see docs/DISTRIBUTED.md)",
+        )
+        p.add_argument(
+            "--hosts",
+            default=None,
+            metavar="H:P[,H:P...]",
+            help="comma-separated worker endpoints for --transport remote "
+            "(HOST:PORT or unix socket paths)",
         )
         p.add_argument(
             "--metrics",
@@ -799,6 +838,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=cmd_loadgen)
 
+    # ``worker`` — a long-lived distributed shard worker; analysis
+    # commands running elsewhere reach it with --transport remote.
+    p = sub.add_parser(
+        "worker",
+        help="distributed shard worker: accept chunk jobs over a "
+        "JSON-lines socket (docs/DISTRIBUTED.md)",
+        description="Distributed shard worker (docs/DISTRIBUTED.md): "
+        "accepts chunk jobs from a parent run over JSON-lines framing, "
+        "fetching payloads and pushing results through the shared "
+        "content-addressed cache directory.  Start one worker per core "
+        "you want to lend; the parent selects them with --transport "
+        "remote --hosts.",
+    )
+    p.add_argument(
+        "--tcp", default=None, metavar="HOST:PORT",
+        help="listen on TCP (PORT 0 picks a free port; the bound "
+        "endpoint is announced as 'WORKER READY ...' on stdout)",
+    )
+    p.add_argument(
+        "--socket", default=None, metavar="PATH",
+        help="listen on a unix domain socket (stale files are "
+        "probe-removed, live listeners refuse takeover, the file is "
+        "unlinked on exit)",
+    )
+    p.add_argument(
+        "--cache", default=None, metavar="DIR",
+        help="shared artifact store: the same directory (local or NFS) "
+        "the parent run passes via --cache/REPRO_CACHE_DIR "
+        "(default: REPRO_CACHE_DIR)",
+    )
+    p.set_defaults(func=cmd_worker)
+
     # ``characterize`` runs a declarative spec over registry circuits, so
     # it takes a spec file rather than a netlist positional.
     p = sub.add_parser(
@@ -846,6 +917,16 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument(
         "--retries", type=int, default=1, metavar="N",
         help="retry rounds for failed/timed-out chunks (default: 1)",
+    )
+    c.add_argument(
+        "--transport", choices=["local", "remote"], default="local",
+        help="sharded-execution substrate for the job fan-out "
+        "(remote needs --hosts and a shared --cache DIR; see "
+        "docs/DISTRIBUTED.md)",
+    )
+    c.add_argument(
+        "--hosts", default=None, metavar="H:P[,H:P...]",
+        help="worker endpoints for --transport remote",
     )
     c.add_argument(
         "--metrics", action="store_true",
@@ -957,6 +1038,15 @@ def build_parser() -> argparse.ArgumentParser:
         f.add_argument(
             "--retries", type=int, default=1, metavar="N",
             help="retry rounds for failed/timed-out chunks (default: 1)",
+        )
+        f.add_argument(
+            "--transport", choices=["local", "remote"], default="local",
+            help="sharded-execution substrate (remote needs --hosts and "
+            "a shared cache dir; see docs/DISTRIBUTED.md)",
+        )
+        f.add_argument(
+            "--hosts", default=None, metavar="H:P[,H:P...]",
+            help="worker endpoints for --transport remote",
         )
         f.add_argument(
             "--metrics", action="store_true",
@@ -1080,13 +1170,22 @@ def _configure_runtime(args) -> None:
         configure_cache(enabled=False)
     elif getattr(args, "cache", None):
         configure_cache(enabled=True, cache_dir=args.cache)
+    transport = getattr(args, "transport", None)
+    if transport is not None:
+        hosts = getattr(args, "hosts", None) or ""
+        set_transport_policy(
+            transport=transport,
+            hosts=[h.strip() for h in hosts.split(",") if h.strip()],
+        )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    _configure_runtime(args)
     try:
+        # Configuration errors (e.g. --transport remote without --hosts)
+        # report like any other usage error.
+        _configure_runtime(args)
         return args.func(args)
     except (ValueError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)

@@ -41,12 +41,11 @@ from typing import Optional, Sequence
 from ..runtime.faults import worker_fault
 from ..runtime.metrics import METRICS
 from ..runtime.parallel import (
-    _call_worker,
     _chunk_round_robin,
     _cone_worker,
-    _kill_pool,
     resolve_jobs,
 )
+from ..runtime.transport import _call_worker, _kill_pool
 from ..runtime.tracing import TRACER
 
 

@@ -36,12 +36,10 @@ removed.
 from __future__ import annotations
 
 import json
-import os
 import signal
-import socket
 import sys
 import time
-from typing import Dict, Iterator, Optional
+from typing import Dict, Optional
 
 from ..core.transition import collect_certification_pairs
 from ..network.bench_io import load_bench, loads_bench
@@ -52,9 +50,25 @@ from ..network.verilog_io import load_verilog
 from ..runtime.cache import DelayCache
 from ..runtime.metrics import METRICS
 from ..runtime.tracing import TRACER
+from ..serve.framing import (
+    ProtocolError,
+    bound_unix_socket,
+    iter_request_lines,
+    prepare_unix_socket_path,
+)
 from .cones import KINDS
 from .engine import IncrementalTimingEngine
 from .pool import WarmPool
+
+__all__ = [
+    "QueryService",
+    "ServiceError",
+    "iter_request_lines",
+    "prepare_unix_socket_path",
+    "serve_stream",
+    "serve_stdio",
+    "serve_unix",
+]
 
 
 def _load_netlist(path: str) -> Circuit:
@@ -71,8 +85,11 @@ def _load_netlist(path: str) -> Circuit:
     )
 
 
-class ServiceError(ValueError):
-    """A malformed or unserviceable request (reported, never fatal)."""
+# A malformed or unserviceable request (reported, never fatal).  This is
+# the framing layer's exception type so endpoint-lifecycle failures (a
+# live socket refusing takeover in prepare_unix_socket_path) and bad
+# requests surface through one catchable class.
+ServiceError = ProtocolError
 
 
 class QueryService:
@@ -306,30 +323,8 @@ class QueryService:
 
 
 # ----------------------------------------------------------------------
-# Transports
+# Transports (JSON-lines framing shared via repro.serve.framing)
 # ----------------------------------------------------------------------
-def iter_request_lines(reader) -> Iterator[str]:
-    """Yield request lines from ``reader``, including a final line that
-    arrives without a trailing newline at EOF.
-
-    ``readline()`` is used instead of raw chunked reads so an interactive
-    stdio session still gets a response per line; on stream close the
-    buffered partial line is returned by ``readline`` itself, so the last
-    request of a piped script that forgot its trailing ``\\n`` is
-    serviced rather than dropped.  Plain iterables (scripted tests hand
-    in line lists) pass through unchanged.
-    """
-    readline = getattr(reader, "readline", None)
-    if readline is None:
-        yield from reader
-        return
-    while True:
-        line = readline()
-        if line == "":
-            return
-        yield line
-
-
 def serve_stream(service: QueryService, reader, writer) -> None:
     """Drive the request loop over text streams (stdio or a socket file)."""
     for line in iter_request_lines(reader):
@@ -364,83 +359,29 @@ def serve_stdio(service: QueryService) -> int:
     return 0
 
 
-def prepare_unix_socket_path(path: str) -> None:
-    """Make ``path`` bindable, distinguishing stale from live sockets.
-
-    A server that crashed mid-request (SIGKILL, OOM) leaves its socket
-    file behind, and a plain ``bind`` on the next start fails with
-    ``EADDRINUSE`` — the unix-domain equivalent of missing
-    ``SO_REUSEADDR``.  Blindly unlinking is worse: it silently
-    disconnects a *live* server from its clients.  So: connect-probe
-    first.  If something accepts (or the connection is merely backlogged,
-    ``EAGAIN``), the address is genuinely in use and we refuse; if the
-    probe is refused or times out, the file is a corpse and is unlinked.
-    """
-    if not os.path.exists(path):
-        return
-    probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-    probe.settimeout(0.25)
-    try:
-        probe.connect(path)
-    except (ConnectionRefusedError, socket.timeout, FileNotFoundError):
-        try:
-            os.unlink(path)
-        except FileNotFoundError:
-            pass
-    except OSError as error:
-        raise ServiceError(
-            f"socket {path!r} looks live but is not connectable "
-            f"({error}); remove it manually if it is stale"
-        )
-    else:
-        raise ServiceError(
-            f"socket {path!r} already has a listening server; "
-            "refusing to unlink it"
-        )
-    finally:
-        probe.close()
-
-
 def serve_unix(service: QueryService, path: str) -> int:
     """Accept connections on a unix socket, one session at a time.
 
     Sequential sessions share the service state (loaded circuit, warm
     pool, memoised cones), so a reconnecting client resumes where it
-    left off.  The socket file is unlinked on *every* exit path —
-    graceful shutdown, a crash escaping the request loop, or interpreter
-    teardown (``atexit``) — and a stale file from a hard-killed
-    predecessor is probe-detected and removed before binding.
+    left off.  Endpoint lifecycle — probe-and-remove a stale file from a
+    hard-killed predecessor, refuse to steal a live listener, unlink the
+    socket file on *every* exit path including interpreter teardown —
+    comes from :func:`repro.serve.framing.bound_unix_socket`.
     """
-    import atexit
-
     _install_signal_handlers(service)
-    prepare_unix_socket_path(path)
-
-    def _unlink_socket() -> None:
-        if os.path.exists(path):
-            try:
-                os.unlink(path)
-            except OSError:
-                pass
-
-    atexit.register(_unlink_socket)
-    server = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
     try:
-        server.bind(path)
-        server.listen(1)
-        while not service.shutdown_requested:
-            try:
-                connection, __ = server.accept()
-            except OSError:
-                break
-            with connection:
-                reader = connection.makefile("r", encoding="utf-8")
-                writer = connection.makefile("w", encoding="utf-8")
-                serve_stream(service, reader, writer)
+        with bound_unix_socket(path, backlog=1) as server:
+            while not service.shutdown_requested:
+                try:
+                    connection, __ = server.accept()
+                except OSError:
+                    break
+                with connection:
+                    reader = connection.makefile("r", encoding="utf-8")
+                    writer = connection.makefile("w", encoding="utf-8")
+                    serve_stream(service, reader, writer)
     finally:
-        server.close()
-        _unlink_socket()
-        atexit.unregister(_unlink_socket)
         if service.pool is not None:
             service.pool.shutdown()
     return 0

@@ -7,9 +7,14 @@ circuit content plus a handful of parameters.  This package exploits that:
   :class:`~repro.network.circuit.Circuit`, so analyses are keyable;
 * :mod:`repro.runtime.cache` — two-tier (memory LRU + optional disk)
   result cache keyed by ``(fingerprint, kind, engine, constraint, params)``;
-* :mod:`repro.runtime.parallel` — a fault-tolerant process-pool sharder
-  for the per-output / per-path / per-sample fan-out of the delay cores
+* :mod:`repro.runtime.parallel` — a fault-tolerant sharder for the
+  per-output / per-path / per-sample fan-out of the delay cores
   (per-chunk timeouts, poison-isolation retries, serial degradation);
+* :mod:`repro.runtime.transport` — the :class:`ShardTransport`
+  interface behind the sharder: the in-host process pool, or
+  :mod:`repro.runtime.remote`'s long-lived ``trued worker`` hosts over
+  JSON-lines sockets with the disk cache as the shared artifact store
+  (``docs/DISTRIBUTED.md``);
 * :mod:`repro.runtime.metrics` — counters and phase timers threaded
   through the cores and reported by the CLI and the benchmark harness;
 * :mod:`repro.runtime.tracing` — hierarchical execution spans (nested
@@ -47,6 +52,14 @@ from .parallel import (
     shard_monte_carlo,
 )
 from .tracing import GLOBAL_TRACER, TRACER, Span, Tracer, current_tracer, tracer_scope
+from .transport import (
+    ChunkResult,
+    LocalPoolTransport,
+    ShardTransport,
+    resolve_transport,
+    set_transport_policy,
+    transport_policy,
+)
 
 __all__ = [
     "CACHE_SCHEMA",
@@ -81,4 +94,10 @@ __all__ = [
     "shard_cone_queries",
     "shard_fault_tests",
     "shard_monte_carlo",
+    "ChunkResult",
+    "LocalPoolTransport",
+    "ShardTransport",
+    "resolve_transport",
+    "set_transport_policy",
+    "transport_policy",
 ]

@@ -18,34 +18,48 @@ caller's serial path; sharded results are merged deterministically
 (outputs in declaration order, faults and samples by original index), so
 ``jobs=1`` and ``jobs=N`` runs are result-identical.
 
-Execution is *fault-tolerant*: chunks are submitted as futures with a
-per-round wall-clock timeout, a failed or timed-out chunk is retried as
-single-item tasks (isolating a poison item — a BDD blowup kills only its
-own retry, not its chunk-mates), and once the bounded retries are
-exhausted the remaining items run serially in-process.  A ``jobs=N`` run
-therefore never produces less than the serial run: worker death degrades
-throughput, not results.  Every degradation step is counted in
-:data:`~repro.runtime.metrics.METRICS` and recorded as an event on the
-current :data:`~repro.runtime.tracing.TRACER` span; the deterministic
-fault hooks in :mod:`repro.runtime.faults` exercise each path in CI.
+Execution is *fault-tolerant*: chunks are submitted as one round of
+tasks with a per-round wall-clock timeout, a failed or timed-out chunk
+is retried as single-item tasks (isolating a poison item — a BDD blowup
+kills only its own retry, not its chunk-mates), and once the bounded
+retries are exhausted the remaining items run serially in-process.  A
+``jobs=N`` run therefore never produces less than the serial run:
+worker death degrades throughput, not results.  Every degradation step
+is counted in :data:`~repro.runtime.metrics.METRICS` and recorded as an
+event on the current :data:`~repro.runtime.tracing.TRACER` span; the
+deterministic fault hooks in :mod:`repro.runtime.faults` exercise each
+path in CI.
+
+*Where* a round runs is a :class:`~repro.runtime.transport.ShardTransport`
+(:mod:`repro.runtime.transport`): the in-host process pool by default,
+or long-lived ``trued worker`` hosts over sockets
+(:mod:`repro.runtime.remote`, ``--transport remote``, see
+``docs/DISTRIBUTED.md``).  The retry/degrade machinery above sits on
+top of the interface, so every transport inherits the same guarantee.
 
 Workers return ``(result, counters, gauges)``; the parent folds counters
 additively and gauges max-wise into the global metrics, and attributes
-them to a per-chunk trace span tagged with the worker's pid.
+them to a per-chunk trace span tagged with the worker's pid, host, and
+transport.
 """
 
 from __future__ import annotations
 
 import os
 import random
-import time
-from concurrent.futures import CancelledError, ProcessPoolExecutor, wait
-from concurrent.futures.process import BrokenProcessPool
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from .faults import inject_worker_fault, worker_fault
+from .faults import worker_fault
 from .metrics import METRICS, engine_peak_nodes
 from .tracing import TRACER
+from .transport import (
+    TIMEOUT,
+    WORKER_DIED,
+    ChunkResult,
+    ShardTransport,
+    _call_worker,  # noqa: F401  (back-compat: pool entry point lived here)
+    resolve_transport,
+)
 
 
 def resolve_jobs(jobs: Optional[int], task_count: Optional[int] = None) -> int:
@@ -106,95 +120,43 @@ def _resolve_policy(
 # ----------------------------------------------------------------------
 # The fault-tolerant sharded runner
 # ----------------------------------------------------------------------
-def _call_worker(args):
-    """Pool entry point (runs in the worker process): apply any injected
-    fault for this task, then clock the real worker."""
-    worker, task_index, fault, payload = args
-    inject_worker_fault(fault, task_index)
-    start = time.perf_counter()
-    result = worker(payload)
-    return os.getpid(), time.perf_counter() - start, result
+def _harvest_chunk(
+    chunk_result: ChunkResult, label: str, transport_name: str, results: list
+) -> None:
+    """Fold one completed chunk into metrics/tracing and the result list
+    (always on the caller's thread — transports never touch METRICS or
+    TRACER for completed work)."""
+    METRICS.merge_counters(chunk_result.counters)
+    METRICS.merge_gauges(chunk_result.gauges)
+    TRACER.add_span(
+        f"{label}.chunk", chunk_result.elapsed,
+        counters=chunk_result.counters, gauges=chunk_result.gauges,
+        chunk=chunk_result.index, items=len(chunk_result.chunk),
+        worker=chunk_result.worker, host=chunk_result.host,
+        transport=transport_name,
+    )
+    results.append(chunk_result.result)
 
 
-def _kill_pool(pool: ProcessPoolExecutor) -> None:
-    """Hard-stop a pool that may hold hung or dead workers: terminate its
-    processes (a hung worker never drains the call queue on its own), then
-    abandon the executor without waiting."""
-    try:
-        processes = list((pool._processes or {}).values())
-    except Exception:
-        processes = []
-    for process in processes:
-        try:
-            process.terminate()
-        except Exception:
-            pass
-    try:
-        pool.shutdown(wait=False, cancel_futures=True)
-    except Exception:
-        pass
-
-
-def _run_round(pool, worker, make_payload, tasks, timeout, fault, results,
-               label):
-    """Submit one round of tasks and harvest it.
-
-    Returns ``(failed_tasks, pool_or_None)`` — the pool comes back as
-    ``None`` when it had to be killed (worker death or hung workers), in
-    which case the caller starts the next round on a fresh pool.
-    """
-    futures: Dict[object, Tuple[int, list]] = {}
-    failed: List[Tuple[int, list]] = []
-    pool_dead = False
-    try:
-        for index, chunk in tasks:
-            future = pool.submit(
-                _call_worker, (worker, index, fault, make_payload(chunk))
-            )
-            futures[future] = (index, chunk)
-    except BrokenProcessPool:
-        pool_dead = True
-        submitted = {index for index, __ in futures.values()}
-        failed.extend(task for task in tasks if task[0] not in submitted)
-    __, not_done = wait(futures, timeout=timeout)
-    for future, (index, chunk) in futures.items():
-        if future in not_done:
-            pool_dead = True
-            METRICS.incr("parallel.chunk_timeouts")
-            TRACER.event(
-                "chunk-timeout", label=label, chunk=index, items=len(chunk)
-            )
-            failed.append((index, chunk))
-            continue
-        try:
-            pid, elapsed, (result, counters, gauges) = future.result()
-        except (BrokenProcessPool, CancelledError):
-            pool_dead = True
-            METRICS.incr("parallel.chunk_failures")
-            TRACER.event(
-                "worker-died", label=label, chunk=index, items=len(chunk)
-            )
-            failed.append((index, chunk))
-        except Exception as error:
-            METRICS.incr("parallel.chunk_failures")
-            TRACER.event(
-                "chunk-error", label=label, chunk=index, items=len(chunk),
-                error=repr(error),
-            )
-            failed.append((index, chunk))
-        else:
-            METRICS.merge_counters(counters)
-            METRICS.merge_gauges(gauges)
-            TRACER.add_span(
-                f"{label}.chunk", elapsed, counters=counters, gauges=gauges,
-                chunk=index, items=len(chunk), worker=pid,
-            )
-            results.append(result)
-    if pool_dead:
-        METRICS.incr("parallel.pool_restarts")
-        _kill_pool(pool)
-        pool = None
-    return failed, pool
+def _record_failure(index: int, chunk: list, reason: str, label: str) -> None:
+    """Count and trace one failed task, preserving the pre-transport
+    event vocabulary (chunk-timeout / worker-died / chunk-error)."""
+    if reason == TIMEOUT:
+        METRICS.incr("parallel.chunk_timeouts")
+        TRACER.event(
+            "chunk-timeout", label=label, chunk=index, items=len(chunk)
+        )
+    elif reason == WORKER_DIED:
+        METRICS.incr("parallel.chunk_failures")
+        TRACER.event(
+            "worker-died", label=label, chunk=index, items=len(chunk)
+        )
+    else:
+        METRICS.incr("parallel.chunk_failures")
+        TRACER.event(
+            "chunk-error", label=label, chunk=index, items=len(chunk),
+            error=reason,
+        )
 
 
 def _run_sharded(
@@ -206,6 +168,7 @@ def _run_sharded(
     timeout: Optional[float] = None,
     retries: Optional[int] = None,
     label: str = "shard",
+    transport: Optional[ShardTransport] = None,
 ) -> list:
     """Run ``worker`` over round-robin chunks of ``items`` with timeouts,
     poison-isolation retries, and serial degradation.
@@ -214,7 +177,13 @@ def _run_sharded(
     ``items`` (needed to re-chunk on retry); ``worker`` must return a
     ``(result, counters, gauges)`` triple.  Returns the per-chunk results
     at whatever granularity execution ended up using — callers must merge
-    order-insensitively (all three shard queries already do).
+    order-insensitively (all six shard queries already do).
+
+    ``transport`` picks the execution substrate (an explicit
+    :class:`~repro.runtime.transport.ShardTransport` wins; otherwise the
+    process-wide ``--transport`` policy applies).  The round/retry/
+    degrade loop is transport-agnostic, so every substrate inherits the
+    jobs-invariance guarantee.
     """
     timeout, retries = _resolve_policy(timeout, retries)
     chunks = _chunk_round_robin(list(items), jobs)
@@ -227,20 +196,17 @@ def _run_sharded(
         tasks.append((next_index, chunk))
         next_index += 1
     results: list = []
-    failed: List[Tuple[int, list]] = []
-    pool: Optional[ProcessPoolExecutor] = ProcessPoolExecutor(
-        max_workers=min(jobs, len(tasks))
-    )
+    failed: List[Tuple[int, list, str]] = []
+    transport, owned = resolve_transport(transport, jobs)
     try:
         for attempt in range(retries + 1):
-            if pool is None:
-                pool = ProcessPoolExecutor(
-                    max_workers=min(jobs, len(tasks))
-                )
-            failed, pool = _run_round(
-                pool, worker, make_payload, tasks, timeout, fault, results,
-                label,
+            completed, failed = transport.run_round(
+                worker, make_payload, tasks, timeout, fault, label
             )
+            for chunk_result in completed:
+                _harvest_chunk(chunk_result, label, transport.name, results)
+            for index, chunk, reason in failed:
+                _record_failure(index, chunk, reason, label)
             if not failed:
                 return results
             if attempt == retries:
@@ -249,7 +215,7 @@ def _run_sharded(
             # so one pathological item can only take down its own retry.
             failed.sort(key=lambda task: task[0])
             tasks = []
-            for __, chunk in failed:
+            for __, chunk, __reason in failed:
                 for item in chunk:
                     tasks.append((next_index, [item]))
                     next_index += 1
@@ -262,8 +228,9 @@ def _run_sharded(
         # less than the serial run (a genuine error raises here exactly as
         # it would have serially).
         failed.sort(key=lambda task: task[0])
-        remainder = [item for __, chunk in failed for item in chunk]
+        remainder = [item for __, chunk, __reason in failed for item in chunk]
         METRICS.incr("parallel.serial_fallback_items", len(remainder))
+        METRICS.incr("transport.degraded")
         TRACER.event("degrade-serial", label=label, items=len(remainder))
         with TRACER.span(f"{label}.serial-fallback", items=len(remainder)):
             result, counters, gauges = worker(make_payload(remainder))
@@ -272,8 +239,8 @@ def _run_sharded(
         results.append(result)
         return results
     finally:
-        if pool is not None:
-            pool.shutdown(wait=True)
+        if owned:
+            transport.close()
 
 
 def _engine_counters(prefix: str, engine) -> Dict[str, int]:
@@ -312,6 +279,7 @@ def shard_certification_pairs(
     jobs: int = 2,
     timeout: Optional[float] = None,
     retries: Optional[int] = None,
+    transport: Optional[ShardTransport] = None,
 ):
     """Per-output certification pairs, one worker per output chunk.
 
@@ -329,6 +297,7 @@ def shard_certification_pairs(
         results = _run_sharded(
             _pairs_worker, outputs, make_payload, jobs,
             timeout=timeout, retries=retries, label="pairs",
+            transport=transport,
         )
     merged: Dict[str, Tuple[int, object]] = {}
     for pairs in results:
@@ -366,6 +335,7 @@ def shard_fault_tests(
     jobs: int = 2,
     timeout: Optional[float] = None,
     retries: Optional[int] = None,
+    transport: Optional[ShardTransport] = None,
 ):
     """Run fault-test generation tasks across workers.
 
@@ -382,6 +352,7 @@ def shard_fault_tests(
         results = _run_sharded(
             _fault_worker, list(tasks), make_payload, jobs,
             timeout=timeout, retries=retries, label="faults",
+            transport=transport,
         )
     merged = []
     for entries in results:
@@ -413,6 +384,7 @@ def shard_cone_queries(
     jobs: int = 2,
     timeout: Optional[float] = None,
     retries: Optional[int] = None,
+    transport: Optional[ShardTransport] = None,
 ):
     """Evaluate single-output cone circuits across workers.
 
@@ -431,6 +403,7 @@ def shard_cone_queries(
         results = _run_sharded(
             _cone_worker, list(cones), make_payload, jobs,
             timeout=timeout, retries=retries, label="cones",
+            transport=transport,
         )
     merged = {}
     for chunk in results:
@@ -498,6 +471,7 @@ def shard_monte_carlo(
     jobs: int = 2,
     timeout: Optional[float] = None,
     retries: Optional[int] = None,
+    transport: Optional[ShardTransport] = None,
 ) -> List[int]:
     """Monte Carlo samples across workers with per-sample seeded
     sub-streams and an index-ordered merge: the returned sample list is a
@@ -515,6 +489,7 @@ def shard_monte_carlo(
         results = _run_sharded(
             _monte_carlo_worker, range(num_samples), make_payload, jobs,
             timeout=timeout, retries=retries, label="monte-carlo",
+            transport=transport,
         )
     METRICS.incr("monte_carlo.samples", num_samples)
     merged = [delay for chunk in results for delay in chunk]
@@ -545,6 +520,7 @@ def shard_characterize_jobs(
     jobs: int = 2,
     timeout: Optional[float] = None,
     retries: Optional[int] = None,
+    transport: Optional[ShardTransport] = None,
 ) -> List[Dict]:
     """Run characterization job payloads across workers.
 
@@ -566,6 +542,7 @@ def shard_characterize_jobs(
         results = _run_sharded(
             _characterize_worker, tasks, make_payload, jobs,
             timeout=timeout, retries=retries, label="characterize",
+            transport=transport,
         )
     merged = [entry for chunk in results for entry in chunk]
     merged.sort(key=lambda item: item[0])
@@ -593,6 +570,7 @@ def shard_fuzz_scenarios(
     jobs: int = 2,
     timeout: Optional[float] = None,
     retries: Optional[int] = None,
+    transport: Optional[ShardTransport] = None,
 ) -> List[List[Dict]]:
     """Run fuzz scenarios (as ``Scenario.to_dict`` payloads) across
     workers.
@@ -615,6 +593,7 @@ def shard_fuzz_scenarios(
         results = _run_sharded(
             _fuzz_worker, tasks, make_payload, jobs,
             timeout=timeout, retries=retries, label="fuzz",
+            transport=transport,
         )
     merged = [entry for chunk in results for entry in chunk]
     merged.sort(key=lambda item: item[0])

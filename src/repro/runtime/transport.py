@@ -1,0 +1,269 @@
+"""Shard transports: *where* a round of chunk tasks executes.
+
+:mod:`repro.runtime.parallel` owns *what* a sharded run means — round-
+robin chunking, per-round timeouts, bounded retries with poison
+isolation, serial degradation, and the deterministic merge.  This module
+owns the execution substrate behind one interface:
+
+* :class:`LocalPoolTransport` — the original in-host
+  ``ProcessPoolExecutor``, rebuilt when workers die or hang;
+* :class:`~repro.runtime.remote.RemoteTransport` — long-lived ``trued
+  worker`` processes on other hosts, spoken to over JSON-lines sockets
+  with the content-addressed disk cache as the artifact store
+  (``docs/DISTRIBUTED.md``).
+
+A transport's job is deliberately narrow: run one round of ``(index,
+chunk)`` tasks and report, per task, either a :class:`ChunkResult` or a
+failure reason.  Everything that makes sharding *safe* — retry
+accounting, degrade-to-serial, metrics folding, span attribution — stays
+in the caller, on the caller's thread, so every transport inherits the
+same guarantee: jobs=N over any substrate returns byte-identical results
+to jobs=1, or degrades to computing them in-process.
+
+The process-wide policy (``--transport`` / ``--hosts``) mirrors the
+execution policy in :mod:`repro.runtime.parallel`: the CLI sets it once,
+library callers can override per call by passing a transport instance.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import CancelledError, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .faults import inject_worker_fault
+from .metrics import METRICS
+
+#: Failure reasons a transport reports for a task that produced no
+#: result this round.  ``TIMEOUT`` and ``WORKER_DIED`` are the two
+#: infrastructure failures (mapped to ``parallel.chunk_timeouts`` /
+#: ``parallel.chunk_failures`` by the caller); anything else is treated
+#: as a chunk error and carried verbatim into the trace event.
+TIMEOUT = "timeout"
+WORKER_DIED = "worker-died"
+
+
+@dataclass
+class ChunkResult:
+    """One completed chunk, with enough provenance to attribute it."""
+
+    index: int
+    chunk: list
+    result: object
+    counters: Dict[str, int] = field(default_factory=dict)
+    gauges: Dict[str, int] = field(default_factory=dict)
+    worker: int = 0
+    host: str = "local"
+    elapsed: float = 0.0
+
+
+#: A task that failed this round: ``(index, chunk, reason)``.
+FailedTask = Tuple[int, list, str]
+
+
+class ShardTransport:
+    """Execution substrate for one round of sharded chunk tasks.
+
+    ``run_round`` must return ``(completed, failed)`` covering *every*
+    submitted task exactly once, and must be callable again after any
+    failure (the retry rounds reuse the same transport).  It runs on the
+    caller's thread; implementations may use helper threads for I/O but
+    must confine :data:`~repro.runtime.metrics.METRICS` /
+    :data:`~repro.runtime.tracing.TRACER` access to the calling thread —
+    both are context-scoped and do not follow into new threads.
+    """
+
+    #: Span/metrics attribution tag (``transport=`` on chunk spans).
+    name = "transport"
+
+    def run_round(
+        self,
+        worker,
+        make_payload,
+        tasks: Sequence[Tuple[int, list]],
+        timeout: Optional[float],
+        fault,
+        label: str,
+    ) -> Tuple[List[ChunkResult], List[FailedTask]]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release transport resources (pools, sockets)."""
+
+
+# ----------------------------------------------------------------------
+# In-host process pool
+# ----------------------------------------------------------------------
+def _call_worker(args):
+    """Pool entry point (runs in the worker process): apply any injected
+    fault for this task, then clock the real worker."""
+    worker, task_index, fault, payload = args
+    inject_worker_fault(fault, task_index)
+    start = time.perf_counter()
+    result = worker(payload)
+    return os.getpid(), time.perf_counter() - start, result
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Hard-stop a pool that may hold hung or dead workers: terminate its
+    processes (a hung worker never drains the call queue on its own), then
+    abandon the executor without waiting."""
+    try:
+        processes = list((pool._processes or {}).values())
+    except Exception:
+        processes = []
+    for process in processes:
+        try:
+            process.terminate()
+        except Exception:
+            pass
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:
+        pass
+
+
+class LocalPoolTransport(ShardTransport):
+    """The in-host ``ProcessPoolExecutor`` substrate.
+
+    The pool survives across rounds of one sharded run but is killed and
+    lazily rebuilt (``parallel.pool_restarts``) whenever a round sees a
+    dead or hung worker — a hung worker never drains the call queue on
+    its own, so the only safe recovery is a fresh pool.
+    """
+
+    name = "local"
+
+    def __init__(self, jobs: int):
+        self.jobs = max(1, int(jobs))
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def _ensure_pool(self, task_count: int) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=min(self.jobs, max(1, task_count))
+            )
+        return self._pool
+
+    def run_round(self, worker, make_payload, tasks, timeout, fault, label):
+        pool = self._ensure_pool(len(tasks))
+        futures: Dict[object, Tuple[int, list]] = {}
+        completed: List[ChunkResult] = []
+        failed: List[FailedTask] = []
+        pool_dead = False
+        try:
+            for index, chunk in tasks:
+                future = pool.submit(
+                    _call_worker, (worker, index, fault, make_payload(chunk))
+                )
+                futures[future] = (index, chunk)
+        except BrokenProcessPool:
+            pool_dead = True
+            submitted = {index for index, __ in futures.values()}
+            failed.extend(
+                (index, chunk, WORKER_DIED)
+                for index, chunk in tasks
+                if index not in submitted
+            )
+        __, not_done = wait(futures, timeout=timeout)
+        for future, (index, chunk) in futures.items():
+            if future in not_done:
+                pool_dead = True
+                failed.append((index, chunk, TIMEOUT))
+                continue
+            try:
+                pid, elapsed, (result, counters, gauges) = future.result()
+            except (BrokenProcessPool, CancelledError):
+                pool_dead = True
+                failed.append((index, chunk, WORKER_DIED))
+            except Exception as error:
+                failed.append((index, chunk, repr(error)))
+            else:
+                completed.append(
+                    ChunkResult(
+                        index=index, chunk=chunk, result=result,
+                        counters=counters, gauges=gauges,
+                        worker=pid, host=self.name, elapsed=elapsed,
+                    )
+                )
+        if pool_dead:
+            METRICS.incr("parallel.pool_restarts")
+            _kill_pool(pool)
+            self._pool = None
+        return completed, failed
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+# ----------------------------------------------------------------------
+# Transport policy (CLI --transport / --hosts set the process defaults)
+# ----------------------------------------------------------------------
+_UNSET = object()
+_TRANSPORT_NAMES = ("local", "remote")
+_POLICY: Dict[str, object] = {"transport": "local", "hosts": ()}
+_REMOTE: Optional[ShardTransport] = None
+
+
+def set_transport_policy(transport=_UNSET, hosts=_UNSET) -> Dict[str, object]:
+    """Set the process-wide default transport for sharded execution.
+
+    ``transport`` is ``"local"`` or ``"remote"``; ``hosts`` is the worker
+    endpoint list (``HOST:PORT`` or unix socket paths) the remote
+    transport connects to.  Selecting ``remote`` without any hosts is an
+    error — there would be nothing to run on.  Changing the policy drops
+    the cached remote transport so new hosts take effect.
+    """
+    global _REMOTE
+    if transport is not _UNSET:
+        if transport not in _TRANSPORT_NAMES:
+            raise ValueError(
+                f"unknown transport {transport!r} "
+                f"(expected one of {_TRANSPORT_NAMES})"
+            )
+        _POLICY["transport"] = transport
+    if hosts is not _UNSET:
+        _POLICY["hosts"] = tuple(hosts or ())
+    if _POLICY["transport"] == "remote" and not _POLICY["hosts"]:
+        raise ValueError(
+            "transport 'remote' needs at least one worker endpoint "
+            "(--hosts HOST:PORT[,HOST:PORT...])"
+        )
+    if _REMOTE is not None:
+        _REMOTE.close()
+        _REMOTE = None
+    return dict(_POLICY)
+
+
+def transport_policy() -> Dict[str, object]:
+    return dict(_POLICY)
+
+
+def resolve_transport(
+    transport: Optional[ShardTransport], jobs: int
+) -> Tuple[ShardTransport, bool]:
+    """The transport a sharded run should use, plus whether the caller
+    owns (and must close) it.
+
+    An explicit instance wins and stays caller-owned.  Under the
+    ``remote`` policy one process-wide
+    :class:`~repro.runtime.remote.RemoteTransport` is shared across runs
+    so worker connections stay warm; under ``local`` each run gets a
+    private pool sized to its ``jobs``, exactly as before the transport
+    interface existed.
+    """
+    global _REMOTE
+    if transport is not None:
+        return transport, False
+    if _POLICY["transport"] == "remote":
+        if _REMOTE is None:
+            from .remote import RemoteTransport
+
+            _REMOTE = RemoteTransport(_POLICY["hosts"])
+        return _REMOTE, False
+    return LocalPoolTransport(jobs), True

@@ -22,9 +22,6 @@ and one shared content-addressed
   it through the bench observatory).
 """
 
-from .loadgen import LoadReport, default_script, run_loadgen
-from .server import ServerStats, TimingServer, run_server
-
 __all__ = [
     "LoadReport",
     "default_script",
@@ -33,3 +30,28 @@ __all__ = [
     "TimingServer",
     "run_server",
 ]
+
+_EXPORTS = {
+    "LoadReport": "loadgen",
+    "default_script": "loadgen",
+    "run_loadgen": "loadgen",
+    "ServerStats": "server",
+    "TimingServer": "server",
+    "run_server": "server",
+}
+
+
+def __getattr__(name):
+    # Lazy re-exports (PEP 562): `serve.framing` is imported by
+    # `incremental.service` (the shared JSON-lines framing lives here),
+    # and eagerly importing `.server` from this package __init__ would
+    # close that loop into a cycle — `.server` itself imports
+    # `incremental.service` for QueryService.
+    module = _EXPORTS.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    from importlib import import_module
+
+    value = getattr(import_module(f".{module}", __name__), name)
+    globals()[name] = value
+    return value

@@ -37,7 +37,7 @@ Shutdown: the ``shutdown`` op (from any session) stops the whole server
 gracefully — in-flight requests complete, the pool drains, sockets
 close, a unix socket file is unlinked (stale files from a hard-killed
 predecessor are probe-detected and removed at bind time, see
-:func:`~repro.incremental.service.prepare_unix_socket_path`).
+:func:`~repro.serve.framing.prepare_unix_socket_path`).
 """
 
 from __future__ import annotations
@@ -54,15 +54,12 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..incremental.pool import WarmPool
-from ..incremental.service import QueryService, prepare_unix_socket_path
+from ..incremental.service import QueryService
 from ..runtime.cache import DelayCache
 from ..runtime.fingerprint import circuit_fingerprint
 from ..runtime.metrics import Metrics, metrics_scope
 from ..runtime.tracing import Tracer, tracer_scope
-
-#: JSON-lines framing limit — one request per ``\n``-terminated line,
-#: inline netlists included, so the per-line cap is generous.
-MAX_LINE_BYTES = 4 * 1024 * 1024
+from .framing import MAX_LINE_BYTES, prepare_unix_socket_path
 
 
 @dataclass

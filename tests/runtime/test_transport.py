@@ -1,0 +1,196 @@
+"""The `ShardTransport` interface and policy (`runtime/transport.py`).
+
+The transport owns *where* a round of chunk tasks runs; the sharded
+runner owns everything that makes sharding safe.  These tests pin the
+interface contract the remote transport of docs/DISTRIBUTED.md plugs
+into: per-task outcome coverage, reuse after failure, ownership rules,
+and the `--transport`/`--hosts` policy validation.
+"""
+
+import pytest
+
+from repro.runtime.transport import (
+    TIMEOUT,
+    WORKER_DIED,
+    ChunkResult,
+    LocalPoolTransport,
+    ShardTransport,
+    resolve_transport,
+    set_transport_policy,
+    transport_policy,
+)
+
+
+@pytest.fixture(autouse=True)
+def _reset_policy():
+    yield
+    set_transport_policy(transport="local", hosts=())
+
+
+def _square_worker(payload):
+    values = payload
+    return [v * v for v in values], {"sq.items": len(values)}, {}
+
+
+def _run(transport, tasks, timeout=None, fault=None):
+    return transport.run_round(
+        _square_worker, lambda chunk: chunk, tasks, timeout, fault, "sq"
+    )
+
+
+# ----------------------------------------------------------------------
+# LocalPoolTransport
+# ----------------------------------------------------------------------
+def test_local_round_covers_every_task_exactly_once():
+    transport = LocalPoolTransport(jobs=2)
+    try:
+        tasks = [(0, [1, 2]), (1, [3]), (2, [4, 5, 6])]
+        completed, failed = _run(transport, tasks)
+        assert failed == []
+        assert sorted(c.index for c in completed) == [0, 1, 2]
+        by_index = {c.index: c for c in completed}
+        assert by_index[2].result == [16, 25, 36]
+        assert by_index[2].counters == {"sq.items": 3}
+        assert by_index[2].host == "local"
+        assert by_index[2].worker > 0
+    finally:
+        transport.close()
+
+
+def test_local_pool_is_reused_across_rounds():
+    transport = LocalPoolTransport(jobs=1)
+    try:
+        _run(transport, [(0, [1])])
+        pool = transport._pool
+        _run(transport, [(1, [2])])
+        assert transport._pool is pool
+    finally:
+        transport.close()
+
+
+def test_local_crash_reports_worker_died_and_rebuilds(monkeypatch):
+    """docs/DISTRIBUTED.md §5: a crashed worker yields `worker-died`,
+    never a partial result — on any transport."""
+    monkeypatch.setenv("REPRO_FAULT_INJECT", "crash:0")
+    from repro.runtime.faults import parse_fault_spec
+
+    fault = parse_fault_spec("crash:0")
+    transport = LocalPoolTransport(jobs=1)
+    try:
+        completed, failed = _run(transport, [(0, [1])], fault=fault)
+        assert completed == []
+        assert [(i, reason) for i, __, reason in failed] == [
+            (0, WORKER_DIED)
+        ]
+        assert transport._pool is None  # condemned, rebuilt lazily
+        completed, failed = _run(transport, [(1, [7])])
+        assert failed == []
+        assert completed[0].result == [49]
+    finally:
+        transport.close()
+
+
+def test_local_timeout_reports_timeout(monkeypatch):
+    monkeypatch.setenv("REPRO_FAULT_HANG_SECONDS", "5")
+    from repro.runtime.faults import parse_fault_spec
+
+    fault = parse_fault_spec("hang:0")
+    transport = LocalPoolTransport(jobs=1)
+    try:
+        completed, failed = _run(
+            transport, [(0, [1])], timeout=0.5, fault=fault
+        )
+        assert completed == []
+        assert [(i, reason) for i, __, reason in failed] == [(0, TIMEOUT)]
+    finally:
+        transport.close()
+
+
+def _explosive_worker(payload):
+    if payload == ["boom"]:
+        raise RuntimeError("boom payload")
+    return payload, {}, {}
+
+
+def test_local_worker_exception_fails_only_that_chunk():
+    transport = LocalPoolTransport(jobs=2)
+    try:
+        completed, failed = transport.run_round(
+            _explosive_worker,
+            lambda chunk: chunk,
+            [(0, ["ok"]), (1, ["boom"])],
+            None,
+            None,
+            "sq",
+        )
+        assert [c.index for c in completed] == [0]
+        assert len(failed) == 1
+        index, __, reason = failed[0]
+        assert index == 1
+        assert "boom payload" in reason
+        assert reason not in (TIMEOUT, WORKER_DIED)
+    finally:
+        transport.close()
+
+
+# ----------------------------------------------------------------------
+# Policy and resolution
+# ----------------------------------------------------------------------
+def test_default_policy_is_local():
+    assert transport_policy() == {"transport": "local", "hosts": ()}
+
+
+def test_remote_policy_requires_hosts():
+    with pytest.raises(ValueError, match="at least one worker endpoint"):
+        set_transport_policy(transport="remote")
+
+
+def test_unknown_transport_name_rejected():
+    with pytest.raises(ValueError, match="unknown transport"):
+        set_transport_policy(transport="carrier-pigeon")
+
+
+def test_resolve_explicit_instance_wins_and_stays_caller_owned():
+    mine = LocalPoolTransport(jobs=1)
+    try:
+        transport, owned = resolve_transport(mine, jobs=4)
+        assert transport is mine
+        assert owned is False
+    finally:
+        mine.close()
+
+
+def test_resolve_local_policy_builds_owned_pool():
+    transport, owned = resolve_transport(None, jobs=3)
+    try:
+        assert isinstance(transport, LocalPoolTransport)
+        assert transport.jobs == 3
+        assert owned is True
+    finally:
+        transport.close()
+
+
+def test_resolve_remote_policy_shares_one_transport(tmp_path, monkeypatch):
+    """Under the remote policy the transport is a process-wide singleton
+    (worker links stay warm across runs) and is never caller-owned —
+    docs/DISTRIBUTED.md §2."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    set_transport_policy(transport="remote", hosts=["127.0.0.1:1"])
+    first, owned_first = resolve_transport(None, jobs=2)
+    second, owned_second = resolve_transport(None, jobs=8)
+    assert first is second
+    assert owned_first is owned_second is False
+    assert first.name == "remote"
+    # Changing the policy drops the singleton so new hosts take effect.
+    set_transport_policy(hosts=["127.0.0.1:2"])
+    third, __ = resolve_transport(None, jobs=2)
+    assert third is not first
+    set_transport_policy(transport="local", hosts=())
+
+
+def test_transport_base_class_contract():
+    transport = ShardTransport()
+    with pytest.raises(NotImplementedError):
+        transport.run_round(None, None, [], None, None, "x")
+    transport.close()  # default close is a no-op
+    assert ChunkResult(index=0, chunk=[], result=None).host == "local"
